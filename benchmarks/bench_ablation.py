@@ -1,0 +1,39 @@
+"""Experiment E6 — ablation benches for the §VIII discussion.
+
+Times the sweeps and asserts their qualitative direction: more
+workers help (to a saturation point), more I/O capacity helps, and
+temp-folder staging overhead hurts.
+"""
+
+from repro.bench.ablation import (
+    amdahl_bound,
+    sweep_io_capacity,
+    sweep_staging_cost,
+    sweep_workers,
+)
+
+
+def test_bench_ablation_workers(benchmark):
+    points = benchmark(sweep_workers)
+    speedups = {int(p.value): p.speedup for p in points}
+    assert speedups[12] > speedups[2] > speedups[1] * 0.9
+    # Saturation: doubling workers past 12 buys little.
+    assert speedups[24] < 1.3 * speedups[12]
+
+
+def test_bench_ablation_io_capacity(benchmark):
+    points = benchmark(sweep_io_capacity)
+    assert points[-1].speedup > points[0].speedup
+
+
+def test_bench_ablation_staging(benchmark):
+    points = benchmark(sweep_staging_cost)
+    by_mult = {p.value: p.speedup for p in points}
+    assert by_mult[0.0] > by_mult[4.0]
+
+
+def test_bench_ablation_amdahl_bound(benchmark):
+    bound = benchmark(amdahl_bound)
+    # Even with infinite workers the pipeline's serial fraction caps
+    # the speedup well below the 57-way width of stage IX.
+    assert 3.0 < bound < 40.0

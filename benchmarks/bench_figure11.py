@@ -1,0 +1,32 @@
+"""Experiment E2/E5 — regenerate Fig. 11 (per-stage times & speedups).
+
+Asserts the per-stage reproduction: stage IX dominates with ~57.2% of
+the sequential time and the per-stage speedups land near the published
+ones (IX 5.14x, X 1.5x, XI 2.1x, ...).
+"""
+
+import pytest
+
+from repro.bench.figure11 import figure11_model, render_figure11, stage_ix_share
+from repro.bench.paper_data import PAPER_STAGE_SPEEDUPS
+from repro.bench.table1 import table1_model
+
+
+def test_bench_figure11_model(benchmark):
+    rows = benchmark(figure11_model)
+    by_stage = {r.stage: r for r in rows}
+    # Stage IX dominates and wins.
+    assert by_stage["IX"].sequential_s == max(r.sequential_s for r in rows)
+    for stage, published in PAPER_STAGE_SPEEDUPS.items():
+        assert by_stage[stage].speedup == pytest.approx(published, rel=0.2), stage
+
+
+def test_bench_figure11_stage_ix_share():
+    rows = figure11_model()
+    seq_total = next(r for r in table1_model() if r.event_id == "EV-JUL19B").seq_original_s
+    assert stage_ix_share(rows, seq_total) == pytest.approx(0.572, abs=0.01)
+
+
+def test_bench_figure11_render(benchmark):
+    rows = figure11_model()
+    assert "IX" in benchmark(render_figure11, rows)

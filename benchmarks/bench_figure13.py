@@ -1,0 +1,36 @@
+"""Experiment E4 — regenerate Fig. 13 (speedup & throughput vs size).
+
+Asserts the figure's claims: speedup grows from ~2.4x to ~2.9x with
+problem size, parallel throughput lands in the 1,700-2,300 points/s
+band and sequential throughput near 800 points/s.
+"""
+
+import pytest
+
+from repro.bench.figure13 import figure13_model, render_figure13
+from repro.bench.paper_data import (
+    PAPER_PAR_POINTS_PER_SECOND,
+    PAPER_SEQ_POINTS_PER_SECOND,
+)
+
+
+def test_bench_figure13_model(benchmark):
+    rows = benchmark(figure13_model)
+    assert rows[-1].speedup > rows[0].speedup
+    assert rows[-1].speedup == pytest.approx(2.88, abs=0.1)
+    assert rows[0].speedup == pytest.approx(2.39, abs=0.15)
+
+
+def test_bench_figure13_throughput_bands():
+    rows = figure13_model()
+    lo, hi = PAPER_PAR_POINTS_PER_SECOND
+    for row in rows:
+        assert 0.9 * lo < row.points_per_second_parallel < 1.05 * hi
+        assert row.points_per_second_sequential == pytest.approx(
+            PAPER_SEQ_POINTS_PER_SECOND, rel=0.15
+        )
+
+
+def test_bench_figure13_render(benchmark):
+    rows = figure13_model()
+    assert "Speedup" in benchmark(render_figure13, rows)

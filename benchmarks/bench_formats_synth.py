@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the I/O substrate and the data generator.
+
+The pipeline's Heavy-I/O tag rests on reading/writing fixed-width
+records; these benches pin the costs (and catch regressions in the
+formatter, which every artifact flows through).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsp.peak import PeakValues
+from repro.formats.common import COMPONENTS, Header, format_fixed_block, parse_fixed_block
+from repro.formats.v1 import RawRecord, read_v1, write_v1
+from repro.formats.v2 import CorrectedRecord, read_v2, write_v2
+from repro.synth.dataset import synthesize_station_record
+from repro.synth.events import EventSpec
+from repro.synth.network import make_network
+
+RNG = np.random.default_rng(99)
+VALUES_20K = RNG.normal(size=20_000)
+
+
+def test_bench_fixed_block_format(benchmark):
+    text = benchmark(format_fixed_block, VALUES_20K)
+    assert len(text) > 0
+
+
+def test_bench_fixed_block_parse(benchmark):
+    lines = format_fixed_block(VALUES_20K).splitlines()
+    parsed = benchmark(parse_fixed_block, lines, len(VALUES_20K))
+    assert parsed.shape == VALUES_20K.shape
+
+
+@pytest.fixture(scope="module")
+def station_record():
+    header = Header(station="BN01", dt=0.01, npts=0, magnitude=5.0)
+    return RawRecord(
+        header=header,
+        components={c: RNG.normal(size=8_000) for c in COMPONENTS},
+    )
+
+
+def test_bench_v1_write(benchmark, tmp_path, station_record):
+    path = tmp_path / "BN01.v1"
+    benchmark(write_v1, path, station_record)
+
+
+def test_bench_v1_read(benchmark, tmp_path, station_record):
+    path = tmp_path / "BN01.v1"
+    write_v1(path, station_record)
+    record = benchmark(read_v1, path)
+    assert record.npts == 8_000
+
+
+def test_bench_v2_roundtrip(benchmark, tmp_path):
+    record = CorrectedRecord(
+        header=Header(station="BN01", component="l", dt=0.01, npts=0),
+        acceleration=RNG.normal(size=8_000),
+        velocity=RNG.normal(size=8_000),
+        displacement=RNG.normal(size=8_000),
+        peaks=PeakValues(1, 0.1, 2, 0.2, 3, 0.3),
+        f_stop_low=0.05,
+        f_pass_low=0.1,
+        f_pass_high=25.0,
+        f_stop_high=30.0,
+    )
+    path = tmp_path / "BN01l.v2"
+
+    def roundtrip():
+        write_v2(path, record)
+        return read_v2(path)
+
+    back = benchmark(roundtrip)
+    assert back.header.npts == 8_000
+
+
+def test_bench_synthesize_station(benchmark):
+    event = EventSpec("BN", "2024-01-01", 5.5, 1, 8_000, seed=1)
+    station = make_network(1, seed=1)[0]
+    record = benchmark(synthesize_station_record, event, station, 8_000)
+    assert record.npts == 8_000

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the parallel runtime itself.
+
+Pins the overhead story: parallel_for dispatch cost per item, task
+spawn cost, and the simulated scheduler's throughput on graphs the
+size the pipeline generates (a few hundred tasks).
+"""
+
+import numpy as np
+
+from repro.bench.taskgraphs import build_sim_tasks
+from repro.bench.workloads import paper_workloads
+from repro.parallel.omp import TaskGroup, parallel_for
+from repro.parallel.simulate import PAPER_MACHINE, simulate_task_graph
+
+
+def _tiny(x: int) -> int:
+    return x + 1
+
+
+def test_bench_parallel_for_dispatch_serial(benchmark):
+    items = list(range(200))
+    out = benchmark(parallel_for, _tiny, items, backend="serial")
+    assert out[-1] == 200
+
+
+def test_bench_parallel_for_dispatch_threads(benchmark):
+    items = list(range(200))
+    out = benchmark(
+        parallel_for, _tiny, items, backend="thread", num_workers=4, schedule="static"
+    )
+    assert out[0] == 1
+
+
+def test_bench_taskgroup_spawn(benchmark):
+    def spawn_four():
+        with TaskGroup(backend="thread", num_workers=4) as tg:
+            for i in range(4):
+                tg.task(_tiny, i)
+        return tg.results
+
+    assert benchmark(spawn_four) == [1, 2, 3, 4]
+
+
+def test_bench_simulator_full_graph(benchmark):
+    """Scheduling the fully-parallel graph of the largest event."""
+    workload = paper_workloads()[-1]
+    tasks = build_sim_tasks("full-parallel", workload)
+    result = benchmark(simulate_task_graph, tasks, PAPER_MACHINE)
+    assert result.makespan_s > 0
+    assert len(result.placements) == len(tasks)
+
+
+def test_bench_simulator_wide_graph(benchmark):
+    from repro.parallel.simulate import SimTask
+
+    rng = np.random.default_rng(3)
+    tasks = [
+        SimTask(f"t{i}", float(rng.uniform(0.1, 5.0)), io_fraction=0.2)
+        for i in range(500)
+    ]
+    result = benchmark(simulate_task_graph, tasks, PAPER_MACHINE)
+    assert result.makespan_s > 0

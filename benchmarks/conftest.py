@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+Model-mode benches (the paper's tables/figures) run the calibrated
+cost model on the simulated 12-LP machine — fast and deterministic.
+Measured-mode benches run the real Python pipeline on scaled-down
+synthetic events, reporting what this machine actually does.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.core import RunContext
+from repro.core.context import ParallelSettings
+from repro.spectra.response import ResponseSpectrumConfig, default_periods
+from repro.synth.dataset import generate_event_dataset
+from repro.synth.events import EventSpec
+
+BENCH_EVENT = EventSpec("EV-BENCH", "2022-02-02", 5.4, 3, 24_000, seed=777)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset_dir(tmp_path_factory: pytest.TempPathFactory) -> Path:
+    """A three-station synthetic dataset shared by measured benches."""
+    directory = tmp_path_factory.mktemp("bench-dataset")
+    generate_event_dataset(BENCH_EVENT, directory, points_override=[1500, 2000, 2500])
+    return directory
+
+
+def fresh_context(root: Path, dataset_dir: Path, workers: int = 2) -> RunContext:
+    """A pipeline context with a private copy of the bench dataset."""
+    ctx = RunContext.for_directory(
+        root,
+        response_config=ResponseSpectrumConfig(
+            periods=default_periods(15), dampings=(0.05,)
+        ),
+        parallel=ParallelSettings(num_workers=workers),
+    )
+    for src in dataset_dir.glob("*.v1"):
+        shutil.copy2(src, ctx.workspace.input_dir / src.name)
+    return ctx

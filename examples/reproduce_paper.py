@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Reproduce every evaluation artifact of the paper, in one run.
+
+Regenerates Table I and Figures 11-13 in model mode (compared against
+the published values), renders the figures and two schedule Gantts as
+PostScript, and prints the reproduction verdict.  This is the script
+version of EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py [output_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.bench.figure11 import figure11_model, render_figure11, stage_ix_share
+from repro.bench.figure12 import figure12_model, render_figure12
+from repro.bench.figure13 import figure13_model, render_figure13
+from repro.bench.paper_data import PAPER_STAGE_SPEEDUPS
+from repro.bench.render import (
+    render_figure11_ps,
+    render_figure12_ps,
+    render_figure13_ps,
+    render_schedule_ps,
+)
+from repro.bench.table1 import max_relative_error, render_table1, table1_model
+
+
+def main() -> int:
+    out = Path(sys.argv[1] if len(sys.argv) > 1 else "paper-artifacts")
+    out.mkdir(parents=True, exist_ok=True)
+
+    print("=" * 72)
+    print("Table I — per-event execution times (model mode vs published)")
+    print("=" * 72)
+    rows = table1_model()
+    print(render_table1(rows))
+    worst = max_relative_error(rows)
+    print(f"\nworst cell deviation from the paper: {100 * worst:.1f}%")
+
+    print()
+    print("=" * 72)
+    print("Figure 11 — per-stage times and speedups (largest event)")
+    print("=" * 72)
+    f11 = figure11_model()
+    print(render_figure11(f11))
+    seq_total = next(r for r in rows if r.event_id == "EV-JUL19B").seq_original_s
+    print(f"\nstage IX share of sequential-original: "
+          f"{100 * stage_ix_share(f11, seq_total):.1f}% (paper: 57.2%)")
+    worst_stage = max(
+        (abs(r.speedup / PAPER_STAGE_SPEEDUPS[r.stage] - 1.0), r.stage)
+        for r in f11
+        if r.stage in PAPER_STAGE_SPEEDUPS
+    )
+    print(f"worst per-stage speedup deviation: {100 * worst_stage[0]:.0f}% "
+          f"(stage {worst_stage[1]})")
+
+    print()
+    print("=" * 72)
+    print("Figure 12 — grouped per-event times")
+    print("=" * 72)
+    f12 = figure12_model()
+    print(render_figure12(f12))
+
+    print()
+    print("=" * 72)
+    print("Figure 13 — speedup and throughput vs problem size")
+    print("=" * 72)
+    f13 = figure13_model()
+    print(render_figure13(f13))
+
+    # Render everything as PostScript with the library's own plotting.
+    render_figure11_ps(out / "figure11.ps", f11)
+    render_figure12_ps(out / "figure12.ps", f12)
+    render_figure13_ps(out / "figure13.ps", f13)
+    render_schedule_ps(out / "schedule_full.ps", "full-parallel")
+    render_schedule_ps(out / "schedule_wavefront.ps", "wavefront-parallel")
+    print(f"\nRendered figure11/12/13.ps and two schedule Gantts into {out}/")
+
+    print()
+    verdict = "PASS" if worst < 0.12 else "FAIL"
+    print(f"Reproduction verdict: {verdict} "
+          f"(all Table I cells within {100 * worst:.1f}% of the paper; "
+          f"calibrated on one event, predicted on five)")
+    return 0 if worst < 0.12 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

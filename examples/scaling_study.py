@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Scaling study on the simulated evaluation platform.
+
+Uses the calibrated cost model plus the machine simulator to explore
+questions the paper's testbed could not: speedup versus worker count,
+versus disk capacity, and versus problem size well beyond the six
+catalog events — the "scaling our approach to larger experimental
+datasets" direction of §VIII.
+
+Run:  python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.ablation import amdahl_bound, sweep_io_capacity, sweep_workers
+from repro.bench.taskgraphs import simulate_implementation
+from repro.bench.workloads import EventWorkload, paper_workloads
+from repro.synth.events import distribute_points
+
+
+def bar(value: float, scale: float = 8.0) -> str:
+    return "#" * max(1, int(round(value * scale)))
+
+
+def main() -> int:
+    largest = paper_workloads()[-1]
+
+    print("Speedup vs logical processors (largest catalog event):")
+    for point in sweep_workers(counts=(1, 2, 4, 6, 8, 12, 16, 24)):
+        print(f"  {int(point.value):>3} LPs: {point.speedup:5.2f}x  {bar(point.speedup)}")
+    print(f"  critical-path bound (infinite LPs): {amdahl_bound():.2f}x")
+
+    print("\nSpeedup vs disk concurrent-stream capacity:")
+    for point in sweep_io_capacity():
+        print(f"  C_io={point.value:4.1f}: {point.speedup:5.2f}x  {bar(point.speedup)}")
+
+    print("\nSpeedup vs problem size (synthetic mega-events, 12 LPs):")
+    for n_files, total in ((10, 200_000), (25, 500_000), (50, 1_000_000),
+                           (100, 2_000_000), (200, 4_000_000)):
+        points = distribute_points(total, n_files, 7_300, 35_000, seed=total)
+        workload = EventWorkload(f"MEGA-{total}", f"{total:,} pts", tuple(points))
+        seq = simulate_implementation("seq-original", workload).makespan_s
+        full = simulate_implementation("full-parallel", workload).makespan_s
+        print(
+            f"  {n_files:>4} files / {total:>9,} pts: seq {seq:8.0f} s, "
+            f"par {full:7.0f} s -> {seq / full:4.2f}x"
+        )
+
+    print(
+        "\nReading: the pipeline saturates near its I/O-bound stages; past"
+        " ~12 LPs extra workers buy almost nothing, and growth in problem"
+        " size asymptotes toward the quasi-logarithmic trend of Fig. 13."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""repro — parallel accelerographic (strong-motion) records processing.
+
+A production-grade Python reproduction of *"Parallelizing
+Accelerographic Records Processing"* (Canizales, Mixco & McClurg,
+IPPS 2024): the 20-process Salvadoran strong-motion pipeline, its
+input/output dependency analysis, the 11-stage reordering, and four
+implementations (sequential original/optimized, partially and fully
+parallelized), together with every substrate the paper relies on —
+DSP kernels, strong-motion file formats, spectra, a stochastic
+ground-motion simulator, PostScript plotting, an OpenMP-shaped
+parallel runtime, a scheduling simulator for the paper's 12-LP
+platform, and the benchmark harness regenerating Table I and
+Figures 11–13.
+
+Quick start::
+
+    from repro import RunContext, FullyParallel, generate_event_dataset
+    from repro.synth import EventSpec
+
+    event = EventSpec("DEMO", "2024-01-01", 5.5, 3, 30_000, seed=1)
+    ctx = RunContext.for_directory("run")
+    generate_event_dataset(event, ctx.workspace.input_dir)
+    result = FullyParallel().run(ctx)
+    print(result.summary_lines())
+"""
+
+from repro._version import __version__
+from repro.core import (
+    ALL_IMPLEMENTATIONS,
+    FullyParallel,
+    IMPLEMENTATIONS,
+    ParallelSettings,
+    PartiallyParallel,
+    PipelineResult,
+    RunContext,
+    SequentialOptimized,
+    SequentialOriginal,
+    WavefrontParallel,
+    Workspace,
+    implementation_by_name,
+)
+from repro.synth import EventSpec, PAPER_EVENTS, generate_event_dataset
+
+__all__ = [
+    "__version__",
+    "RunContext",
+    "ParallelSettings",
+    "Workspace",
+    "PipelineResult",
+    "SequentialOriginal",
+    "SequentialOptimized",
+    "PartiallyParallel",
+    "FullyParallel",
+    "WavefrontParallel",
+    "IMPLEMENTATIONS",
+    "ALL_IMPLEMENTATIONS",
+    "implementation_by_name",
+    "EventSpec",
+    "PAPER_EVENTS",
+    "generate_event_dataset",
+]

@@ -1,0 +1,157 @@
+"""Experiment E6 — ablation studies for the §VIII discussion.
+
+Three sweeps over the simulated machine and task-graph parameters:
+
+- **worker count** — speedup of the fully-parallel implementation as
+  logical processors grow (Amdahl saturation; the paper's "speedup
+  roughly proportional to problem size" flattens with cores);
+- **I/O capacity** — how the disk's concurrent-stream capacity moves
+  the I/O-heavy stages (III, X) and the end-to-end number;
+- **temp-folder staging cost** — sensitivity of stages IV/V/VIII to
+  the per-point staging overhead, quantifying how much the
+  "concurrent binaries in temp folders" trick pays for its file
+  copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.bench.costmodel import CostModel, DEFAULT_COST_MODEL, Overheads
+from repro.bench.taskgraphs import simulate_implementation
+from repro.bench.workloads import EventWorkload, paper_workloads
+from repro.parallel.simulate import PAPER_MACHINE, SimulatedMachine
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One sweep sample."""
+
+    parameter: str
+    value: float
+    full_parallel_s: float
+    speedup: float
+
+
+def _speedup(
+    workload: EventWorkload, model: CostModel, machine: SimulatedMachine
+) -> tuple[float, float]:
+    seq = simulate_implementation("seq-original", workload, model, machine).makespan_s
+    full = simulate_implementation("full-parallel", workload, model, machine).makespan_s
+    return full, seq / full
+
+
+def sweep_workers(
+    counts: tuple[int, ...] = (1, 2, 4, 6, 8, 12, 16, 24),
+    model: CostModel = DEFAULT_COST_MODEL,
+    workload: EventWorkload | None = None,
+) -> list[AblationPoint]:
+    """Speedup vs logical-processor count (largest event by default).
+
+    Counts beyond 12 extend the paper machine with extra E-core-class
+    workers, probing where the pipeline stops scaling.
+    """
+    if workload is None:
+        workload = paper_workloads()[-1]
+    points = []
+    for count in counts:
+        if count <= PAPER_MACHINE.num_workers:
+            machine = PAPER_MACHINE.restricted(count)
+        else:
+            extra = (0.55,) * (count - PAPER_MACHINE.num_workers)
+            machine = SimulatedMachine(
+                speeds=PAPER_MACHINE.speeds + extra,
+                io_capacity=PAPER_MACHINE.io_capacity,
+                mem_capacity=PAPER_MACHINE.mem_capacity,
+            )
+        full, speedup = _speedup(workload, model, machine)
+        points.append(AblationPoint("workers", float(count), full, speedup))
+    return points
+
+
+def sweep_io_capacity(
+    capacities: tuple[float, ...] = (1.0, 1.5, 2.0, 3.0, 4.0, 8.0),
+    model: CostModel = DEFAULT_COST_MODEL,
+    workload: EventWorkload | None = None,
+) -> list[AblationPoint]:
+    """Speedup vs disk concurrent-stream capacity."""
+    if workload is None:
+        workload = paper_workloads()[-1]
+    points = []
+    for capacity in capacities:
+        machine = SimulatedMachine(
+            speeds=PAPER_MACHINE.speeds,
+            io_capacity=capacity,
+            mem_capacity=PAPER_MACHINE.mem_capacity,
+        )
+        full, speedup = _speedup(workload, model, machine)
+        points.append(AblationPoint("io_capacity", capacity, full, speedup))
+    return points
+
+
+def sweep_staging_cost(
+    multipliers: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0),
+    model: CostModel = DEFAULT_COST_MODEL,
+    workload: EventWorkload | None = None,
+) -> list[AblationPoint]:
+    """Speedup vs temp-folder staging overhead (x the calibrated cost)."""
+    if workload is None:
+        workload = paper_workloads()[-1]
+    base = model.overheads
+    points = []
+    for mult in multipliers:
+        overheads = replace(
+            base,
+            tool_instance_fixed_s=base.tool_instance_fixed_s * mult,
+            tool_staging_per_point_s=base.tool_staging_per_point_s * mult,
+            exe_move_s=base.exe_move_s * mult,
+        )
+        swept = CostModel(overheads=overheads)
+        full, speedup = _speedup(workload, swept, PAPER_MACHINE)
+        points.append(AblationPoint("staging_multiplier", mult, full, speedup))
+    return points
+
+
+def sweep_machines(
+    model: CostModel = DEFAULT_COST_MODEL,
+    workload: EventWorkload | None = None,
+    implementation: str = "full-parallel",
+) -> dict[str, AblationPoint]:
+    """Predicted speedup of each named machine preset (§VIII).
+
+    The sequential baseline always runs on one speed-1.0 worker — the
+    same normalization the paper's speedups use — so presets are
+    comparable to the published 2.88x.
+    """
+    from repro.parallel.simulate import MACHINE_PRESETS
+
+    if workload is None:
+        workload = paper_workloads()[-1]
+    seq = simulate_implementation("seq-original", workload, model).makespan_s
+    out: dict[str, AblationPoint] = {}
+    for name, machine in MACHINE_PRESETS.items():
+        full = simulate_implementation(implementation, workload, model, machine).makespan_s
+        out[name] = AblationPoint(
+            parameter=f"machine:{name}",
+            value=float(machine.num_workers),
+            full_parallel_s=full,
+            speedup=seq / full,
+        )
+    return out
+
+
+def amdahl_bound(model: CostModel = DEFAULT_COST_MODEL,
+                 workload: EventWorkload | None = None) -> float:
+    """Upper-bound speedup from the critical path (infinite workers).
+
+    Simulates the fully-parallel graph on a machine with an abundance
+    of full-speed workers and unconstrained shared resources.
+    """
+    if workload is None:
+        workload = paper_workloads()[-1]
+    infinite = SimulatedMachine(
+        speeds=(1.0,) * 512, io_capacity=1e9, mem_capacity=1e9
+    )
+    seq = simulate_implementation("seq-original", workload, model, infinite).makespan_s
+    full = simulate_implementation("full-parallel", workload, model, infinite).makespan_s
+    return seq / full

@@ -1,0 +1,224 @@
+"""Calibrated per-process cost model.
+
+Each process's sequential cost on the paper's platform is modeled as
+
+    cost(event) = fixed + per_file * n_files + per_point * total_points
+
+— linear in total data points, as the paper observes ("execution time
+is linearly proportional to the total amount of data points", §VII-C),
+with a small per-station term for file handling and plotting setup.
+
+**Calibration protocol** (DESIGN.md §6): the coefficients below are
+anchored ONLY on the largest event (19 files / 384k points): its
+sequential-original total of 483.7 s, the stage IX share of 57.2%, and
+the 57.7 s cost of the three redundant processes.  The other five
+events of Table I and every parallel number are *predictions*,
+compared against the paper in EXPERIMENTS.md.
+
+The resource fractions (``io``/``mem``) feed the simulated machine's
+contention model; they are set from each process's character (file
+shuffling vs. spectral math vs. plotting), not fitted per event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.workloads import EventWorkload
+from repro.core.registry import PROCESSES
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class ProcessCost:
+    """Cost coefficients and resource profile of one process."""
+
+    fixed_s: float
+    per_file_s: float
+    per_point_s: float
+    io: float
+    mem: float
+
+    def cost(self, n_files: int, points: int) -> float:
+        """Sequential cost for an event of the given size."""
+        return self.fixed_s + self.per_file_s * n_files + self.per_point_s * points
+
+
+def _per_point(anchor_cost: float, fixed: float, per_file: float) -> float:
+    """Back out the per-point slope from the anchor event's cost."""
+    remainder = anchor_cost - fixed - per_file * _ANCHOR_FILES
+    if remainder < -1e-3:
+        raise CalibrationError("anchor cost smaller than its fixed terms")
+    return max(remainder, 0.0) / _ANCHOR_POINTS
+
+# The calibration anchor: the largest Table I event.
+_ANCHOR_FILES = 19
+_ANCHOR_POINTS = 384_000
+
+# Anchor-event sequential costs per process (seconds).  Chosen so that
+# (a) they sum to the published 483.7 s, (b) stage IX (P16) carries the
+# published 57.2% share (276.7 s), and (c) the redundant processes
+# P6 + P12 + P14 carry the published 57.7 s (483.7 - 426.0).
+_ANCHOR_COSTS: dict[int, float] = {
+    0: 0.05,
+    1: 1.50,
+    2: 0.30,
+    3: 20.00,
+    4: 22.00,
+    5: 1.00,
+    6: 32.00,   # redundant plot of the default-corrected records
+    7: 20.00,
+    8: 0.50,
+    9: 12.00,
+    10: 4.00,
+    11: 0.002,
+    12: 20.00,  # redundant re-split, same cost shape as P3
+    13: 22.00,
+    14: 5.70,   # redundant metadata rewrite
+    15: 24.00,
+    16: 276.70,  # 57.2% of 483.7
+    17: 0.50,
+    18: 14.00,
+    19: 7.448,
+}
+
+# Fixed and per-file parts (seconds); the per-point slope absorbs the
+# rest of each anchor cost.
+_SHAPE: dict[int, tuple[float, float]] = {
+    #    fixed, per_file
+    0: (0.05, 0.0),
+    1: (0.10, 0.0737),
+    2: (0.30, 0.0),
+    3: (0.20, 0.10),
+    4: (0.20, 0.10),
+    5: (0.40, 0.0316),
+    6: (0.30, 0.40),
+    7: (0.20, 0.10),
+    8: (0.20, 0.0158),
+    9: (0.30, 0.30),
+    10: (0.10, 0.05),
+    11: (0.002, 0.0),
+    12: (0.20, 0.10),
+    13: (0.20, 0.10),
+    14: (0.50, 0.0632),
+    15: (0.30, 0.40),
+    16: (0.50, 0.20),
+    17: (0.20, 0.0158),
+    18: (0.30, 0.30),
+    19: (0.20, 0.15),
+}
+
+# Resource profiles: how each process's time divides between disk I/O,
+# memory bandwidth and pure compute.
+_RESOURCES: dict[int, tuple[float, float]] = {
+    #    io,  mem
+    0: (0.50, 0.0),
+    1: (0.85, 0.0),
+    2: (0.50, 0.0),
+    3: (0.75, 0.10),
+    4: (0.30, 0.30),
+    5: (0.60, 0.0),
+    6: (0.50, 0.20),
+    7: (0.35, 0.30),
+    8: (0.60, 0.0),
+    9: (0.50, 0.20),
+    10: (0.20, 0.20),
+    11: (0.50, 0.0),
+    12: (0.75, 0.10),
+    13: (0.30, 0.30),
+    14: (0.60, 0.0),
+    15: (0.50, 0.20),
+    16: (0.15, 0.55),
+    17: (0.60, 0.0),
+    18: (0.50, 0.20),
+    19: (0.90, 0.05),
+}
+
+
+@dataclass(frozen=True)
+class Overheads:
+    """Parallel-runtime overheads charged by the task-graph builder.
+
+    All values are physically motivated constants, not per-event fits:
+    OpenMP task spawn latency, loop-chunk dispatch, temp-folder
+    creation plus per-point file staging (stages IV/V/VIII copy every
+    input in and every output back out), and the sequential EXE copy
+    the paper performs per folder "to avoid races".
+    """
+
+    task_spawn_s: float = 0.004
+    loop_item_s: float = 0.002
+    tool_instance_fixed_s: float = 0.25
+    tool_staging_per_point_s: float = 1.2e-5
+    exe_move_s: float = 0.05
+    #: Serial driver work after each *parallel* stage: OpenMP region
+    #: teardown, metadata re-reads and file-cache flushing before the
+    #: next stage may start.  This is the second calibration knob
+    #: (see EXPERIMENTS.md): the paper's per-stage times and its
+    #: Table I totals differ by a residual that is absent from every
+    #: stage bar, grows with data volume, and appears once per
+    #: parallel stage (5 in the partial implementation, 10 in the
+    #: full one).
+    driver_fixed_s: float = 0.35
+    driver_per_point_s: float = 9.0e-6
+
+    def driver_cost(self, points: int) -> float:
+        """Per-parallel-stage serial driver cost for an event size."""
+        return self.driver_fixed_s + self.driver_per_point_s * points
+
+
+class CostModel:
+    """Maps (process, workload) to sequential cost and resource profile."""
+
+    def __init__(
+        self,
+        anchor_costs: dict[int, float] | None = None,
+        shape: dict[int, tuple[float, float]] | None = None,
+        resources: dict[int, tuple[float, float]] | None = None,
+        overheads: Overheads | None = None,
+    ) -> None:
+        anchor = anchor_costs or _ANCHOR_COSTS
+        shape = shape or _SHAPE
+        resources = resources or _RESOURCES
+        self.overheads = overheads or Overheads()
+        self._costs: dict[int, ProcessCost] = {}
+        for pid in PROCESSES:
+            if pid not in anchor or pid not in shape or pid not in resources:
+                raise CalibrationError(f"cost model missing parameters for P{pid}")
+            fixed, per_file = shape[pid]
+            io, mem = resources[pid]
+            self._costs[pid] = ProcessCost(
+                fixed_s=fixed,
+                per_file_s=per_file,
+                per_point_s=_per_point(anchor[pid], fixed, per_file),
+                io=io,
+                mem=mem,
+            )
+
+    def process(self, pid: int) -> ProcessCost:
+        """Coefficients of one process."""
+        return self._costs[pid]
+
+    def cost(self, pid: int, workload: EventWorkload) -> float:
+        """Sequential cost of one process for a workload."""
+        return self._costs[pid].cost(workload.n_files, workload.total_points)
+
+    def file_cost_shares(self, pid: int, workload: EventWorkload) -> list[float]:
+        """Per-file slices of a process's cost (for loop task graphs).
+
+        The per-point part divides proportionally to each file's data
+        points — the pipeline's natural load imbalance; fixed and
+        per-file parts divide evenly.
+        """
+        pc = self._costs[pid]
+        n = workload.n_files
+        even = (pc.fixed_s + pc.per_file_s * n) / n
+        return [even + pc.per_point_s * pts for pts in workload.file_points]
+
+    def sequential_total(self, pids: tuple[int, ...], workload: EventWorkload) -> float:
+        """Sum of process costs — the sequential execution time."""
+        return sum(self.cost(pid, workload) for pid in pids)
+
+
+#: The calibrated model used by every model-mode benchmark.
+DEFAULT_COST_MODEL = CostModel()

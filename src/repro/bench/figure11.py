@@ -1,0 +1,105 @@
+"""Experiment E2/E5 — Fig. 11: per-stage times and speedups.
+
+Sequential-original vs fully-parallelized per-stage execution times on
+the largest event (19 files / 384k points), plus the per-stage
+speedups quoted in §VII-B.  Stages I and II are reported together as
+"I-II", matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.bench.paper_data import PAPER_STAGE_SPEEDUPS, PAPER_STAGE_IX_SHARE
+from repro.bench.report import format_table
+from repro.bench.taskgraphs import simulate_implementation
+from repro.bench.workloads import EventWorkload, paper_workloads
+from repro.core.stages import STAGES
+from repro.parallel.simulate import PAPER_MACHINE, SimulatedMachine
+
+
+@dataclass(frozen=True)
+class StageRow:
+    """One bar pair of Fig. 11."""
+
+    stage: str
+    sequential_s: float
+    parallel_s: float
+    paper_speedup: float | None
+
+    @property
+    def speedup(self) -> float:
+        """Per-stage speedup (sequential / parallel elapsed)."""
+        return self.sequential_s / self.parallel_s if self.parallel_s > 0 else 1.0
+
+
+def _merge_i_ii(durations: dict[str, float]) -> dict[str, float]:
+    merged = dict(durations)
+    merged["I-II"] = merged.pop("I", 0.0) + merged.pop("II", 0.0)
+    return merged
+
+
+def figure11_model(
+    model: CostModel = DEFAULT_COST_MODEL,
+    machine: SimulatedMachine = PAPER_MACHINE,
+    workload: EventWorkload | None = None,
+) -> list[StageRow]:
+    """Per-stage seq-vs-full times for the largest event, model mode.
+
+    Sequential per-stage time is the sum of the stage's process costs;
+    parallel per-stage time is the stage's elapsed span in the
+    simulated fully-parallel schedule.
+    """
+    if workload is None:
+        workload = paper_workloads()[-1]
+    seq_durations = {
+        stage.name: sum(model.cost(pid, workload) for pid in stage.processes)
+        for stage in STAGES
+    }
+    full = simulate_implementation("full-parallel", workload, model, machine)
+    par_durations = full.stage_durations()
+    seq_m = _merge_i_ii(seq_durations)
+    par_m = _merge_i_ii(par_durations)
+    rows = []
+    for name in ("I-II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI"):
+        rows.append(
+            StageRow(
+                stage=name,
+                sequential_s=seq_m.get(name, 0.0),
+                parallel_s=par_m.get(name, 0.0),
+                paper_speedup=PAPER_STAGE_SPEEDUPS.get(name),
+            )
+        )
+    return rows
+
+
+def stage_ix_share(rows: list[StageRow], seq_original_total: float) -> float:
+    """Stage IX's share of the sequential-original total (paper: 57.2%)."""
+    ix = next(r for r in rows if r.stage == "IX")
+    return ix.sequential_s / seq_original_total
+
+
+def render_figure11(rows: list[StageRow]) -> str:
+    """Tabular rendering of the figure's bar pairs."""
+    headers = ("Stage", "Seq (s)", "FullPar (s)", "Speedup", "Paper")
+    body = [
+        (
+            r.stage,
+            r.sequential_s,
+            r.parallel_s,
+            f"{r.speedup:.2f}x",
+            f"{r.paper_speedup:.2f}x" if r.paper_speedup else "-",
+        )
+        for r in rows
+    ]
+    return format_table(headers, body)
+
+
+__all__ = [
+    "StageRow",
+    "figure11_model",
+    "stage_ix_share",
+    "render_figure11",
+    "PAPER_STAGE_IX_SHARE",
+]

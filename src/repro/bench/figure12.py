@@ -1,0 +1,54 @@
+"""Experiment E3 — Fig. 12: grouped per-event execution times.
+
+The same data as Table I organized as the figure's grouped bars: for
+each of the six events, the four implementations' execution times.
+Returns plain series so callers can chart or tabulate them.
+"""
+
+from __future__ import annotations
+
+from repro.bench.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.bench.report import format_table
+from repro.bench.table1 import Table1Row, table1_model
+from repro.parallel.simulate import PAPER_MACHINE, SimulatedMachine
+
+SERIES = ("seq_original_s", "seq_optimized_s", "partial_parallel_s", "full_parallel_s")
+
+SERIES_LABELS = {
+    "seq_original_s": "Sequential Original",
+    "seq_optimized_s": "Sequential Optimal",
+    "partial_parallel_s": "Partially Parallelized",
+    "full_parallel_s": "Fully Parallelized",
+}
+
+
+def figure12_model(
+    model: CostModel = DEFAULT_COST_MODEL,
+    machine: SimulatedMachine = PAPER_MACHINE,
+) -> dict[str, list[float]]:
+    """The figure's four series over the six events (plus labels).
+
+    Returns a mapping with an ``events`` label list and one list of
+    seconds per implementation series.
+    """
+    rows = table1_model(model, machine)
+    out: dict[str, list] = {"events": [row.label for row in rows]}
+    for series in SERIES:
+        out[series] = [getattr(row, series) for row in rows]
+    return out
+
+
+def render_figure12(series: dict[str, list[float]]) -> str:
+    """Tabular rendering of the grouped bars."""
+    headers = ("Event",) + tuple(SERIES_LABELS[s] for s in SERIES)
+    body = []
+    for i, label in enumerate(series["events"]):
+        body.append((label, *(series[s][i] for s in SERIES)))
+    return format_table(headers, body)
+
+
+def monotone_in_points(rows: list[Table1Row]) -> bool:
+    """Fig. 12's qualitative claim: time grows with total data points."""
+    ordered = sorted(rows, key=lambda r: r.data_points)
+    times = [r.full_parallel_s for r in ordered]
+    return all(a <= b for a, b in zip(times, times[1:]))

@@ -1,0 +1,70 @@
+"""Experiment E4 — Fig. 13: speedup and throughput vs problem size.
+
+For each event (ascending total data points): the end-to-end speedup
+of the fully-parallelized implementation (the paper reports 2.4x to
+2.9x, growing quasi-logarithmically — Amdahl's effect) and the
+throughput in data points per second (sequential ~800, parallel
+1,700–2,300).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.bench.report import format_table
+from repro.bench.table1 import Table1Row, table1_model
+from repro.parallel.simulate import PAPER_MACHINE, SimulatedMachine
+
+
+@dataclass(frozen=True)
+class Figure13Row:
+    """One x-position of Fig. 13."""
+
+    event_id: str
+    label: str
+    data_points: int
+    speedup: float
+    points_per_second_parallel: float
+    points_per_second_sequential: float
+
+
+def figure13_model(
+    model: CostModel = DEFAULT_COST_MODEL,
+    machine: SimulatedMachine = PAPER_MACHINE,
+) -> list[Figure13Row]:
+    """Both series of Fig. 13, ascending problem size (model mode)."""
+    rows = sorted(table1_model(model, machine), key=lambda r: r.data_points)
+    return [
+        Figure13Row(
+            event_id=row.event_id,
+            label=row.label,
+            data_points=row.data_points,
+            speedup=row.speedup,
+            points_per_second_parallel=row.data_points / row.full_parallel_s,
+            points_per_second_sequential=row.data_points / row.seq_original_s,
+        )
+        for row in rows
+    ]
+
+
+def render_figure13(rows: list[Figure13Row]) -> str:
+    """Tabular rendering of both series."""
+    headers = ("Event", "Points", "Speedup", "Par pts/s", "Seq pts/s")
+    body = [
+        (
+            r.label,
+            r.data_points,
+            f"{r.speedup:.2f}x",
+            f"{r.points_per_second_parallel:.0f}",
+            f"{r.points_per_second_sequential:.0f}",
+        )
+        for r in rows
+    ]
+    return format_table(headers, body)
+
+
+def speedup_is_increasing(rows: list[Figure13Row]) -> bool:
+    """Fig. 13's qualitative claim: speedup grows with problem size."""
+    speedups = [r.speedup for r in rows]
+    return all(a <= b + 1e-9 for a, b in zip(speedups, speedups[1:]))

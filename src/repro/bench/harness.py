@@ -1,0 +1,94 @@
+"""Measured-mode harness: real wall-clock runs of the Python pipeline.
+
+Materializes scaled-down synthetic events and times the actual
+implementations on this machine.  On a single-core container the
+parallel implementations cannot beat the sequential ones — that is the
+point of keeping measured mode separate from model mode — but the
+structural claims (optimized < original, output equality) still hold
+and are reported.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.workloads import EventWorkload, materialize, scaled_workload
+from repro.core import IMPLEMENTATIONS, RunContext
+from repro.core.context import ParallelSettings
+from repro.core.runner import PipelineResult
+from repro.spectra.response import ResponseSpectrumConfig, default_periods
+from repro.synth.events import EventSpec
+
+
+@dataclass(frozen=True)
+class MeasuredRow:
+    """Wall-clock timings of all four implementations on one workload."""
+
+    event_id: str
+    n_files: int
+    total_points: int
+    times_s: dict[str, float]
+    results: dict[str, PipelineResult]
+
+    @property
+    def speedup(self) -> float:
+        """End-to-end speedup (seq original / fully parallel)."""
+        return self.times_s["seq-original"] / self.times_s["full-parallel"]
+
+
+def small_response_config(n_periods: int = 30, dampings: tuple[float, ...] = (0.05,)) -> ResponseSpectrumConfig:
+    """A reduced oscillator grid for tractable measured runs."""
+    return ResponseSpectrumConfig(periods=default_periods(n_periods), dampings=dampings)
+
+
+def measure_implementations(
+    event: EventSpec,
+    *,
+    scale: float = 0.05,
+    parallel: ParallelSettings | None = None,
+    response_config: ResponseSpectrumConfig | None = None,
+    keep_dir: Path | None = None,
+    include_extensions: bool = False,
+) -> MeasuredRow:
+    """Time all four implementations on one scaled-down event.
+
+    Each implementation gets a fresh workspace with an identical
+    dataset (same seed), so times are comparable and outputs can be
+    diffed.  ``keep_dir`` preserves the workspaces for inspection;
+    ``include_extensions`` additionally times the wavefront and
+    cluster extensions.
+    """
+    workload = scaled_workload(event, scale)
+    times: dict[str, float] = {}
+    results: dict[str, PipelineResult] = {}
+    base = Path(keep_dir) if keep_dir else Path(tempfile.mkdtemp(prefix="repro-bench-"))
+    implementations = list(IMPLEMENTATIONS)
+    if include_extensions:
+        from repro.core import ClusterParallel, WavefrontParallel
+
+        implementations += [WavefrontParallel, ClusterParallel]
+    try:
+        for impl_cls in implementations:
+            root = base / impl_cls.name
+            ctx = RunContext.for_directory(
+                root,
+                response_config=response_config or small_response_config(),
+                parallel=parallel or ParallelSettings(),
+            )
+            materialize(event, workload, ctx.workspace.input_dir)
+            result = impl_cls().run(ctx)
+            times[impl_cls.name] = result.total_s
+            results[impl_cls.name] = result
+    finally:
+        if keep_dir is None:
+            shutil.rmtree(base, ignore_errors=True)
+    return MeasuredRow(
+        event_id=workload.event_id,
+        n_files=workload.n_files,
+        total_points=workload.total_points,
+        times_s=times,
+        results=results,
+    )

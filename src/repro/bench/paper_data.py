@@ -1,0 +1,74 @@
+"""The paper's published numbers, used as reproduction targets.
+
+Transcribed from Table I, Fig. 11 and §VII-B of Canizales, Mixco &
+McClurg (IPPS 2024).  Nothing here feeds the cost model except the
+single calibration anchor (the largest event's sequential totals and
+the stage IX share); the rest is held out for validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperEventRow:
+    """One row of the paper's Table I (times in seconds)."""
+
+    event_id: str
+    label: str
+    v1_files: int
+    data_points: int
+    seq_original_s: float
+    seq_optimized_s: float
+    partial_parallel_s: float
+    full_parallel_s: float
+    speedup: float
+
+
+#: Table I verbatim, keyed to our synthetic catalog's event ids.
+PAPER_TABLE1: tuple[PaperEventRow, ...] = (
+    PaperEventRow("EV-NOV18", "Nov'18", 5, 56_000, 76.6, 64.1, 61.9, 32.1, 2.39),
+    PaperEventRow("EV-APR18", "Apr'18", 5, 115_000, 149.6, 127.1, 126.4, 56.5, 2.65),
+    PaperEventRow("EV-JUL19A", "Jul'19", 9, 145_000, 174.9, 161.3, 154.8, 68.1, 2.57),
+    PaperEventRow("EV-APR17", "Apr'17", 15, 309_000, 358.6, 351.2, 327.9, 131.5, 2.73),
+    PaperEventRow("EV-MAY19", "May'19", 18, 361_000, 439.5, 392.6, 378.9, 155.3, 2.83),
+    PaperEventRow("EV-JUL19B", "Jul'19", 19, 384_000, 483.7, 426.0, 412.2, 168.1, 2.88),
+)
+
+
+def paper_row(event_id: str) -> PaperEventRow:
+    """Table I row for one catalog event."""
+    for row in PAPER_TABLE1:
+        if row.event_id == event_id:
+            return row
+    raise KeyError(f"no Table I row for {event_id!r}")
+
+
+#: §VII-B / Fig. 11 per-stage speedups of the fully-parallelized
+#: implementation on the largest event (19 files, 384k points).
+PAPER_STAGE_SPEEDUPS: dict[str, float] = {
+    "I-II": 2.2,
+    "III": 1.8,
+    "IV": 2.0,
+    "V": 1.7,
+    "VI": 2.6,
+    "VIII": 1.9,
+    "IX": 5.14,
+    "X": 1.5,
+    "XI": 2.1,
+}
+
+#: Fig. 11: stage IX accounts for 57.2% of the sequential-original
+#: execution time of the largest event.
+PAPER_STAGE_IX_SHARE: float = 0.572
+
+#: §VII-C: average throughput of the original sequential version.
+PAPER_SEQ_POINTS_PER_SECOND: float = 800.0
+
+#: §VII-C: throughput band of the fully-parallelized version.
+PAPER_PAR_POINTS_PER_SECOND: tuple[float, float] = (1_700.0, 2_300.0)
+
+#: Calibration anchor event (the only event whose numbers the cost
+#: model may consume).
+CALIBRATION_EVENT_ID: str = "EV-JUL19B"

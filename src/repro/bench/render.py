@@ -1,0 +1,139 @@
+"""PostScript rendering of the paper's evaluation figures.
+
+Turns the model-mode data behind Figures 11–13 into actual vector
+figures using the library's own plotting substrate, plus a Gantt view
+of any simulated schedule.  ``repro-bench <figure> --render out.ps``
+drives these.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.figure11 import StageRow, figure11_model
+from repro.bench.figure12 import SERIES, SERIES_LABELS, figure12_model
+from repro.bench.figure13 import Figure13Row, figure13_model
+from repro.bench.taskgraphs import simulate_implementation
+from repro.bench.workloads import paper_workloads
+from repro.plotting.bars import BarChart, BarSeries
+from repro.plotting.charts import Axis, LineChart, Series
+from repro.plotting.gantt import plot_schedule_gantt
+from repro.plotting.ps import PAGE_HEIGHT, PAGE_WIDTH, PostScriptCanvas
+
+_MARGIN = 60.0
+
+
+def render_figure11_ps(path: Path | str, rows: list[StageRow] | None = None) -> None:
+    """Fig. 11: per-stage sequential vs fully-parallel times (bars)."""
+    if rows is None:
+        rows = figure11_model()
+    chart = BarChart(
+        title="Speedup per individual stage (19 files, 384k data points)",
+        categories=[r.stage for r in rows],
+        y_label="Execution time (s)",
+    )
+    chart.add(BarSeries("Sequential Original", [r.sequential_s for r in rows], gray=0.25))
+    chart.add(BarSeries("Full Parallelization", [r.parallel_s for r in rows], gray=0.65))
+    canvas = PostScriptCanvas(title="Figure 11")
+    chart.draw(
+        canvas,
+        x0=_MARGIN,
+        y0=PAGE_HEIGHT / 2,
+        width=PAGE_WIDTH - 2 * _MARGIN,
+        height=PAGE_HEIGHT / 2 - 2 * _MARGIN,
+    )
+    canvas.save(path)
+
+
+def render_figure12_ps(path: Path | str, series: dict[str, list] | None = None) -> None:
+    """Fig. 12: per-event grouped execution times (bars)."""
+    if series is None:
+        series = figure12_model()
+    chart = BarChart(
+        title="Execution time per event",
+        categories=list(series["events"]),
+        y_label="Time (seconds)",
+    )
+    grays = (0.15, 0.4, 0.6, 0.85)
+    for key, gray in zip(SERIES, grays):
+        chart.add(BarSeries(SERIES_LABELS[key], list(series[key]), gray=gray))
+    canvas = PostScriptCanvas(title="Figure 12")
+    chart.draw(
+        canvas,
+        x0=_MARGIN,
+        y0=PAGE_HEIGHT / 2,
+        width=PAGE_WIDTH - 2 * _MARGIN,
+        height=PAGE_HEIGHT / 2 - 2 * _MARGIN,
+    )
+    canvas.save(path)
+
+
+def render_figure13_ps(path: Path | str, rows: list[Figure13Row] | None = None) -> None:
+    """Fig. 13: speedup and throughput vs problem size (two panels)."""
+    if rows is None:
+        rows = figure13_model()
+    points = np.array([r.data_points for r in rows], dtype=float)
+    canvas = PostScriptCanvas(title="Figure 13")
+    panel_h = (PAGE_HEIGHT - 3 * _MARGIN) / 2
+
+    speedup = LineChart(
+        title="Overall speedup vs problem size",
+        x_axis=Axis(label="Input data points per event", log=True),
+        y_axis=Axis(label="Speedup (x)"),
+    )
+    speedup.add(Series(x=points, y=np.array([r.speedup for r in rows]), label="speedup"))
+    speedup.draw(
+        canvas,
+        x0=_MARGIN,
+        y0=2 * _MARGIN + panel_h,
+        width=PAGE_WIDTH - 2 * _MARGIN,
+        height=panel_h,
+    )
+
+    throughput = LineChart(
+        title="Data points per second vs problem size",
+        x_axis=Axis(label="Input data points per event", log=True),
+        y_axis=Axis(label="points/s"),
+    )
+    throughput.add(
+        Series(
+            x=points,
+            y=np.array([r.points_per_second_parallel for r in rows]),
+            label="parallel",
+        )
+    )
+    throughput.add(
+        Series(
+            x=points,
+            y=np.array([r.points_per_second_sequential for r in rows]),
+            label="sequential",
+            gray=0.5,
+            dash=(3, 2),
+        )
+    )
+    throughput.draw(
+        canvas,
+        x0=_MARGIN,
+        y0=_MARGIN,
+        width=PAGE_WIDTH - 2 * _MARGIN,
+        height=panel_h,
+    )
+    canvas.save(path)
+
+
+def render_schedule_ps(
+    path: Path | str,
+    implementation: str = "full-parallel",
+    event_index: int = -1,
+) -> None:
+    """Gantt of one implementation's simulated schedule."""
+    workload = paper_workloads()[event_index]
+    result = simulate_implementation(implementation, workload)
+    plot_schedule_gantt(
+        path,
+        result,
+        title=f"{implementation} on {workload.event_id} "
+        f"({workload.n_files} files, {workload.total_points:,} pts)",
+    )

@@ -1,0 +1,40 @@
+"""Plain-text table formatting for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table (right-aligned numeric cells)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def comparison_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A titled table used by the per-experiment reports."""
+    body = format_table(headers, rows)
+    return f"{title}\n{body}" if title else body
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """Signed relative deviation of a measurement from its reference."""
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return (measured - reference) / reference

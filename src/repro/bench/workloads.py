@@ -1,0 +1,71 @@
+"""Benchmark workloads.
+
+A workload is an event's file-count/point-count structure.  Model-mode
+experiments only need the structure; measured-mode experiments
+additionally materialize scaled-down synthetic datasets on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.synth.dataset import DatasetManifest, generate_event_dataset
+from repro.synth.events import PAPER_EVENTS, EventSpec
+
+
+@dataclass(frozen=True)
+class EventWorkload:
+    """Structure of one event's processing workload."""
+
+    event_id: str
+    label: str
+    file_points: tuple[int, ...]
+
+    @property
+    def n_files(self) -> int:
+        """Number of V1 input files (stations)."""
+        return len(self.file_points)
+
+    @property
+    def total_points(self) -> int:
+        """Total data points across all files."""
+        return sum(self.file_points)
+
+
+def workload_for(event: EventSpec) -> EventWorkload:
+    """Workload structure of one catalog event."""
+    return EventWorkload(
+        event_id=event.event_id,
+        label=event.date,
+        file_points=tuple(event.file_points()),
+    )
+
+
+def paper_workloads() -> list[EventWorkload]:
+    """The six Table I workloads, smallest first."""
+    return [workload_for(event) for event in PAPER_EVENTS]
+
+
+def scaled_workload(event: EventSpec, scale: float, *, min_points: int = 400) -> EventWorkload:
+    """A proportionally shrunken workload for wall-clock measurement.
+
+    Keeps the event's file count and per-file point *ratios* while
+    dividing sizes by ``1/scale``, so measured runs exercise the same
+    loop structure in tractable time on small machines.
+    """
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    points = [max(min_points, int(round(p * scale))) for p in event.file_points()]
+    return EventWorkload(
+        event_id=f"{event.event_id}-x{scale:g}",
+        label=f"{event.date} (x{scale:g})",
+        file_points=tuple(points),
+    )
+
+
+def materialize(event: EventSpec, workload: EventWorkload, directory: Path | str) -> DatasetManifest:
+    """Write a workload's synthetic V1 dataset to disk."""
+    return generate_event_dataset(
+        event, directory, points_override=list(workload.file_points)
+    )

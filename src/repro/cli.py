@@ -1,0 +1,297 @@
+"""Command-line entry points.
+
+``repro-process``
+    Run one of the four pipeline implementations against a workspace,
+    optionally generating a synthetic event dataset first.
+
+``repro-bench``
+    Regenerate the paper's evaluation artifacts (Table I, Figures
+    11–13, the ablations) in model mode, or run the measured-mode
+    wall-clock comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import ALL_IMPLEMENTATIONS, RunContext, implementation_by_name
+from repro.core.context import ParallelSettings
+from repro.spectra.response import ResponseSpectrumConfig, default_periods
+
+
+def _build_process_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-process",
+        description="Process a directory of V1 strong-motion records.",
+    )
+    parser.add_argument("workspace", help="workspace directory (input/ holds the .v1 files)")
+    parser.add_argument(
+        "--implementation",
+        "-i",
+        default="full-parallel",
+        choices=[impl.name for impl in ALL_IMPLEMENTATIONS],
+        help="pipeline implementation to run",
+    )
+    parser.add_argument(
+        "--generate-event",
+        metavar="EVENT_ID",
+        help="generate this catalog event's synthetic dataset into input/ first",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="size scale for --generate-event"
+    )
+    parser.add_argument("--workers", type=int, default=None, help="parallel worker count")
+    parser.add_argument(
+        "--backend",
+        default="thread",
+        choices=("serial", "thread", "process"),
+        help="backend for the parallel implementations",
+    )
+    parser.add_argument(
+        "--periods", type=int, default=100, help="response-spectrum period count"
+    )
+    parser.add_argument(
+        "--config",
+        metavar="FILE.JSON",
+        help="run-configuration file (overrides --periods/--backend/--workers)",
+    )
+    return parser
+
+
+def main_process(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-process``."""
+    args = _build_process_parser().parse_args(argv)
+    if args.config:
+        from repro.core.config_io import context_from_config, load_config
+
+        ctx = context_from_config(args.workspace, load_config(args.config))
+    else:
+        ctx = RunContext.for_directory(
+            args.workspace,
+            response_config=ResponseSpectrumConfig(periods=default_periods(args.periods)),
+            parallel=ParallelSettings(
+                loop_backend=args.backend,
+                task_backend=args.backend,
+                tool_backend=args.backend,
+                num_workers=args.workers,
+            ),
+        )
+    if args.generate_event:
+        from repro.bench.workloads import materialize, scaled_workload
+        from repro.synth.events import paper_event
+
+        event = paper_event(args.generate_event)
+        workload = scaled_workload(event, args.scale) if args.scale < 1.0 else None
+        if workload is None:
+            from repro.synth.dataset import generate_event_dataset
+
+            generate_event_dataset(event, ctx.workspace.input_dir)
+        else:
+            materialize(event, workload, ctx.workspace.input_dir)
+    impl = implementation_by_name(args.implementation)()
+    result = impl.run(ctx)
+    for line in result.summary_lines():
+        print(line)
+    return 0
+
+
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=(
+            "table1", "figure11", "figure12", "figure13", "ablation",
+            "measured", "schedule", "pipeline-map",
+        ),
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.02, help="workload scale for 'measured'"
+    )
+    parser.add_argument(
+        "--all-events",
+        action="store_true",
+        help="'measured' only: run all six catalog events, not just the smallest",
+    )
+    parser.add_argument(
+        "--render",
+        metavar="OUT.PS",
+        help="additionally render the figure (or schedule Gantt) as PostScript",
+    )
+    parser.add_argument(
+        "--implementation",
+        default="full-parallel",
+        help="implementation for 'schedule' rendering",
+    )
+    return parser
+
+
+def main_bench(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-bench``."""
+    args = _build_bench_parser().parse_args(argv)
+    if args.experiment == "table1":
+        from repro.bench.table1 import render_table1, table1_model
+
+        print("Table I (model mode; 'paper' columns are the published values)")
+        print(render_table1(table1_model()))
+    elif args.experiment == "figure11":
+        from repro.bench.figure11 import figure11_model, render_figure11
+
+        rows = figure11_model()
+        print("Figure 11 (per-stage, largest event, model mode)")
+        print(render_figure11(rows))
+        if args.render:
+            from repro.bench.render import render_figure11_ps
+
+            render_figure11_ps(args.render, rows)
+            print(f"rendered {args.render}")
+    elif args.experiment == "figure12":
+        from repro.bench.figure12 import figure12_model, render_figure12
+
+        series = figure12_model()
+        print("Figure 12 (per-event grouped times, model mode)")
+        print(render_figure12(series))
+        if args.render:
+            from repro.bench.render import render_figure12_ps
+
+            render_figure12_ps(args.render, series)
+            print(f"rendered {args.render}")
+    elif args.experiment == "figure13":
+        from repro.bench.figure13 import figure13_model, render_figure13
+
+        rows = figure13_model()
+        print("Figure 13 (speedup and throughput vs problem size, model mode)")
+        print(render_figure13(rows))
+        if args.render:
+            from repro.bench.render import render_figure13_ps
+
+            render_figure13_ps(args.render, rows)
+            print(f"rendered {args.render}")
+    elif args.experiment == "schedule":
+        from repro.bench.render import render_schedule_ps
+
+        out = args.render or "schedule.ps"
+        render_schedule_ps(out, implementation=args.implementation)
+        print(f"rendered {out}")
+    elif args.experiment == "pipeline-map":
+        from repro.core.pipeline_map import render_pipeline_map
+
+        print(render_pipeline_map())
+    elif args.experiment == "ablation":
+        from repro.bench.ablation import (
+            amdahl_bound,
+            sweep_io_capacity,
+            sweep_machines,
+            sweep_staging_cost,
+            sweep_workers,
+        )
+        from repro.bench.report import format_table
+
+        for label, sweep in (
+            ("workers", sweep_workers()),
+            ("io_capacity", sweep_io_capacity()),
+            ("staging cost multiplier", sweep_staging_cost()),
+        ):
+            print(f"\nAblation: {label}")
+            print(
+                format_table(
+                    ("value", "full-par (s)", "speedup"),
+                    [(p.value, p.full_parallel_s, f"{p.speedup:.2f}x") for p in sweep],
+                )
+            )
+        print("\nAblation: machine presets (full-parallel / wavefront)")
+        full = sweep_machines()
+        wavefront = sweep_machines(implementation="wavefront-parallel")
+        print(
+            format_table(
+                ("machine", "LPs", "full-par", "wavefront"),
+                [
+                    (name, int(p.value), f"{p.speedup:.2f}x",
+                     f"{wavefront[name].speedup:.2f}x")
+                    for name, p in full.items()
+                ],
+            )
+        )
+        print(f"\nCritical-path (infinite workers) speedup bound: {amdahl_bound():.2f}x")
+    elif args.experiment == "measured":
+        if args.all_events:
+            from repro.bench.measured_table import measured_table, render_measured_table
+
+            rows = measured_table(scale=args.scale)
+            print(f"Measured mode, all six events at scale {args.scale:g} "
+                  f"(real wall-clock on this machine)")
+            print(render_measured_table(rows))
+        else:
+            from repro.bench.harness import measure_implementations
+            from repro.bench.report import format_table
+            from repro.synth.events import PAPER_EVENTS
+
+            row = measure_implementations(PAPER_EVENTS[0], scale=args.scale)
+            print(
+                f"Measured mode ({row.event_id}: {row.n_files} files, "
+                f"{row.total_points} points)"
+            )
+            print(
+                format_table(
+                    ("implementation", "wall s"),
+                    [(name, t) for name, t in row.times_s.items()],
+                )
+            )
+            print(f"end-to-end speedup on this machine: {row.speedup:.2f}x")
+    return 0
+
+
+def _build_bulletin_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bulletin",
+        description="Batch-process an event catalog into a bulletin.",
+    )
+    parser.add_argument(
+        "catalog",
+        help="event catalog file (OANT EVENT CATALOG format), or 'paper' "
+        "for the built-in six-event Table I catalog",
+    )
+    parser.add_argument("--root", default="bulletin-run", help="workspace root directory")
+    parser.add_argument("--scale", type=float, default=1.0, help="dataset size scale")
+    parser.add_argument(
+        "--implementation",
+        "-i",
+        default="wavefront-parallel",
+        help="pipeline implementation to use",
+    )
+    parser.add_argument("--periods", type=int, default=100, help="response-spectrum periods")
+    parser.add_argument("--workers", type=int, default=None, help="parallel workers")
+    parser.add_argument("--out", help="also write the bulletin to this file")
+    parser.add_argument("--title", default="Seismic activity bulletin", help="bulletin title")
+    return parser
+
+
+def main_bulletin(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-bulletin``."""
+    args = _build_bulletin_parser().parse_args(argv)
+    from repro.core.batch import BatchRunner
+    from repro.synth.events import PAPER_EVENTS, read_catalog
+
+    events = list(PAPER_EVENTS) if args.catalog == "paper" else read_catalog(args.catalog)
+    runner = BatchRunner(
+        implementation=implementation_by_name(args.implementation)(),
+        root=Path(args.root),
+        scale=args.scale,
+        response_config=ResponseSpectrumConfig(periods=default_periods(args.periods)),
+        parallel=ParallelSettings(num_workers=args.workers),
+    )
+    bulletin = runner.run(events, title=args.title)
+    print(bulletin.render())
+    if args.out:
+        bulletin.write(args.out)
+        print(f"\nbulletin written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    sys.exit(main_bench())

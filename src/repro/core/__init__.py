@@ -1,0 +1,103 @@
+"""The paper's primary contribution: the accelerographic records
+processing pipeline and its four implementations.
+
+- :mod:`repro.core.artifacts`    — workspace layout and file naming.
+- :mod:`repro.core.context`      — run configuration (:class:`RunContext`).
+- :mod:`repro.core.tools`        — "legacy binary" emulations: directory-
+  driven tools with no API surface, exactly like the original Fortran
+  programs the paper could not modify.
+- :mod:`repro.core.processes`    — the 20 numbered processes P0–P19.
+- :mod:`repro.core.registry`     — process metadata (language, cost tag,
+  declared reads/writes).
+- :mod:`repro.core.dependencies` — the input/output dependency analysis
+  (networkx DAG, stage-plan validation, antichain discovery).
+- :mod:`repro.core.stages`       — the 11-stage reordering of Fig. 9.
+- :mod:`repro.core.tempfolders`  — temp-folder staging used to run
+  un-modifiable tools concurrently (stages IV, V, VIII).
+- :mod:`repro.core.sequential` / :mod:`partial` / :mod:`full` — the four
+  implementations; :mod:`repro.core.runner` — shared result types.
+"""
+
+from repro.core.artifacts import Workspace
+from repro.core.context import ParallelSettings, RunContext
+from repro.core.runner import PipelineImplementation, PipelineResult, ProcessTiming
+from repro.core.sequential import SequentialOriginal, SequentialOptimized
+from repro.core.partial import PartiallyParallel
+from repro.core.full import FullyParallel
+from repro.core.wavefront import WavefrontParallel
+from repro.core.cluster_impl import ClusterParallel
+from repro.core.incremental import IncrementalRunner
+from repro.core.batch import BatchRunner, Bulletin, EventSummary
+from repro.core.verify import (
+    VerificationReport,
+    compare_workspaces,
+    verify_inventory,
+    workspace_digests,
+)
+from repro.core.registry import PROCESSES, ProcessSpec
+from repro.core.stages import STAGES, StageSpec
+from repro.core.dependencies import (
+    build_process_graph,
+    validate_stage_plan,
+    parallelizable_sets,
+)
+
+#: The paper's four implementations, in presentation order.
+IMPLEMENTATIONS = (
+    SequentialOriginal,
+    SequentialOptimized,
+    PartiallyParallel,
+    FullyParallel,
+)
+
+#: The paper's four plus the extensions: the §VIII wavefront, the
+#: MPI-style cluster implementation and the make-style incremental
+#: runner.
+ALL_IMPLEMENTATIONS = IMPLEMENTATIONS + (
+    WavefrontParallel,
+    ClusterParallel,
+    IncrementalRunner,
+)
+
+
+def implementation_by_name(name: str) -> type[PipelineImplementation]:
+    """Look up an implementation class by its short name."""
+    for impl in ALL_IMPLEMENTATIONS:
+        if impl.name == name:
+            return impl
+    known = [impl.name for impl in ALL_IMPLEMENTATIONS]
+    raise ValueError(f"unknown implementation {name!r}; known: {known}")
+
+
+__all__ = [
+    "Workspace",
+    "ParallelSettings",
+    "RunContext",
+    "PipelineImplementation",
+    "PipelineResult",
+    "ProcessTiming",
+    "SequentialOriginal",
+    "SequentialOptimized",
+    "PartiallyParallel",
+    "FullyParallel",
+    "WavefrontParallel",
+    "ClusterParallel",
+    "IncrementalRunner",
+    "BatchRunner",
+    "Bulletin",
+    "EventSummary",
+    "VerificationReport",
+    "compare_workspaces",
+    "verify_inventory",
+    "workspace_digests",
+    "ALL_IMPLEMENTATIONS",
+    "PROCESSES",
+    "ProcessSpec",
+    "STAGES",
+    "StageSpec",
+    "build_process_graph",
+    "validate_stage_plan",
+    "parallelizable_sets",
+    "IMPLEMENTATIONS",
+    "implementation_by_name",
+]

@@ -1,0 +1,106 @@
+"""Cluster (MPI-style) pipeline implementation.
+
+Distributes the wavefront's per-station pipelines across SPMD ranks
+over a shared filesystem — the architecture of the paper's related
+work [9] (strong-motion processing with Python + MPI).  Rank 0 plays
+the coordinator: it broadcasts the work list, every rank processes its
+round-robin share of stations through the full per-station chain, and
+the corner specs are gathered back for the deterministic epilogue.
+
+Outputs are byte-identical to every other implementation (the same
+station unit, :func:`~repro.core.wavefront.process_station_wavefront`,
+does the work; only the placement differs).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.artifacts import FILTER_CORRECTED, MAXVALS, MAXVALS2
+from repro.core.context import RunContext
+from repro.core.processes.p00_flags import run_p00
+from repro.core.processes.p01_gather import run_p01
+from repro.core.processes.p02_params import run_p02
+from repro.core.processes.p03_separate import stations_from_list
+from repro.core.processes.p05_metadata import run_p05
+from repro.core.processes.p08_fourier_meta import run_p08
+from repro.core.processes.p11_flags2 import run_p11
+from repro.core.processes.p17_response_meta import run_p17
+from repro.core.runner import PipelineImplementation, PipelineResult, ProcessTiming
+from repro.core.wavefront import _merge_suffixed, process_station_wavefront
+from repro.formats.params import FilterParams, write_filter_params
+from repro.parallel.cluster import Communicator, run_cluster
+
+
+def _cluster_rank_body(comm: Communicator, ctx: RunContext) -> list:
+    """SPMD body: process this rank's round-robin share of stations."""
+    if comm.rank == 0:
+        stations = stations_from_list(ctx.workspace)
+    else:
+        stations = None
+    stations = comm.bcast(stations, root=0)
+    specs = []
+    for index in range(comm.rank, len(stations), comm.size):
+        specs.extend(process_station_wavefront(ctx, (index, stations[index])))
+    gathered = comm.gather(specs, root=0)
+    comm.barrier()
+    if comm.rank == 0:
+        flat = [spec for rank_specs in gathered for spec in rank_specs]
+        return flat
+    return []
+
+
+class ClusterParallel(PipelineImplementation):
+    """Per-station pipelines distributed across message-passing ranks.
+
+    ``n_ranks`` defaults to the context's worker count.  With one rank
+    this degrades to an inline wavefront run (like a single-rank MPI
+    job), which keeps the implementation usable on any machine.
+    """
+
+    name = "cluster-parallel"
+    description = "Cluster: MPI-style ranks over a shared workspace"
+
+    def __init__(self, n_ranks: int | None = None) -> None:
+        self.n_ranks = n_ranks
+
+    def execute(self, ctx: RunContext, result: PipelineResult) -> None:
+        start = time.perf_counter()
+        # Coordinator prologue (stages I, II, VII), sequential: these
+        # are milliseconds and must complete before ranks start.
+        run_p00(ctx)
+        run_p01(ctx)
+        run_p02(ctx)
+        run_p05(ctx)
+        run_p08(ctx)
+        run_p17(ctx)
+        run_p11(ctx)
+        result.stage_durations["prologue"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        stations = stations_from_list(ctx.workspace)
+        ranks = self.n_ranks if self.n_ranks is not None else ctx.parallel.workers
+        ranks = max(1, min(ranks, len(stations)))
+        per_rank = run_cluster(_cluster_rank_body, ranks, ctx)
+        all_specs = per_rank[0]
+        result.stage_durations["ranks"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        params = FilterParams(default=ctx.default_filter)
+        for station, comp, spec in all_specs:
+            params.set_override(station, comp, spec)
+        write_filter_params(ctx.workspace.work(FILTER_CORRECTED), params)
+        _merge_suffixed(ctx.workspace, "max1", MAXVALS)
+        _merge_suffixed(ctx.workspace, "max2", MAXVALS2)
+        tmp = ctx.workspace.tmp_dir
+        if tmp.exists() and not any(tmp.iterdir()):
+            tmp.rmdir()
+        result.stage_durations["epilogue"] = time.perf_counter() - start
+        result.processes.append(
+            ProcessTiming(
+                pid=-1,
+                name=f"{ranks}-rank station pipelines",
+                stage="ranks",
+                duration_s=result.stage_durations["ranks"],
+            )
+        )

@@ -1,0 +1,82 @@
+"""Run configuration.
+
+A :class:`RunContext` bundles everything a pipeline implementation
+needs: the workspace, the numerical configuration (filter defaults,
+inflection settings, response-spectrum grid) and — for the parallel
+implementations — the :class:`ParallelSettings` describing backends and
+worker counts.  Two runs with equal contexts produce byte-identical
+artifacts regardless of implementation or backend; the test suite
+enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.artifacts import Workspace
+from repro.dsp.fir import DEFAULT_BANDPASS, BandPassSpec
+from repro.parallel.backend import Backend, resolve_workers
+from repro.spectra.response import ResponseSpectrumConfig
+
+
+@dataclass
+class ParallelSettings:
+    """Backend choices for the parallel implementations.
+
+    ``loop_backend`` drives parallel-for stages; ``task_backend``
+    drives the task-parallel stages (I, II, XI); ``tool_backend``
+    drives the temp-folder tool stages (IV, V, VIII), which the paper
+    ran as concurrent external processes.  ``num_workers`` of ``None``
+    means one worker per logical processor.
+    """
+
+    loop_backend: Backend | str = Backend.THREAD
+    task_backend: Backend | str = Backend.THREAD
+    tool_backend: Backend | str = Backend.THREAD
+    num_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        self.loop_backend = Backend.coerce(self.loop_backend)
+        self.task_backend = Backend.coerce(self.task_backend)
+        self.tool_backend = Backend.coerce(self.tool_backend)
+
+    @property
+    def workers(self) -> int:
+        """Resolved worker count."""
+        return resolve_workers(self.num_workers)
+
+
+@dataclass
+class InflectionSettings:
+    """Tunables of the FPL/FSL search (process P10)."""
+
+    min_period: float = 1.0
+    smoothing_half_width: int = 4
+    persistence: int = 3
+    fsl_ratio: float = 0.5
+    fallback_period: float = 10.0
+
+
+@dataclass
+class RunContext:
+    """Everything one pipeline run needs."""
+
+    workspace: Workspace
+    default_filter: BandPassSpec = DEFAULT_BANDPASS
+    response_config: ResponseSpectrumConfig = field(default_factory=ResponseSpectrumConfig)
+    inflection: InflectionSettings = field(default_factory=InflectionSettings)
+    parallel: ParallelSettings = field(default_factory=ParallelSettings)
+    #: Fourier-spectrum period band written to F files.
+    fourier_max_period: float = 20.0
+    #: Taper fraction applied before spectral analysis.
+    taper_fraction: float = 0.05
+
+    @classmethod
+    def for_directory(cls, root: Path | str, **kwargs: object) -> "RunContext":
+        """Context rooted at ``root`` (creating the skeleton)."""
+        return cls(workspace=Workspace(root).create(), **kwargs)  # type: ignore[arg-type]
+
+    def stations(self) -> list[str]:
+        """Station codes of the run's input files."""
+        return self.workspace.input_stations()

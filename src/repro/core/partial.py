@@ -1,0 +1,28 @@
+"""The partially-parallelized implementation (paper §V).
+
+Parallelizes the 5 stages whose processes live in C++ or are cheap
+Fortran programs: I and II (task parallelism), VI (the inner
+three-component loop of the FPL/FSL search), X (the GEM loop) and XI
+(the three plotting processes as tasks).  Stages III, IV, V, VIII and
+IX stay sequential — those require the temp-folder machinery or
+Fortran-side loops, which is the Fully Parallelized implementation's
+contribution.
+"""
+
+from __future__ import annotations
+
+from repro.core.staged import StagedImplementationBase
+from repro.core.stages import LOOP, PARTIAL_PARALLEL_STAGES, STAGES, TASKS
+
+
+class PartiallyParallel(StagedImplementationBase):
+    """5 of 11 stages parallel (Fig. 8)."""
+
+    name = "partial-parallel"
+    description = "Partially Parallelized: stages I, II, VI, X, XI parallel"
+    strategies = {
+        stage.name: stage.partial_strategy
+        for stage in STAGES
+        if stage.name in PARTIAL_PARALLEL_STAGES
+        and stage.partial_strategy in (TASKS, LOOP)
+    }

@@ -1,0 +1,35 @@
+"""The 20 numbered processes of the legacy pipeline (P0–P19).
+
+Every process is a function of a :class:`~repro.core.context.RunContext`
+that communicates exclusively through workspace files (see
+:mod:`repro.core.artifacts`).  Each module also exports the *unit*
+functions the parallel implementations map over (top-level and
+picklable, so the process backend can run them).
+
+Process index:
+
+====  ==========================================  =================
+P     module                                      role
+====  ==========================================  =================
+P0    :mod:`repro.core.processes.p00_flags`       initialize flags
+P1    :mod:`repro.core.processes.p01_gather`      gather input files
+P2    :mod:`repro.core.processes.p02_params`      default filter params
+P3    :mod:`repro.core.processes.p03_separate`    split V1 by component
+P4    :mod:`repro.core.processes.p04_correct`     default correction
+P5    :mod:`repro.core.processes.p05_metadata`    plotting metadata
+P6    :mod:`repro.core.processes.p06_plot_raw`    plot (redundant)
+P7    :mod:`repro.core.processes.p07_fourier`     Fourier spectra
+P8    :mod:`repro.core.processes.p08_fourier_meta` Fourier plot metadata
+P9    :mod:`repro.core.processes.p09_plot_fourier` plot Fourier spectra
+P10   :mod:`repro.core.processes.p10_corners`     FPL/FSL search
+P11   :mod:`repro.core.processes.p11_flags2`      second flag init
+P12   :mod:`repro.core.processes.p12_separate2`   split again (redundant)
+P13   :mod:`repro.core.processes.p13_correct2`    definitive correction
+P14   :mod:`repro.core.processes.p14_metadata2`   metadata again (redundant)
+P15   :mod:`repro.core.processes.p15_plot_acc`    plot accelerographs
+P16   :mod:`repro.core.processes.p16_response`    response spectra
+P17   :mod:`repro.core.processes.p17_response_meta` response plot metadata
+P18   :mod:`repro.core.processes.p18_plot_response` plot response spectra
+P19   :mod:`repro.core.processes.p19_gem`         generate GEM files
+====  ==========================================  =================
+"""

@@ -1,0 +1,42 @@
+"""Helpers shared by several pipeline processes."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.artifacts import Workspace
+from repro.errors import MissingArtifactError
+
+
+def merge_max_files(work_dir: Path, out_name: str) -> None:
+    """Merge per-trace ``*.max`` lines into one maxima file, then
+    delete the parts.
+
+    Parts are concatenated in sorted name order so the merged file is
+    byte-identical no matter which worker produced which part — the
+    mechanism that keeps parallel and sequential maxvals files equal.
+    """
+    parts = sorted(work_dir.glob("*.max"))
+    lines = [p.read_text().rstrip("\n") for p in parts]
+    (work_dir / out_name).write_text("\n".join(lines) + ("\n" if lines else ""))
+    for p in parts:
+        p.unlink()
+
+
+def require(path: Path, process: str) -> Path:
+    """Assert an input artifact exists before a process consumes it."""
+    if not path.exists():
+        raise MissingArtifactError(str(path), process)
+    return path
+
+
+def station_component_pairs(stations: list[str]) -> list[tuple[str, str]]:
+    """All (station, component) pairs in canonical order."""
+    from repro.formats.common import COMPONENTS
+
+    return [(station, comp) for station in stations for comp in COMPONENTS]
+
+
+def workspace_of(root: str | Path) -> Workspace:
+    """Rebuild a Workspace from its root path (for worker processes)."""
+    return Workspace(root)

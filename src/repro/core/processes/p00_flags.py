@@ -1,0 +1,36 @@
+"""P0 — initialize run flags (C++ in the original).
+
+Writes the ten run-control flags the legacy driver keeps in
+``flags.dat``.  All flags are fixed for a standard run; they exist
+because the original program gated optional behaviour (replotting,
+verbose logs) on them.
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import FLAGS
+from repro.core.context import RunContext
+
+#: The ten flag names of the legacy driver.
+FLAG_NAMES: tuple[str, ...] = (
+    "PROCESS_ALL_COMPONENTS",
+    "WRITE_MAX_VALUES",
+    "PLOT_UNCORRECTED",
+    "PLOT_FOURIER",
+    "PLOT_RESPONSE",
+    "KEEP_INTERMEDIATE",
+    "VERBOSE_LOG",
+    "STRICT_HEADERS",
+    "EXPORT_GEM",
+    "OVERWRITE_OUTPUTS",
+)
+
+
+def flags_content() -> str:
+    """The canonical flags file body (all flags enabled)."""
+    return "\n".join(f"{name} 1" for name in FLAG_NAMES) + "\n"
+
+
+def run_p00(ctx: RunContext) -> None:
+    """Write ``flags.dat``."""
+    ctx.workspace.work(FLAGS).write_text(flags_content())

@@ -1,0 +1,23 @@
+"""P1 — gather input data files (C++ in the original).
+
+Scans the workspace's ``input/`` directory for raw ``<station>.v1``
+records and writes the canonical, sorted work list ``v1files.lst``.
+Every later process learns its work from this list (or from metadata
+derived from it), never by globbing — matching the legacy design.
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import V1_LIST
+from repro.core.context import RunContext
+from repro.errors import PipelineError
+from repro.formats.filelist import write_filelist
+
+
+def run_p01(ctx: RunContext) -> None:
+    """Write ``v1files.lst`` from the input directory."""
+    ctx.workspace.require_input()
+    names = sorted(p.name for p in ctx.workspace.input_dir.glob("*.v1"))
+    if not names:
+        raise PipelineError(f"no .v1 files under {ctx.workspace.input_dir}")
+    write_filelist(ctx.workspace.work(V1_LIST), names)

@@ -1,0 +1,19 @@
+"""P2 — initialize default filter parameters (Fortran in the original).
+
+Writes ``filter.par`` holding the default band-pass corners used by
+the first correction pass (P4), before any record-specific FPL/FSL is
+known.
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import FILTER_PARAMS
+from repro.core.context import RunContext
+from repro.formats.params import FilterParams, write_filter_params
+
+
+def run_p02(ctx: RunContext) -> None:
+    """Write the default ``filter.par``."""
+    write_filter_params(
+        ctx.workspace.work(FILTER_PARAMS), FilterParams(default=ctx.default_filter)
+    )

@@ -1,0 +1,37 @@
+"""P3 — separate raw records by component (Fortran in the original).
+
+Reads every ``<station>.v1`` named in ``v1files.lst`` and writes the
+three per-component ``<station><comp>.v1`` files the correction stages
+consume.  The fully-parallel implementation maps
+:func:`separate_station` over stations (the paper's Fortran
+``omp do`` — §VI-A).
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import V1_LIST, Workspace
+from repro.core.context import RunContext
+from repro.formats.common import COMPONENTS
+from repro.formats.filelist import read_filelist
+from repro.formats.v1 import read_v1, write_component_v1
+
+
+def stations_from_list(workspace: Workspace) -> list[str]:
+    """Station codes from ``v1files.lst`` (strips the .v1 suffix)."""
+    names = read_filelist(workspace.work(V1_LIST), process="P3")
+    return [name[: -len(".v1")] for name in names]
+
+
+def separate_station(workspace_root: str, station: str) -> str:
+    """Unit of P3's loop: split one raw record into component files."""
+    workspace = Workspace(workspace_root)
+    record = read_v1(workspace.raw_v1(station), process="P3")
+    for comp in COMPONENTS:
+        write_component_v1(workspace.component_v1(station, comp), record.component_record(comp))
+    return station
+
+
+def run_p03(ctx: RunContext) -> None:
+    """Separate every station's record, sequentially."""
+    for station in stations_from_list(ctx.workspace):
+        separate_station(str(ctx.workspace.root), station)

@@ -1,0 +1,32 @@
+"""P4 — apply the default band-pass correction (Fortran in the original).
+
+Runs the legacy correction tool (:mod:`repro.core.tools`) over the
+per-component V1 files, producing first-generation V2 records and the
+``maxvals.dat`` maxima archive.  The original program is un-modifiable,
+so the fully-parallel implementation executes *instances* of the tool
+concurrently inside temporary folders (stage IV) rather than threading
+its interior; the sequential form simply points the tool at the work
+directory.
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import FILTER_PARAMS, MAXVALS
+from repro.core.context import RunContext
+from repro.core.processes.common import merge_max_files, require
+from repro.core.tools import TOOL_CONFIG, correction_tool, write_tool_config
+
+
+def run_correction_sequential(ctx: RunContext, params_name: str, maxvals_name: str) -> None:
+    """Shared body of P4 and P13: run the tool in-place, merge maxima."""
+    work = ctx.workspace.work_dir
+    require(ctx.workspace.work(params_name), "P4/P13")
+    write_tool_config(work, params=params_name)
+    correction_tool(work)
+    (work / TOOL_CONFIG).unlink()
+    merge_max_files(work, maxvals_name)
+
+
+def run_p04(ctx: RunContext) -> None:
+    """Default-corner correction pass over all component files."""
+    run_correction_sequential(ctx, FILTER_PARAMS, MAXVALS)

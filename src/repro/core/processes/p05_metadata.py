@@ -1,0 +1,75 @@
+"""P5 — initialize plotting/processing metadata (Fortran in the original).
+
+Derives three metadata files from ``v1files.lst``:
+
+- ``accgraph.meta``  — per station, the V2 files the accelerograph
+  plot (P6/P15) reads;
+- ``fourier.meta``   — per station, V2 inputs and F outputs of the
+  Fourier transform (P7);
+- ``response.meta``  — per station, V2 inputs and R outputs of the
+  response-spectrum calculation (P16).
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import ACCGRAPH_META, FOURIER_META, RESPONSE_META, Workspace
+from repro.core.context import RunContext
+from repro.core.processes.p03_separate import stations_from_list
+from repro.formats.common import COMPONENTS
+from repro.formats.filelist import MetadataFile, write_metadata
+from repro.formats.fourier import component_f_name
+from repro.formats.response import component_r_name
+from repro.formats.v2 import component_v2_name
+
+
+def build_accgraph_meta(stations: list[str]) -> MetadataFile:
+    """Entries: (station, v2_l, v2_t, v2_v)."""
+    return MetadataFile(
+        purpose="ACCGRAPH",
+        entries=[
+            (s, *(component_v2_name(s, c) for c in COMPONENTS)) for s in stations
+        ],
+    )
+
+
+def build_fourier_meta(stations: list[str]) -> MetadataFile:
+    """Entries: (station, v2 x3, f x3)."""
+    return MetadataFile(
+        purpose="FOURIER",
+        entries=[
+            (
+                s,
+                *(component_v2_name(s, c) for c in COMPONENTS),
+                *(component_f_name(s, c) for c in COMPONENTS),
+            )
+            for s in stations
+        ],
+    )
+
+
+def build_response_meta(stations: list[str]) -> MetadataFile:
+    """Entries: (station, v2 x3, r x3)."""
+    return MetadataFile(
+        purpose="RESPONSE",
+        entries=[
+            (
+                s,
+                *(component_v2_name(s, c) for c in COMPONENTS),
+                *(component_r_name(s, c) for c in COMPONENTS),
+            )
+            for s in stations
+        ],
+    )
+
+
+def write_p05_outputs(workspace: Workspace) -> None:
+    """Write the three metadata files (shared with P14)."""
+    stations = stations_from_list(workspace)
+    write_metadata(workspace.work(ACCGRAPH_META), build_accgraph_meta(stations))
+    write_metadata(workspace.work(FOURIER_META), build_fourier_meta(stations))
+    write_metadata(workspace.work(RESPONSE_META), build_response_meta(stations))
+
+
+def run_p05(ctx: RunContext) -> None:
+    """Write accgraph/fourier/response metadata."""
+    write_p05_outputs(ctx.workspace)

@@ -1,0 +1,23 @@
+"""P7 — apply the Fourier transformation (Fortran in the original).
+
+Runs the legacy Fourier tool over the corrected V2 records, producing
+the ``<station><comp>.f`` spectra files.  Like P4/P13, the original
+program is un-modifiable, so the fully-parallel implementation runs
+concurrent tool instances in temporary folders (stage V).
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import FOURIER_META
+from repro.core.context import RunContext
+from repro.core.processes.common import require
+from repro.core.tools import TOOL_CONFIG, fourier_tool, write_tool_config
+
+
+def run_p07(ctx: RunContext) -> None:
+    """Fourier-transform every corrected component, sequentially."""
+    work = ctx.workspace.work_dir
+    require(ctx.workspace.work(FOURIER_META), "P7")
+    write_tool_config(work, taper=ctx.taper_fraction, maxperiod=ctx.fourier_max_period)
+    fourier_tool(work)
+    (work / TOOL_CONFIG).unlink()

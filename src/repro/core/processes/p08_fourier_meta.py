@@ -1,0 +1,28 @@
+"""P8 — initialize the Fourier plotting metadata (Fortran in the original).
+
+Writes ``fouriergraph.meta``: per station, the three F files the
+Fourier-spectrum plot (P9) and the FPL/FSL search (P10) visit.
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import FOURIERGRAPH_META
+from repro.core.context import RunContext
+from repro.core.processes.p03_separate import stations_from_list
+from repro.formats.common import COMPONENTS
+from repro.formats.filelist import MetadataFile, write_metadata
+from repro.formats.fourier import component_f_name
+
+
+def build_fouriergraph_meta(stations: list[str]) -> MetadataFile:
+    """Entries: (station, f_l, f_t, f_v)."""
+    return MetadataFile(
+        purpose="FOURIERGRAPH",
+        entries=[(s, *(component_f_name(s, c) for c in COMPONENTS)) for s in stations],
+    )
+
+
+def run_p08(ctx: RunContext) -> None:
+    """Write ``fouriergraph.meta``."""
+    stations = stations_from_list(ctx.workspace)
+    write_metadata(ctx.workspace.work(FOURIERGRAPH_META), build_fouriergraph_meta(stations))

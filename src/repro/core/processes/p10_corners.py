@@ -1,0 +1,83 @@
+"""P10 — obtain the FSL & FPL filter corners (C++ in the original).
+
+For every component of every station, searches the velocity Fourier
+spectrum for its long-period inflection point (Fig. 3 of the paper)
+and derives the definitive band-pass corners.  The paper parallelizes
+the *inner* three-component loop (stage VI, §V-B) — the outer station
+loop stays sequential in both parallel implementations.
+
+Writes ``filter_corrected.par`` with one override per trace.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.core.artifacts import FILTER_CORRECTED, FOURIERGRAPH_META, Workspace
+from repro.core.context import InflectionSettings, RunContext
+from repro.dsp.fir import BandPassSpec
+from repro.formats.filelist import read_metadata
+from repro.formats.fourier import read_fourier
+from repro.formats.params import FilterParams, write_filter_params
+from repro.parallel.omp import parallel_for
+from repro.spectra.inflection import corners_from_inflection, find_inflection_point
+
+
+def analyze_component(
+    workspace_root: str,
+    f_name: str,
+    base: BandPassSpec,
+    settings: InflectionSettings,
+) -> tuple[str, str, BandPassSpec]:
+    """Unit of the inner loop: corners for one component's spectrum."""
+    workspace = Workspace(workspace_root)
+    record = read_fourier(workspace.work(f_name), process="P10")
+    result = find_inflection_point(
+        record.periods,
+        record.velocity,
+        min_period=settings.min_period,
+        smoothing_half_width=settings.smoothing_half_width,
+        persistence=settings.persistence,
+        fsl_ratio=settings.fsl_ratio,
+        fallback_period=settings.fallback_period,
+    )
+    spec = corners_from_inflection(result, base)
+    return record.header.station, record.header.component, spec
+
+
+def run_p10(ctx: RunContext, *, parallel_inner: bool = False) -> None:
+    """Search every trace's inflection; write ``filter_corrected.par``.
+
+    ``parallel_inner=True`` runs the three components of each station
+    concurrently (the paper's ``#pragma omp parallel for`` over
+    ``j = 0..2``); results are collected in component order so the
+    output file is identical either way.
+    """
+    meta = read_metadata(ctx.workspace.work(FOURIERGRAPH_META), process="P10")
+    params = FilterParams(default=ctx.default_filter)
+    root = str(ctx.workspace.root)
+    for entry in meta.entries:
+        _station, *f_names = entry
+        if parallel_inner:
+            # functools.partial keeps the body picklable for the
+            # process backend (a lambda would not be).
+            body = partial(
+                analyze_component,
+                root,
+                base=ctx.default_filter,
+                settings=ctx.inflection,
+            )
+            results = parallel_for(
+                body,
+                f_names,
+                backend=ctx.parallel.loop_backend,
+                num_workers=min(ctx.parallel.workers, len(f_names)),
+            )
+        else:
+            results = [
+                analyze_component(root, name, ctx.default_filter, ctx.inflection)
+                for name in f_names
+            ]
+        for station, comp, spec in results:
+            params.set_override(station, comp, spec)
+    write_filter_params(ctx.workspace.work(FILTER_CORRECTED), params)

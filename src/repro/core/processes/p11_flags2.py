@@ -1,0 +1,18 @@
+"""P11 — second flag initialization (C++ in the original).
+
+Re-initializes the driver flags for the definitive-correction half of
+the run (``flags2.dat``).  Runs in under two milliseconds, which is
+why the paper leaves stage VII sequential even in the fully-parallel
+implementation (§VI).
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import FLAGS2
+from repro.core.context import RunContext
+from repro.core.processes.p00_flags import flags_content
+
+
+def run_p11(ctx: RunContext) -> None:
+    """Write ``flags2.dat``."""
+    ctx.workspace.work(FLAGS2).write_text(flags_content())

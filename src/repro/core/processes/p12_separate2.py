@@ -1,0 +1,17 @@
+"""P12 — separate raw records again (redundant).
+
+Present only in the Sequential Original implementation: it re-splits
+every raw V1 record into component files, reproducing P3's output
+byte-for-byte because nothing modified the V1 files in between — the
+redundancy the optimization analysis removes (paper §IV, point 2).
+"""
+
+from __future__ import annotations
+
+from repro.core.context import RunContext
+from repro.core.processes.p03_separate import run_p03
+
+
+def run_p12(ctx: RunContext) -> None:
+    """Re-run the component separation (identical output to P3)."""
+    run_p03(ctx)

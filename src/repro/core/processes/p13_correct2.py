@@ -1,0 +1,20 @@
+"""P13 — obtain the definitive corrected signals (Fortran in the original).
+
+Identical machinery to P4 but driven by ``filter_corrected.par`` — the
+record-specific FPL/FSL corners P10 recovered from the velocity
+Fourier spectra.  Overwrites the V2 files with the definitive
+correction and archives the new maxima in ``maxvals2.dat``.  Stage
+VIII of the fully-parallel implementation runs concurrent tool
+instances in temp folders, exactly like stage IV.
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import FILTER_CORRECTED, MAXVALS2
+from repro.core.context import RunContext
+from repro.core.processes.p04_correct import run_correction_sequential
+
+
+def run_p13(ctx: RunContext) -> None:
+    """Definitive correction pass over all component files."""
+    run_correction_sequential(ctx, FILTER_CORRECTED, MAXVALS2)

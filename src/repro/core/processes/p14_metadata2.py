@@ -1,0 +1,16 @@
+"""P14 — initialize metadata files again (redundant).
+
+Present only in the Sequential Original implementation: rewrites the
+three metadata files with content identical to P5's, since the station
+list did not change (paper §IV, point 3).
+"""
+
+from __future__ import annotations
+
+from repro.core.context import RunContext
+from repro.core.processes.p05_metadata import write_p05_outputs
+
+
+def run_p14(ctx: RunContext) -> None:
+    """Rewrite the metadata files (identical output to P5)."""
+    write_p05_outputs(ctx.workspace)

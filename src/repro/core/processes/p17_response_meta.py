@@ -1,0 +1,30 @@
+"""P17 — initialize the response plotting metadata (Fortran).
+
+Writes ``responsegraph.meta``: per station, the three R files the
+response-spectrum plot (P18) visits.
+"""
+
+from __future__ import annotations
+
+from repro.core.artifacts import RESPONSEGRAPH_META
+from repro.core.context import RunContext
+from repro.core.processes.p03_separate import stations_from_list
+from repro.formats.common import COMPONENTS
+from repro.formats.filelist import MetadataFile, write_metadata
+from repro.formats.response import component_r_name
+
+
+def build_responsegraph_meta(stations: list[str]) -> MetadataFile:
+    """Entries: (station, r_l, r_t, r_v)."""
+    return MetadataFile(
+        purpose="RESPONSEGRAPH",
+        entries=[(s, *(component_r_name(s, c) for c in COMPONENTS)) for s in stations],
+    )
+
+
+def run_p17(ctx: RunContext) -> None:
+    """Write ``responsegraph.meta``."""
+    stations = stations_from_list(ctx.workspace)
+    write_metadata(
+        ctx.workspace.work(RESPONSEGRAPH_META), build_responsegraph_meta(stations)
+    )

@@ -1,0 +1,221 @@
+"""Process metadata: language, cost profile, declared inputs/outputs.
+
+This is the machine-readable form of the paper's Fig. 5/Fig. 9
+annotations.  Artifact references are *versioned*: when a later
+process overwrites a file (P12 re-splits components, P13 re-corrects
+V2 records, P14 rewrites metadata, P15 overwrites P6's plots), the
+overwrite is a new version of the same artifact identity.  The
+dependency analysis derives read-after-write, write-after-read and
+write-after-write edges from these declarations — the "careful
+analysis of input/output data dependencies" the paper performs by
+hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.context import RunContext
+from repro.core.processes.p00_flags import run_p00
+from repro.core.processes.p01_gather import run_p01
+from repro.core.processes.p02_params import run_p02
+from repro.core.processes.p03_separate import run_p03
+from repro.core.processes.p04_correct import run_p04
+from repro.core.processes.p05_metadata import run_p05
+from repro.core.processes.p06_plot_raw import run_p06
+from repro.core.processes.p07_fourier import run_p07
+from repro.core.processes.p08_fourier_meta import run_p08
+from repro.core.processes.p09_plot_fourier import run_p09
+from repro.core.processes.p10_corners import run_p10
+from repro.core.processes.p11_flags2 import run_p11
+from repro.core.processes.p12_separate2 import run_p12
+from repro.core.processes.p13_correct2 import run_p13
+from repro.core.processes.p14_metadata2 import run_p14
+from repro.core.processes.p15_plot_acc import run_p15
+from repro.core.processes.p16_response import run_p16
+from repro.core.processes.p17_response_meta import run_p17
+from repro.core.processes.p18_plot_response import run_p18
+from repro.core.processes.p19_gem import run_p19
+
+#: Version sentinel meaning "the newest version present in the run".
+LATEST = -1
+
+
+@dataclass(frozen=True)
+class ArtifactRef:
+    """A versioned reference to an artifact identity.
+
+    ``version=LATEST`` in a read means the process consumes whatever
+    the newest in-run version of the file is (its content is identical
+    across versions, so any resolves correctly — but the *ordering*
+    constraint tracks the newest writer present).
+    """
+
+    identity: str
+    version: int = 1
+
+    def __str__(self) -> str:
+        v = "latest" if self.version == LATEST else str(self.version)
+        return f"{self.identity}#{v}"
+
+
+def _r(identity: str, version: int = 1) -> ArtifactRef:
+    return ArtifactRef(identity, version)
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """Static description of one pipeline process."""
+
+    pid: int
+    name: str
+    lang: str  # "cpp" | "fortran"
+    cost: str  # "light" | "heavy_io" | "heavy_flops" | "plotting"
+    reads: tuple[ArtifactRef, ...]
+    writes: tuple[ArtifactRef, ...]
+    run: Callable[[RunContext], None]
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``P16``."""
+        return f"P{self.pid}"
+
+
+#: All twenty processes, keyed by pid.
+PROCESSES: dict[int, ProcessSpec] = {
+    spec.pid: spec
+    for spec in (
+        ProcessSpec(
+            0, "initialize flags", "cpp", "light",
+            reads=(),
+            writes=(_r("flags"),),
+            run=run_p00,
+        ),
+        ProcessSpec(
+            1, "gather input data files", "cpp", "heavy_io",
+            reads=(_r("raw_v1"),),
+            writes=(_r("v1_list"),),
+            run=run_p01,
+        ),
+        ProcessSpec(
+            2, "initialize filter parameters", "fortran", "light",
+            reads=(),
+            writes=(_r("filter_params"),),
+            run=run_p02,
+        ),
+        ProcessSpec(
+            3, "separate data by components", "fortran", "heavy_io",
+            reads=(_r("v1_list"), _r("raw_v1")),
+            writes=(_r("comp_v1", 1),),
+            run=run_p03,
+        ),
+        ProcessSpec(
+            4, "apply default filters", "fortran", "heavy_flops",
+            reads=(_r("filter_params"), _r("comp_v1", 1)),
+            writes=(_r("comp_v2", 1), _r("maxvals"),),
+            run=run_p04,
+        ),
+        ProcessSpec(
+            5, "initialize metadata files", "fortran", "light",
+            reads=(_r("v1_list"),),
+            writes=(_r("acc_meta", 1), _r("fourier_meta", 1), _r("response_meta", 1)),
+            run=run_p05,
+        ),
+        ProcessSpec(
+            6, "plot uncorrected signals", "fortran", "plotting",
+            reads=(_r("acc_meta", 1), _r("comp_v2", 1)),
+            writes=(_r("plot_acc", 1),),
+            run=run_p06,
+        ),
+        ProcessSpec(
+            7, "apply fourier transformation", "fortran", "heavy_flops",
+            reads=(_r("fourier_meta", 1), _r("comp_v2", 1)),
+            writes=(_r("comp_f"),),
+            run=run_p07,
+        ),
+        ProcessSpec(
+            8, "initialize fourier filelist metadata", "fortran", "light",
+            reads=(_r("v1_list"),),
+            writes=(_r("fouriergraph_meta"),),
+            run=run_p08,
+        ),
+        ProcessSpec(
+            9, "plot fourier spectrum", "fortran", "plotting",
+            reads=(_r("fouriergraph_meta"), _r("comp_f")),
+            writes=(_r("plot_fourier"),),
+            run=run_p09,
+        ),
+        ProcessSpec(
+            10, "obtain FSL & FPL values", "cpp", "heavy_flops",
+            reads=(_r("fouriergraph_meta"), _r("comp_f"), _r("filter_params")),
+            writes=(_r("filter_corrected"),),
+            run=run_p10,
+        ),
+        ProcessSpec(
+            11, "initialize flags (second)", "cpp", "light",
+            reads=(),
+            writes=(_r("flags2"),),
+            run=run_p11,
+        ),
+        ProcessSpec(
+            12, "separate data by components (again)", "fortran", "heavy_io",
+            reads=(_r("v1_list"), _r("raw_v1")),
+            writes=(_r("comp_v1", 2),),
+            run=run_p12,
+        ),
+        ProcessSpec(
+            13, "obtain corrected signals", "fortran", "heavy_flops",
+            reads=(_r("filter_corrected"), _r("comp_v1", LATEST)),
+            writes=(_r("comp_v2", 2), _r("maxvals2"),),
+            run=run_p13,
+        ),
+        ProcessSpec(
+            14, "initialize metadata files (again)", "fortran", "light",
+            reads=(_r("v1_list"),),
+            writes=(_r("acc_meta", 2), _r("fourier_meta", 2), _r("response_meta", 2)),
+            run=run_p14,
+        ),
+        ProcessSpec(
+            15, "plot accelerograph", "fortran", "plotting",
+            reads=(_r("acc_meta", LATEST), _r("comp_v2", 2)),
+            writes=(_r("plot_acc", 2),),
+            run=run_p15,
+        ),
+        ProcessSpec(
+            16, "response spectrum calculation", "fortran", "heavy_flops",
+            reads=(_r("response_meta", LATEST), _r("comp_v2", 2)),
+            writes=(_r("comp_r"),),
+            run=run_p16,
+        ),
+        ProcessSpec(
+            17, "initialize response filelist metadata", "fortran", "light",
+            reads=(_r("v1_list"),),
+            writes=(_r("responsegraph_meta"),),
+            run=run_p17,
+        ),
+        ProcessSpec(
+            18, "plot response spectrum", "fortran", "plotting",
+            reads=(_r("responsegraph_meta"), _r("comp_r")),
+            writes=(_r("plot_response"),),
+            run=run_p18,
+        ),
+        ProcessSpec(
+            19, "generate GEM files", "cpp", "heavy_io",
+            reads=(_r("response_meta", LATEST), _r("comp_v2", 2), _r("comp_r")),
+            writes=(_r("gem"),),
+            run=run_p19,
+        ),
+    )
+}
+
+#: Process order of the Sequential Original implementation (all 20).
+ORIGINAL_ORDER: tuple[int, ...] = tuple(range(20))
+
+#: Redundant processes the optimization analysis removes (paper §IV).
+REDUNDANT_PROCESSES: tuple[int, ...] = (6, 12, 14)
+
+#: Process order of the Sequential Optimized implementation (17).
+OPTIMIZED_ORDER: tuple[int, ...] = tuple(
+    pid for pid in ORIGINAL_ORDER if pid not in REDUNDANT_PROCESSES
+)

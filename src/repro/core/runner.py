@@ -1,0 +1,96 @@
+"""Shared result types and the implementation base class."""
+
+from __future__ import annotations
+
+import logging
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.core.context import RunContext
+from repro.core.registry import PROCESSES
+
+logger = logging.getLogger("repro.core")
+
+
+@dataclass(frozen=True)
+class ProcessTiming:
+    """Wall-clock timing of one process execution."""
+
+    pid: int
+    name: str
+    stage: str
+    duration_s: float
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one pipeline run."""
+
+    implementation: str
+    total_s: float
+    processes: list[ProcessTiming] = field(default_factory=list)
+    #: Elapsed wall-clock per stage (stage label -> seconds).  For the
+    #: sequential implementations each process is its own "stage".
+    stage_durations: dict[str, float] = field(default_factory=dict)
+
+    def process_duration(self, pid: int) -> float:
+        """Total time attributed to one process (0.0 if it never ran)."""
+        return sum(p.duration_s for p in self.processes if p.pid == pid)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable per-stage summary."""
+        lines = [f"{self.implementation}: {self.total_s:.3f} s total"]
+        for stage, duration in self.stage_durations.items():
+            lines.append(f"  stage {stage:>4}: {duration:8.3f} s")
+        return lines
+
+
+class PipelineImplementation(ABC):
+    """Base class of the four pipeline implementations.
+
+    Subclasses define ``name``/``description`` and :meth:`execute`;
+    :meth:`run` wraps it with end-to-end timing.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    @abstractmethod
+    def execute(self, ctx: RunContext, result: PipelineResult) -> None:
+        """Run the pipeline, appending timings to ``result``."""
+
+    def run(self, ctx: RunContext) -> PipelineResult:
+        """Run end-to-end against the context's workspace."""
+        ctx.workspace.create()
+        ctx.workspace.require_input()
+        stations = ctx.stations()
+        logger.info(
+            "%s: starting run on %s (%d stations)",
+            self.name,
+            ctx.workspace.root,
+            len(stations),
+        )
+        result = PipelineResult(implementation=self.name, total_s=0.0)
+        start = time.perf_counter()
+        try:
+            self.execute(ctx, result)
+        except Exception:
+            logger.exception("%s: run failed after %.3f s", self.name,
+                             time.perf_counter() - start)
+            raise
+        result.total_s = time.perf_counter() - start
+        logger.info("%s: finished in %.3f s", self.name, result.total_s)
+        return result
+
+    @staticmethod
+    def _timed_process(ctx: RunContext, pid: int, stage: str, result: PipelineResult,
+                       **kwargs: object) -> None:
+        """Run one registry process with timing bookkeeping."""
+        spec = PROCESSES[pid]
+        start = time.perf_counter()
+        spec.run(ctx, **kwargs)  # type: ignore[call-arg]
+        elapsed = time.perf_counter() - start
+        result.processes.append(
+            ProcessTiming(pid=pid, name=spec.name, stage=stage, duration_s=elapsed)
+        )

@@ -1,0 +1,54 @@
+"""The two sequential implementations.
+
+- :class:`SequentialOriginal` — all 20 processes in their numeric
+  order, faithfully including the three redundant ones (paper §III).
+- :class:`SequentialOptimized` — the 17-process version with P6, P12
+  and P14 removed; its final outputs are byte-identical to the
+  original's, which the optimization analysis (paper §IV) proves and
+  the test suite re-checks.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+
+from repro.core.context import RunContext
+from repro.core.registry import OPTIMIZED_ORDER, ORIGINAL_ORDER, PROCESSES
+from repro.core.runner import PipelineImplementation, PipelineResult, ProcessTiming
+
+logger = logging.getLogger("repro.core")
+
+
+class _SequentialBase(PipelineImplementation):
+    """Shared machinery: run a fixed process order, one at a time."""
+
+    order: tuple[int, ...] = ()
+
+    def execute(self, ctx: RunContext, result: PipelineResult) -> None:
+        for pid in self.order:
+            spec = PROCESSES[pid]
+            start = time.perf_counter()
+            spec.run(ctx)
+            elapsed = time.perf_counter() - start
+            logger.debug("%s (%s) finished in %.4f s", spec.label, spec.name, elapsed)
+            result.processes.append(
+                ProcessTiming(pid=pid, name=spec.name, stage=spec.label, duration_s=elapsed)
+            )
+            result.stage_durations[spec.label] = elapsed
+
+
+class SequentialOriginal(_SequentialBase):
+    """The legacy 20-process sequential pipeline."""
+
+    name = "seq-original"
+    description = "Sequential Original: 20 processes in numeric order"
+    order = ORIGINAL_ORDER
+
+
+class SequentialOptimized(_SequentialBase):
+    """The optimized 17-process sequential pipeline (P6/P12/P14 removed)."""
+
+    name = "seq-optimized"
+    description = "Sequential Optimized: 17 processes, redundancies removed"
+    order = OPTIMIZED_ORDER

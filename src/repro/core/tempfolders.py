@@ -1,0 +1,88 @@
+"""Temp-folder staging for concurrent legacy tools (stages IV, V, VIII).
+
+The paper's key trick for the un-modifiable Fortran programs (§VI):
+run several *instances* concurrently, each inside its own temporary
+folder, moving inputs in and outputs back out.  This module reproduces
+the mechanics faithfully:
+
+1. create ``work/tmp/<stage>_<index>/``;
+2. copy the instance's input files (and its tool.cfg) into it;
+3. run the tool against the folder — the tool sees only the folder,
+   exactly like a binary launched with that working directory;
+4. move the produced outputs back into ``work/``;
+5. delete the folder.
+
+(The original also had to copy the EXE into each folder sequentially
+"to avoid races"; our tool is a function, so that step has no
+analogue — the cost model charges for it instead.)
+
+Outputs land in distinct destination files per instance, so the
+parallel loop is race-free; merged artifacts (the ``*.max`` lines) are
+combined deterministically afterwards.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass, field
+
+from repro.core.artifacts import Workspace
+from repro.core.tools import correction_tool, fourier_tool, write_tool_config
+from repro.errors import MissingArtifactError, PipelineError
+
+#: Tool registry: names resolvable inside worker processes.
+TOOLS = {
+    "correction": correction_tool,
+    "fourier": fourier_tool,
+}
+
+
+@dataclass(frozen=True)
+class StagedInstance:
+    """One concurrent tool instance: what to stage in and collect out."""
+
+    stage: str
+    index: int
+    tool: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    config: tuple[tuple[str, str], ...] = field(default=())
+
+    @property
+    def folder_name(self) -> str:
+        """Name of the instance's temp folder."""
+        return f"{self.stage.lower()}_{self.index:04d}"
+
+
+def run_staged_instance(workspace_root: str, instance: StagedInstance) -> str:
+    """Execute one tool instance in its temp folder (picklable unit).
+
+    Raises :class:`PipelineError` if the tool fails to produce a
+    declared output; always removes the temp folder.
+    """
+    if instance.tool not in TOOLS:
+        raise PipelineError(f"unknown staged tool {instance.tool!r}")
+    workspace = Workspace(workspace_root)
+    work = workspace.work_dir
+    folder = workspace.tmp_dir / instance.folder_name
+    folder.mkdir(parents=True, exist_ok=True)
+    try:
+        for name in instance.inputs:
+            src = work / name
+            if not src.exists():
+                raise MissingArtifactError(str(src), f"stage {instance.stage}")
+            shutil.copy2(src, folder / name)
+        if instance.config:
+            write_tool_config(folder, **dict(instance.config))
+        TOOLS[instance.tool](folder)
+        for name in instance.outputs:
+            produced = folder / name
+            if not produced.exists():
+                raise PipelineError(
+                    f"stage {instance.stage} instance {instance.index}: "
+                    f"tool {instance.tool!r} did not produce {name}"
+                )
+            shutil.move(str(produced), work / name)
+    finally:
+        shutil.rmtree(folder, ignore_errors=True)
+    return instance.folder_name

@@ -1,0 +1,37 @@
+"""Event detection on continuous accelerograph data.
+
+Upstream of the pipeline, triggered accelerographs decide *when* a V1
+record begins: a classic STA/LTA detector watches the continuous
+stream and, on trigger, the instrument saves a window around the
+event.  This package reimplements that front end — the missing piece
+between "the ground shakes" and "a V1 file exists":
+
+- :mod:`repro.detect.stalta`   — recursive and windowed STA/LTA
+  characteristic functions with trigger on/off picking;
+- :mod:`repro.detect.triggers` — trigger association into event
+  windows and raw-record extraction.
+"""
+
+from repro.detect.stalta import (
+    classic_sta_lta,
+    recursive_sta_lta,
+    trigger_onsets,
+    TriggerOnset,
+)
+from repro.detect.triggers import (
+    TriggerWindow,
+    extract_event_window,
+    detect_events,
+)
+from repro.detect.streaming import StreamingDetector
+
+__all__ = [
+    "StreamingDetector",
+    "classic_sta_lta",
+    "recursive_sta_lta",
+    "trigger_onsets",
+    "TriggerOnset",
+    "TriggerWindow",
+    "extract_event_window",
+    "detect_events",
+]

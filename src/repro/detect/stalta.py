@@ -1,0 +1,127 @@
+"""STA/LTA characteristic functions and trigger picking.
+
+The short-term-average / long-term-average ratio is the workhorse
+detector of strong-motion instruments (and of Earthworm/SeisComP-class
+systems the paper surveys): the STA tracks the signal envelope over a
+fraction of a second, the LTA the background over tens of seconds, and
+the ratio spikes when a phase arrives.
+
+Two variants are provided: the *classic* moving-window form (exact
+averages, vectorized with cumulative sums) and the *recursive* form
+used in real-time firmware (exponential averages, O(1) memory).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+
+
+def _validate(signal: np.ndarray, nsta: int, nlta: int) -> np.ndarray:
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1:
+        raise SignalError("STA/LTA expects a 1-D signal")
+    if not 0 < nsta < nlta:
+        raise SignalError(f"need 0 < nsta < nlta, got nsta={nsta}, nlta={nlta}")
+    if signal.size < nlta:
+        raise SignalError(
+            f"signal ({signal.size} samples) shorter than the LTA window ({nlta})"
+        )
+    return signal
+
+
+def classic_sta_lta(signal: np.ndarray, nsta: int, nlta: int) -> np.ndarray:
+    """Moving-window STA/LTA of the squared signal, same length.
+
+    The first ``nlta`` samples (no full LTA window yet) return 0, so a
+    detector never triggers on startup transients.
+    """
+    signal = _validate(signal, nsta, nlta)
+    energy = signal * signal
+    csum = np.concatenate([[0.0], np.cumsum(energy)])
+    sta = np.zeros_like(signal)
+    lta = np.zeros_like(signal)
+    idx = np.arange(nlta, signal.size + 1)
+    sta_vals = (csum[idx] - csum[idx - nsta]) / nsta
+    lta_vals = (csum[idx] - csum[idx - nlta]) / nlta
+    sta[nlta - 1 :] = sta_vals
+    lta[nlta - 1 :] = lta_vals
+    ratio = np.zeros_like(signal)
+    mask = lta > 0
+    ratio[mask] = sta[mask] / lta[mask]
+    return ratio
+
+
+def recursive_sta_lta(signal: np.ndarray, nsta: int, nlta: int) -> np.ndarray:
+    """Recursive (exponential-average) STA/LTA, same length.
+
+    ``sta_k = (1/nsta) e_k + (1 - 1/nsta) sta_{k-1}`` and likewise for
+    the LTA — the constant-memory form instruments run in firmware.
+    Implemented with ``scipy.signal.lfilter`` (a first-order IIR per
+    average), so it stays O(n) with C-speed inner loops.
+    """
+    signal = _validate(signal, nsta, nlta)
+    from scipy.signal import lfilter
+
+    energy = signal * signal
+    csta = 1.0 / nsta
+    clta = 1.0 / nlta
+    sta = lfilter([csta], [1.0, -(1.0 - csta)], energy)
+    lta = lfilter([clta], [1.0, -(1.0 - clta)], energy)
+    ratio = np.zeros_like(signal)
+    mask = lta > 0
+    ratio[mask] = sta[mask] / lta[mask]
+    # Suppress the warm-up region like the classic form.
+    ratio[:nlta] = 0.0
+    return ratio
+
+
+@dataclass(frozen=True)
+class TriggerOnset:
+    """One detection: trigger-on and trigger-off sample indices."""
+
+    on: int
+    off: int
+
+    def duration_samples(self) -> int:
+        """Trigger duration in samples."""
+        return self.off - self.on
+
+
+def trigger_onsets(
+    ratio: np.ndarray,
+    on_threshold: float,
+    off_threshold: float,
+    *,
+    min_duration: int = 1,
+) -> list[TriggerOnset]:
+    """Pick trigger on/off pairs from a characteristic function.
+
+    Declares a trigger when the ratio crosses ``on_threshold`` and
+    releases it when it falls below ``off_threshold`` (hysteresis;
+    ``off_threshold < on_threshold``).  Triggers shorter than
+    ``min_duration`` samples are discarded.  A trigger still active at
+    the end of the trace closes at the last sample.
+    """
+    ratio = np.asarray(ratio, dtype=float)
+    if off_threshold >= on_threshold:
+        raise SignalError(
+            f"off threshold ({off_threshold}) must be below on threshold ({on_threshold})"
+        )
+    if min_duration < 1:
+        raise SignalError(f"min_duration must be >= 1, got {min_duration}")
+    onsets: list[TriggerOnset] = []
+    active: int | None = None
+    for i, value in enumerate(ratio):
+        if active is None and value >= on_threshold:
+            active = i
+        elif active is not None and value < off_threshold:
+            if i - active >= min_duration:
+                onsets.append(TriggerOnset(on=active, off=i))
+            active = None
+    if active is not None and ratio.size - active >= min_duration:
+        onsets.append(TriggerOnset(on=active, off=ratio.size - 1))
+    return onsets

@@ -1,0 +1,167 @@
+"""Streaming (real-time) event detection.
+
+Early-warning pipelines cannot wait for a finished file: data arrives
+in packets and the detector must keep O(1) state between them.
+:class:`StreamingDetector` is the incremental form of
+:func:`~repro.detect.triggers.detect_events` — the recursive STA/LTA
+averages, the trigger hysteresis and the re-trigger merge gap all
+carry across ``push()`` calls, and a ring buffer holds just enough
+recent samples to serve each completed window's pre-event memory.
+
+Chunking is exact: pushing a stream in any split produces the same
+triggers as one batch call (tested property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.detect.triggers import TriggerWindow
+from repro.errors import SignalError
+
+
+@dataclass
+class StreamingDetector:
+    """Incremental STA/LTA detection over pushed chunks."""
+
+    dt: float
+    sta_s: float = 0.5
+    lta_s: float = 20.0
+    on_threshold: float = 4.0
+    off_threshold: float = 1.5
+    pre_event_s: float = 5.0
+    post_event_s: float = 10.0
+    min_gap_s: float = 10.0
+
+    # -- internal state ---------------------------------------------------
+    _sta: float = 0.0
+    _lta: float = 0.0
+    _n_seen: int = 0
+    _active_on: int | None = None
+    _active_peak: float = 0.0
+    _pending: tuple[int, int, float] | None = None  # (on, off, peak)
+    _post_deadline: int = -1
+    _buffer: list[np.ndarray] = field(default_factory=list)
+    _buffer_start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dt <= 0:
+            raise SignalError(f"sample interval must be positive, got {self.dt}")
+        if self.off_threshold >= self.on_threshold:
+            raise SignalError("off threshold must be below on threshold")
+        self._nsta = max(1, int(round(self.sta_s / self.dt)))
+        self._nlta = int(round(self.lta_s / self.dt))
+        if self._nlta <= self._nsta:
+            raise SignalError("LTA window must exceed the STA window")
+        self._csta = 1.0 / self._nsta
+        self._clta = 1.0 / self._nlta
+        self._npre = int(round(self.pre_event_s / self.dt))
+        self._npost = int(round(self.post_event_s / self.dt))
+        self._ngap = int(round(self.min_gap_s / self.dt))
+
+    # -- sample buffering --------------------------------------------------
+
+    def _append_buffer(self, chunk: np.ndarray) -> None:
+        self._buffer.append(chunk)
+        # Trim: keep enough history for pre-event memory of a trigger
+        # that could still open at the current sample.
+        keep_from = self._n_seen + len(chunk) - (self._npre + self._npost + self._ngap + len(chunk))
+        while self._buffer and self._buffer_start + len(self._buffer[0]) < keep_from:
+            dropped = self._buffer.pop(0)
+            self._buffer_start += len(dropped)
+
+    def _slice_buffer(self, start: int, stop: int) -> np.ndarray:
+        """Samples [start, stop) from the retained history."""
+        if start < self._buffer_start:
+            start = self._buffer_start
+        pieces = []
+        cursor = self._buffer_start
+        for chunk in self._buffer:
+            lo = max(start - cursor, 0)
+            hi = min(stop - cursor, len(chunk))
+            if hi > lo:
+                pieces.append(chunk[lo:hi])
+            cursor += len(chunk)
+        return np.concatenate(pieces) if pieces else np.empty(0)
+
+    # -- the push interface --------------------------------------------------
+
+    def push(self, chunk: np.ndarray) -> list[TriggerWindow]:
+        """Feed new samples; returns any windows completed by them."""
+        chunk = np.asarray(chunk, dtype=float)
+        if chunk.ndim != 1:
+            raise SignalError("push expects a 1-D chunk")
+        completed: list[TriggerWindow] = []
+        if chunk.size == 0:
+            return completed
+        self._append_buffer(chunk)
+
+        for value in chunk:
+            index = self._n_seen
+            energy = value * value
+            self._sta = self._csta * energy + (1.0 - self._csta) * self._sta
+            self._lta = self._clta * energy + (1.0 - self._clta) * self._lta
+            warm = index >= self._nlta
+            ratio = self._sta / self._lta if warm and self._lta > 0 else 0.0
+
+            if self._active_on is None:
+                if warm and ratio >= self.on_threshold:
+                    # Merge with a pending trigger when inside the gap.
+                    if (
+                        self._pending is not None
+                        and index - self._pending[1] < self._ngap
+                    ):
+                        on, _, peak = self._pending
+                        self._active_on = on
+                        self._active_peak = max(peak, ratio)
+                        self._pending = None
+                    else:
+                        completed.extend(self._flush_pending(force=True))
+                        self._active_on = index
+                        self._active_peak = ratio
+            else:
+                self._active_peak = max(self._active_peak, ratio)
+                if ratio < self.off_threshold:
+                    if index - self._active_on >= self._nsta:
+                        self._pending = (self._active_on, index, self._active_peak)
+                        self._post_deadline = index + self._ngap
+                    self._active_on = None
+                    self._active_peak = 0.0
+            self._n_seen += 1
+
+            if (
+                self._pending is not None
+                and self._active_on is None
+                and self._n_seen > self._post_deadline
+            ):
+                completed.extend(self._flush_pending(force=True))
+        return completed
+
+    def _flush_pending(self, *, force: bool = False) -> list[TriggerWindow]:
+        if self._pending is None:
+            return []
+        on, off, peak = self._pending
+        if not force and self._n_seen - off < self._ngap:
+            return []
+        self._pending = None
+        start = max(self._buffer_start, on - self._npre)
+        stop = min(self._n_seen, off + self._npost)
+        return [
+            TriggerWindow(start=start, stop=stop, trigger_on=on, peak_ratio=peak)
+        ]
+
+    def finish(self) -> list[TriggerWindow]:
+        """End of stream: close any open or pending trigger."""
+        completed: list[TriggerWindow] = []
+        if self._active_on is not None:
+            if self._n_seen - self._active_on >= self._nsta:
+                self._pending = (self._active_on, self._n_seen - 1, self._active_peak)
+            self._active_on = None
+        completed.extend(self._flush_pending(force=True))
+        return completed
+
+    def window_samples(self, window: TriggerWindow) -> np.ndarray:
+        """The retained samples of a completed window (for V1 cutting)."""
+        return self._slice_buffer(window.start, window.stop)

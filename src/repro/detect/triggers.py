@@ -1,0 +1,104 @@
+"""Trigger association and event-window extraction.
+
+Converts raw STA/LTA detections into the windows a triggered
+accelerograph saves: pre-event memory before the trigger, the full
+trigger span, and a post-event tail — then cuts those windows out of
+the continuous stream as :class:`~repro.formats.v1.RawRecord`-ready
+arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.detect.stalta import TriggerOnset, recursive_sta_lta, trigger_onsets
+from repro.errors import SignalError
+
+
+@dataclass(frozen=True)
+class TriggerWindow:
+    """An event window in samples: [start, stop), trigger at ``trigger_on``."""
+
+    start: int
+    stop: int
+    trigger_on: int
+    peak_ratio: float
+
+    @property
+    def n_samples(self) -> int:
+        """Window length in samples."""
+        return self.stop - self.start
+
+
+def extract_event_window(
+    signal: np.ndarray,
+    onset: TriggerOnset,
+    dt: float,
+    *,
+    pre_event_s: float = 5.0,
+    post_event_s: float = 10.0,
+    ratio: np.ndarray | None = None,
+) -> TriggerWindow:
+    """Build the saved window around one trigger (clipped to the trace)."""
+    signal = np.asarray(signal, dtype=float)
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    pre = int(round(pre_event_s / dt))
+    post = int(round(post_event_s / dt))
+    start = max(0, onset.on - pre)
+    stop = min(signal.size, onset.off + post)
+    if ratio is not None:
+        peak = float(np.max(ratio[onset.on : max(onset.off, onset.on + 1)]))
+    else:
+        peak = float("nan")
+    return TriggerWindow(start=start, stop=stop, trigger_on=onset.on, peak_ratio=peak)
+
+
+def detect_events(
+    signal: np.ndarray,
+    dt: float,
+    *,
+    sta_s: float = 0.5,
+    lta_s: float = 20.0,
+    on_threshold: float = 4.0,
+    off_threshold: float = 1.5,
+    pre_event_s: float = 5.0,
+    post_event_s: float = 10.0,
+    min_gap_s: float = 10.0,
+) -> list[TriggerWindow]:
+    """End-to-end detection on one continuous component.
+
+    Runs the recursive STA/LTA, picks triggers with hysteresis, merges
+    triggers closer than ``min_gap_s`` (aftershock coda re-triggers)
+    and returns the windows a triggered instrument would save.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    nsta = max(1, int(round(sta_s / dt)))
+    nlta = int(round(lta_s / dt))
+    ratio = recursive_sta_lta(signal, nsta, nlta)
+    onsets = trigger_onsets(ratio, on_threshold, off_threshold, min_duration=nsta)
+
+    # Merge onsets separated by less than the re-trigger gap.
+    gap = int(round(min_gap_s / dt))
+    merged: list[TriggerOnset] = []
+    for onset in onsets:
+        if merged and onset.on - merged[-1].off < gap:
+            merged[-1] = TriggerOnset(on=merged[-1].on, off=onset.off)
+        else:
+            merged.append(onset)
+
+    return [
+        extract_event_window(
+            signal,
+            onset,
+            dt,
+            pre_event_s=pre_event_s,
+            post_event_s=post_event_s,
+            ratio=ratio,
+        )
+        for onset in merged
+    ]

@@ -1,0 +1,75 @@
+"""Baseline correction (detrending) of accelerograms.
+
+Uncorrected (V1) records carry an instrument offset and slow drift; the
+"definitive acceleration baseline correction" of the paper removes a
+low-order trend before/after band-pass filtering.  We provide mean,
+linear and polynomial removal plus the composite
+:func:`baseline_correct` used by the pipeline processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+
+
+def remove_mean(signal: np.ndarray) -> np.ndarray:
+    """Return the signal with its arithmetic mean removed."""
+    signal = np.asarray(signal, dtype=float)
+    if signal.size == 0:
+        raise SignalError("cannot detrend an empty signal")
+    return signal - signal.mean()
+
+
+def remove_linear_trend(signal: np.ndarray) -> np.ndarray:
+    """Return the signal with the least-squares straight line removed."""
+    signal = np.asarray(signal, dtype=float)
+    n = signal.shape[0]
+    if n == 0:
+        raise SignalError("cannot detrend an empty signal")
+    if n == 1:
+        return np.zeros(1)
+    t = np.arange(n, dtype=float)
+    t -= t.mean()
+    slope = np.dot(t, signal - signal.mean()) / np.dot(t, t)
+    return signal - signal.mean() - slope * t
+
+
+def remove_polynomial_trend(signal: np.ndarray, order: int) -> np.ndarray:
+    """Return the signal with a least-squares polynomial of ``order`` removed.
+
+    ``order=0`` removes the mean, ``order=1`` the straight line, and so
+    on.  The fit abscissa is normalized to [-1, 1] for conditioning.
+    """
+    signal = np.asarray(signal, dtype=float)
+    n = signal.shape[0]
+    if n == 0:
+        raise SignalError("cannot detrend an empty signal")
+    if order < 0:
+        raise SignalError(f"polynomial order must be >= 0, got {order}")
+    if order == 0:
+        return remove_mean(signal)
+    if n <= order:
+        # Not enough points to constrain the polynomial; fall back to mean.
+        return remove_mean(signal)
+    x = np.linspace(-1.0, 1.0, n)
+    coeffs = np.polynomial.polynomial.polyfit(x, signal, order)
+    trend = np.polynomial.polynomial.polyval(x, coeffs)
+    return signal - trend
+
+
+def baseline_correct(signal: np.ndarray, *, order: int = 1) -> np.ndarray:
+    """Standard accelerogram baseline correction.
+
+    Removes the pre-event mean estimated from the first 5% of the
+    record (instrument offset), then a least-squares polynomial trend
+    of the given order from the whole record.
+    """
+    signal = np.asarray(signal, dtype=float)
+    n = signal.shape[0]
+    if n == 0:
+        raise SignalError("cannot baseline-correct an empty signal")
+    lead = max(1, n // 20)
+    corrected = signal - signal[:lead].mean()
+    return remove_polynomial_trend(corrected, order)

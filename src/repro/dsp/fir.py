@@ -1,0 +1,152 @@
+"""Hamming-windowed band-pass FIR filters.
+
+The paper's correction step is "a Hamming band-pass filter" applied
+twice: once with default corner frequencies (process P4) and once with
+the FPL/FSL corners recovered from the velocity Fourier spectrum
+(process P13).  We implement the classic windowed-sinc design: an ideal
+band-pass impulse response truncated by a Hamming window, applied with
+zero-phase FFT convolution so the corrected record is not time-shifted
+relative to the raw one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.fft import next_pow2
+from repro.dsp.window import hamming
+from repro.errors import FilterDesignError
+
+
+@dataclass(frozen=True)
+class BandPassSpec:
+    """Corner frequencies of a band-pass filter, in Hz.
+
+    ``f_stop_low < f_pass_low < f_pass_high < f_stop_high``.  The
+    pass-band edges are the paper's FPL (low) and the fixed high-cut;
+    the stop edges (FSL at the low side) set the transition width and
+    therefore the filter length.
+    """
+
+    f_stop_low: float
+    f_pass_low: float
+    f_pass_high: float
+    f_stop_high: float
+
+    def validate(self, nyquist: float) -> None:
+        """Raise :class:`FilterDesignError` unless the corners are usable."""
+        f = (self.f_stop_low, self.f_pass_low, self.f_pass_high, self.f_stop_high)
+        if any(not np.isfinite(v) for v in f):
+            raise FilterDesignError(f"non-finite corner frequency in {self}")
+        if not (0.0 <= self.f_stop_low < self.f_pass_low < self.f_pass_high < self.f_stop_high):
+            raise FilterDesignError(
+                "corner frequencies must satisfy 0 <= FSL < FPL < FPH < FSH, got "
+                f"{f}"
+            )
+        if self.f_stop_high > nyquist:
+            raise FilterDesignError(
+                f"high stop frequency {self.f_stop_high} Hz exceeds Nyquist {nyquist} Hz"
+            )
+
+    @property
+    def transition_width(self) -> float:
+        """Narrowest transition band in Hz (controls filter length)."""
+        return min(self.f_pass_low - self.f_stop_low, self.f_stop_high - self.f_pass_high)
+
+    def with_low_corners(self, fsl: float, fpl: float) -> "BandPassSpec":
+        """Return a copy with the low-side corners replaced (P13's update)."""
+        return BandPassSpec(fsl, fpl, self.f_pass_high, self.f_stop_high)
+
+
+#: Default corners used by process P4 before the Fourier analysis has
+#: produced record-specific FPL/FSL values (paper §II, "default
+#: parameters").  50 Hz high cut suits the 100–200 Hz sampling used by
+#: digital accelerographs.
+DEFAULT_BANDPASS = BandPassSpec(
+    f_stop_low=0.05, f_pass_low=0.10, f_pass_high=25.0, f_stop_high=30.0
+)
+
+
+def _ideal_bandpass(taps: int, f_low: float, f_high: float, dt: float) -> np.ndarray:
+    """Ideal (sinc) band-pass impulse response, ``taps`` odd."""
+    m = (taps - 1) // 2
+    n = np.arange(-m, m + 1)
+    # Difference of two low-pass sincs; np.sinc is the normalized sinc.
+    h = 2.0 * f_high * dt * np.sinc(2.0 * f_high * dt * n) - 2.0 * f_low * dt * np.sinc(
+        2.0 * f_low * dt * n
+    )
+    return h
+
+
+def design_bandpass(spec: BandPassSpec, dt: float, *, max_taps: int = 8191) -> np.ndarray:
+    """Design Hamming-windowed band-pass FIR taps for a dt-sampled signal.
+
+    The filter length follows the standard Hamming design rule
+    ``taps ~= 3.3 / (dw * dt)`` where ``dw`` is the narrowest transition
+    width, forced odd so the filter has an integer group delay, and
+    clamped to ``max_taps``.  Cut-off frequencies are placed mid-way
+    through each transition band.
+    """
+    if dt <= 0:
+        raise FilterDesignError(f"sample interval must be positive, got {dt}")
+    nyquist = 0.5 / dt
+    spec.validate(nyquist)
+    width = spec.transition_width
+    taps = int(np.ceil(3.3 / (width * dt)))
+    taps = min(taps, max_taps)
+    if taps % 2 == 0:
+        taps += 1
+    taps = max(taps, 5)
+    f_low = 0.5 * (spec.f_stop_low + spec.f_pass_low)
+    f_high = 0.5 * (spec.f_pass_high + spec.f_stop_high)
+    h = _ideal_bandpass(taps, f_low, f_high, dt) * hamming(taps)
+    # Normalize to unit gain at the geometric center of the pass band.
+    fc = np.sqrt(max(f_low, 1e-12) * f_high)
+    m = (taps - 1) // 2
+    n = np.arange(-m, m + 1)
+    gain = np.abs(np.sum(h * np.exp(-2j * np.pi * fc * dt * n)))
+    if gain > 0:
+        h = h / gain
+    return h
+
+
+def filter_delay_samples(taps: np.ndarray) -> int:
+    """Group delay of a linear-phase FIR filter, in samples."""
+    return (len(taps) - 1) // 2
+
+
+def fir_filter(signal: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Zero-phase FIR filtering via FFT convolution.
+
+    The signal is convolved with the (symmetric, linear-phase) taps and
+    the group delay is removed, giving an output aligned with the input
+    and of the same length.  Ends are zero-padded (the records are
+    tapered before filtering, so edge transients are negligible).
+    """
+    signal = np.asarray(signal, dtype=float)
+    taps = np.asarray(taps, dtype=float)
+    if signal.ndim != 1 or taps.ndim != 1:
+        raise FilterDesignError("fir_filter expects 1-D signal and taps")
+    n = signal.shape[0]
+    k = taps.shape[0]
+    if n == 0:
+        return signal.copy()
+    m = next_pow2(n + k - 1)
+    spec = np.fft.rfft(signal, m) * np.fft.rfft(taps, m)
+    full = np.fft.irfft(spec, m)[: n + k - 1]
+    delay = filter_delay_samples(taps)
+    return full[delay : delay + n]
+
+
+def hamming_bandpass(
+    signal: np.ndarray,
+    dt: float,
+    spec: BandPassSpec = DEFAULT_BANDPASS,
+    *,
+    max_taps: int = 8191,
+) -> np.ndarray:
+    """Apply a Hamming band-pass filter; convenience over design + filter."""
+    taps = design_bandpass(spec, dt, max_taps=max_taps)
+    return fir_filter(signal, taps)

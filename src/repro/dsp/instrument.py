@@ -1,0 +1,103 @@
+"""Accelerograph instrument response: simulation and removal.
+
+A force-balance accelerometer is itself a damped oscillator: what the
+V1 file records is the true ground acceleration seen through the
+sensor's transfer function
+
+``H(f) = fn^2 / (fn^2 - f^2 + 2 i zeta fn f)``
+
+— unit gain well below the natural frequency ``fn`` (50–200 Hz for
+strong-motion sensors), resonant near it, and rolling off above.
+Removing this response ("instrument correction") is part of producing
+corrected records; the division is regularized with the classic
+water-level method so out-of-band noise is not amplified without
+bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+
+
+@dataclass(frozen=True)
+class AccelerometerModel:
+    """A force-balance accelerometer as a damped SDOF sensor.
+
+    ``natural_freq_hz`` is the sensor's natural frequency (a modern
+    strong-motion sensor sits at 50–200 Hz); ``damping`` its fraction
+    of critical (typically ~0.7, giving a maximally flat pass band);
+    ``sensitivity`` a flat gain factor (1.0 = counts already in gal).
+    """
+
+    natural_freq_hz: float = 100.0
+    damping: float = 0.707
+    sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.natural_freq_hz <= 0:
+            raise SignalError(f"natural frequency must be positive, got {self.natural_freq_hz}")
+        if not 0 < self.damping < 2:
+            raise SignalError(f"sensor damping must be in (0, 2), got {self.damping}")
+        if self.sensitivity <= 0:
+            raise SignalError(f"sensitivity must be positive, got {self.sensitivity}")
+
+    def transfer_function(self, freqs_hz: np.ndarray) -> np.ndarray:
+        """Complex response (recorded / true acceleration) at ``freqs_hz``."""
+        freqs_hz = np.asarray(freqs_hz, dtype=float)
+        fn = self.natural_freq_hz
+        return (
+            self.sensitivity
+            * fn**2
+            / (fn**2 - freqs_hz**2 + 2j * self.damping * fn * freqs_hz)
+        )
+
+
+def simulate_instrument(
+    acc_true: np.ndarray, dt: float, model: AccelerometerModel
+) -> np.ndarray:
+    """What the sensor records for a true ground acceleration."""
+    acc_true = np.asarray(acc_true, dtype=float)
+    if acc_true.size == 0:
+        raise SignalError("cannot pass an empty record through the instrument")
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    spectrum = np.fft.rfft(acc_true)
+    freqs = np.fft.rfftfreq(acc_true.size, dt)
+    recorded = np.fft.irfft(spectrum * model.transfer_function(freqs), acc_true.size)
+    return recorded
+
+
+def remove_instrument_response(
+    acc_recorded: np.ndarray,
+    dt: float,
+    model: AccelerometerModel,
+    *,
+    water_level: float = 0.05,
+) -> np.ndarray:
+    """Deconvolve the sensor response (water-level regularized).
+
+    Division by ``H(f)`` explodes wherever ``|H|`` is small (far above
+    the sensor's corner); the water-level method floors ``|H|`` at
+    ``water_level * max|H|``, preserving the phase — the standard
+    instrument-correction practice.
+    """
+    acc_recorded = np.asarray(acc_recorded, dtype=float)
+    if acc_recorded.size == 0:
+        raise SignalError("cannot correct an empty record")
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    if not 0 < water_level < 1:
+        raise SignalError(f"water level must be in (0, 1), got {water_level}")
+    spectrum = np.fft.rfft(acc_recorded)
+    freqs = np.fft.rfftfreq(acc_recorded.size, dt)
+    h = model.transfer_function(freqs)
+    mag = np.abs(h)
+    floor = water_level * mag.max()
+    # Keep the phase; lift only the magnitude.
+    lifted = np.where(mag < floor, h * (floor / np.maximum(mag, 1e-300)), h)
+    corrected = np.fft.irfft(spectrum / lifted, acc_recorded.size)
+    return corrected

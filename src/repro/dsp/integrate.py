@@ -1,0 +1,75 @@
+"""Time-domain integration and differentiation of ground-motion records.
+
+V2 files store acceleration, velocity and displacement; the latter two
+are obtained by successive time integration of the corrected
+acceleration.  Trapezoidal integration matches the legacy Fortran
+(which integrated piecewise-linearly) and pairs exactly with the
+Nigam–Jennings response-spectrum solver, which also assumes
+piecewise-linear excitation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.detrend import remove_linear_trend
+from repro.errors import SignalError
+
+
+def integrate_trapezoid(signal: np.ndarray, dt: float) -> np.ndarray:
+    """Cumulative trapezoidal integral, same length as the input.
+
+    The output starts at zero (the sensor is at rest before the event).
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1:
+        raise SignalError("integrate_trapezoid expects a 1-D signal")
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    if signal.size == 0:
+        return signal.copy()
+    out = np.empty_like(signal)
+    out[0] = 0.0
+    np.cumsum(0.5 * dt * (signal[1:] + signal[:-1]), out=out[1:])
+    return out
+
+
+def differentiate_central(signal: np.ndarray, dt: float) -> np.ndarray:
+    """Central-difference derivative, one-sided at the ends."""
+    signal = np.asarray(signal, dtype=float)
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    if signal.size < 2:
+        return np.zeros_like(signal)
+    return np.gradient(signal, dt)
+
+
+def acceleration_to_velocity(acc: np.ndarray, dt: float, *, detrend: bool = True) -> np.ndarray:
+    """Integrate acceleration (gal) to velocity (cm/s).
+
+    Integration amplifies any residual baseline into a linear velocity
+    drift; ``detrend=True`` (default) removes the least-squares line
+    from the integrated velocity, the conventional correction.
+    """
+    vel = integrate_trapezoid(acc, dt)
+    if detrend and vel.size > 1:
+        vel = remove_linear_trend(vel)
+    return vel
+
+
+def velocity_to_displacement(vel: np.ndarray, dt: float, *, detrend: bool = True) -> np.ndarray:
+    """Integrate velocity (cm/s) to displacement (cm), with drift removal."""
+    disp = integrate_trapezoid(vel, dt)
+    if detrend and disp.size > 1:
+        disp = remove_linear_trend(disp)
+    return disp
+
+
+def acceleration_to_motion(
+    acc: np.ndarray, dt: float, *, detrend: bool = True
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (acceleration, velocity, displacement) from acceleration."""
+    acc = np.asarray(acc, dtype=float)
+    vel = acceleration_to_velocity(acc, dt, detrend=detrend)
+    disp = velocity_to_displacement(vel, dt, detrend=detrend)
+    return acc, vel, disp

@@ -1,0 +1,134 @@
+"""Ground-motion intensity measures.
+
+Beyond the peak values the pipeline archives, observatories and
+engineers characterize records with energy- and duration-based
+measures.  These are the standard definitions (Arias 1970; Trifunac &
+Brady 1975):
+
+- **Arias intensity** ``Ia = pi / (2 g) * integral a(t)^2 dt``;
+- the **Husid curve**, Arias intensity's normalized cumulative build-up;
+- **significant duration** ``D_{5-95}`` (or any percentile pair), the
+  time between two Husid fractions;
+- **bracketed duration**, first-to-last exceedance of a threshold;
+- **cumulative absolute velocity** ``CAV = integral |a(t)| dt``;
+- **root-mean-square acceleration** over the significant window.
+
+Inputs are accelerations in gal (cm/s^2); durations in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+from repro.units import G_GAL
+
+
+def arias_intensity(acc_gal: np.ndarray, dt: float) -> float:
+    """Arias intensity in cm/s.
+
+    ``Ia = pi/(2 g) * integral a^2 dt`` with g in gal so the result
+    carries cm/s, the conventional unit.
+    """
+    acc_gal = np.asarray(acc_gal, dtype=float)
+    if acc_gal.size == 0:
+        raise SignalError("cannot compute Arias intensity of an empty record")
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    return float(np.pi / (2.0 * G_GAL) * np.trapezoid(acc_gal**2, dx=dt))
+
+
+def husid_curve(acc_gal: np.ndarray, dt: float) -> np.ndarray:
+    """Normalized cumulative Arias build-up in [0, 1], same length.
+
+    A flat-zero record returns all zeros (there is no energy to
+    normalize by).
+    """
+    acc_gal = np.asarray(acc_gal, dtype=float)
+    if acc_gal.size == 0:
+        raise SignalError("cannot compute the Husid curve of an empty record")
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    energy = np.concatenate([[0.0], np.cumsum(0.5 * dt * (acc_gal[1:] ** 2 + acc_gal[:-1] ** 2))])
+    total = energy[-1]
+    if total <= 0.0:
+        return np.zeros_like(energy)
+    return energy / total
+
+
+def significant_duration(
+    acc_gal: np.ndarray, dt: float, *, lower: float = 0.05, upper: float = 0.95
+) -> float:
+    """Time between the ``lower`` and ``upper`` Husid fractions (s).
+
+    The default 5–95% pair is the Trifunac–Brady significant duration.
+    """
+    if not 0.0 <= lower < upper <= 1.0:
+        raise SignalError(f"need 0 <= lower < upper <= 1, got {lower}, {upper}")
+    husid = husid_curve(acc_gal, dt)
+    if husid[-1] == 0.0:
+        return 0.0
+    t_lower = float(np.searchsorted(husid, lower)) * dt
+    t_upper = float(np.searchsorted(husid, upper)) * dt
+    return max(t_upper - t_lower, 0.0)
+
+
+def bracketed_duration(acc_gal: np.ndarray, dt: float, threshold_gal: float = 0.05 * G_GAL) -> float:
+    """First-to-last exceedance of ``threshold_gal`` (s); 0 if never."""
+    acc_gal = np.asarray(acc_gal, dtype=float)
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    if threshold_gal <= 0:
+        raise SignalError(f"threshold must be positive, got {threshold_gal}")
+    over = np.nonzero(np.abs(acc_gal) >= threshold_gal)[0]
+    if over.size == 0:
+        return 0.0
+    return float((over[-1] - over[0]) * dt)
+
+
+def cumulative_absolute_velocity(acc_gal: np.ndarray, dt: float) -> float:
+    """CAV in cm/s: the integral of |a(t)|."""
+    acc_gal = np.asarray(acc_gal, dtype=float)
+    if acc_gal.size == 0:
+        raise SignalError("cannot compute CAV of an empty record")
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    return float(np.trapezoid(np.abs(acc_gal), dx=dt))
+
+
+def rms_acceleration(acc_gal: np.ndarray, dt: float, *, significant_only: bool = True) -> float:
+    """RMS acceleration (gal), over the 5–95% window by default."""
+    acc_gal = np.asarray(acc_gal, dtype=float)
+    if acc_gal.size == 0:
+        raise SignalError("cannot compute RMS of an empty record")
+    if significant_only:
+        husid = husid_curve(acc_gal, dt)
+        if husid[-1] > 0.0:
+            i0 = int(np.searchsorted(husid, 0.05))
+            i1 = max(int(np.searchsorted(husid, 0.95)), i0 + 1)
+            acc_gal = acc_gal[i0:i1]
+    return float(np.sqrt(np.mean(acc_gal**2)))
+
+
+@dataclass(frozen=True)
+class IntensityMeasures:
+    """The full set of intensity measures for one component."""
+
+    arias_cm_s: float
+    significant_duration_s: float
+    bracketed_duration_s: float
+    cav_cm_s: float
+    rms_gal: float
+
+
+def intensity_measures(acc_gal: np.ndarray, dt: float) -> IntensityMeasures:
+    """Compute every measure in one pass-friendly call."""
+    return IntensityMeasures(
+        arias_cm_s=arias_intensity(acc_gal, dt),
+        significant_duration_s=significant_duration(acc_gal, dt),
+        bracketed_duration_s=bracketed_duration(acc_gal, dt),
+        cav_cm_s=cumulative_absolute_velocity(acc_gal, dt),
+        rms_gal=rms_acceleration(acc_gal, dt),
+    )

@@ -1,0 +1,67 @@
+"""Peak ground-motion extraction.
+
+The pipeline archives peak ground acceleration (PGA) during the
+correction step (paper §II) and writes maxima for every component to
+the ``maxvals`` files.  Peaks here are *absolute* peaks — the largest
+magnitude regardless of sign — with the signed value and its time
+retained, matching strong-motion reporting conventions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+
+
+def peak_index(signal: np.ndarray) -> int:
+    """Index of the sample with the largest absolute amplitude."""
+    signal = np.asarray(signal, dtype=float)
+    if signal.size == 0:
+        raise SignalError("cannot take the peak of an empty signal")
+    return int(np.argmax(np.abs(signal)))
+
+
+def peak_amplitude(signal: np.ndarray) -> float:
+    """Signed value of the sample with the largest absolute amplitude."""
+    signal = np.asarray(signal, dtype=float)
+    return float(signal[peak_index(signal)])
+
+
+@dataclass(frozen=True)
+class PeakValues:
+    """Peak ground motion of one component.
+
+    Amplitudes are signed (the sign is reported by observatories);
+    times are seconds from the start of the record.
+    """
+
+    pga: float
+    pga_time: float
+    pgv: float
+    pgv_time: float
+    pgd: float
+    pgd_time: float
+
+    def as_tuple(self) -> tuple[float, float, float, float, float, float]:
+        """Flatten to (pga, t, pgv, t, pgd, t) for fixed-width output."""
+        return (self.pga, self.pga_time, self.pgv, self.pgv_time, self.pgd, self.pgd_time)
+
+
+def peak_ground_motion(
+    acc: np.ndarray, vel: np.ndarray, disp: np.ndarray, dt: float
+) -> PeakValues:
+    """Extract PGA/PGV/PGD (signed) and their times from A/V/D traces."""
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    ia, iv, id_ = peak_index(acc), peak_index(vel), peak_index(disp)
+    return PeakValues(
+        pga=float(np.asarray(acc, dtype=float)[ia]),
+        pga_time=ia * dt,
+        pgv=float(np.asarray(vel, dtype=float)[iv]),
+        pgv_time=iv * dt,
+        pgd=float(np.asarray(disp, dtype=float)[id_]),
+        pgd_time=id_ * dt,
+    )

@@ -1,0 +1,58 @@
+"""Resampling utilities.
+
+The Salvadoran network mixes instruments with different sampling rates
+(paper §VIII: "a variety of equipment types and sampling rates"); the
+synthetic dataset generator reproduces that, and these helpers let
+examples and tests bring records to a common rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.fir import BandPassSpec, design_bandpass, fir_filter
+from repro.errors import SignalError
+
+
+def decimate(signal: np.ndarray, factor: int, dt: float) -> tuple[np.ndarray, float]:
+    """Anti-alias filter and keep every ``factor``-th sample.
+
+    Returns the decimated signal and the new sample interval.  The
+    anti-alias filter is the library's own Hamming band-pass with its
+    high cut at 80% of the new Nyquist.
+    """
+    if factor < 1:
+        raise SignalError(f"decimation factor must be >= 1, got {factor}")
+    signal = np.asarray(signal, dtype=float)
+    if factor == 1:
+        return signal.copy(), dt
+    new_dt = dt * factor
+    new_nyq = 0.5 / new_dt
+    spec = BandPassSpec(
+        f_stop_low=0.0005,
+        f_pass_low=0.001,
+        f_pass_high=0.8 * new_nyq,
+        f_stop_high=0.95 * new_nyq,
+    )
+    taps = design_bandpass(spec, dt)
+    filtered = fir_filter(signal, taps)
+    return filtered[::factor], new_dt
+
+
+def resample_linear(signal: np.ndarray, dt: float, new_dt: float) -> np.ndarray:
+    """Resample by linear interpolation onto a new uniform grid.
+
+    Suitable for modest rate changes between the instrument rates the
+    network uses (100, 200, 250 Hz); spectral fidelity beyond the
+    pass band is not required for those records.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if dt <= 0 or new_dt <= 0:
+        raise SignalError("sample intervals must be positive")
+    if signal.size == 0:
+        return signal.copy()
+    duration = (signal.shape[0] - 1) * dt
+    n_new = int(np.floor(duration / new_dt)) + 1
+    t_old = np.arange(signal.shape[0]) * dt
+    t_new = np.arange(n_new) * new_dt
+    return np.interp(t_new, t_old, signal)

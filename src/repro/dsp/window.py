@@ -1,0 +1,66 @@
+"""Window functions.
+
+The legacy pipeline applies a Hamming-windowed band-pass filter to every
+component (paper §II), and tapers record ends before Fourier analysis.
+Windows are generated here rather than taken from NumPy so the exact
+coefficients used by the pipeline are pinned by this codebase (and
+covered by tests against the closed form).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SignalError
+
+
+def hamming(n: int) -> np.ndarray:
+    """Return an n-point symmetric Hamming window.
+
+    ``w[k] = 0.54 - 0.46 cos(2 pi k / (n - 1))`` for ``k = 0 .. n-1``.
+    For ``n == 1`` the window is the single value 1.0.
+    """
+    if n < 1:
+        raise SignalError(f"window length must be >= 1, got {n}")
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * k / (n - 1))
+
+
+def hann(n: int) -> np.ndarray:
+    """Return an n-point symmetric Hann window."""
+    if n < 1:
+        raise SignalError(f"window length must be >= 1, got {n}")
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * k / (n - 1))
+
+
+def cosine_taper(n: int, fraction: float = 0.05) -> np.ndarray:
+    """Return an n-point cosine (Tukey) taper.
+
+    ``fraction`` is the fraction of the record tapered at *each* end
+    (so ``fraction=0.05`` leaves the middle 90% untouched).  This is the
+    standard pre-FFT taper for strong-motion records.
+    """
+    if n < 1:
+        raise SignalError(f"taper length must be >= 1, got {n}")
+    if not 0.0 <= fraction <= 0.5:
+        raise SignalError(f"taper fraction must be in [0, 0.5], got {fraction}")
+    w = np.ones(n)
+    m = int(np.floor(fraction * (n - 1)))
+    if m == 0:
+        return w
+    k = np.arange(m + 1)
+    ramp = 0.5 * (1.0 - np.cos(np.pi * k / m))
+    w[: m + 1] = ramp
+    w[n - m - 1 :] = ramp[::-1]
+    return w
+
+
+def apply_taper(signal: np.ndarray, fraction: float = 0.05) -> np.ndarray:
+    """Return a copy of ``signal`` with a cosine taper applied."""
+    signal = np.asarray(signal, dtype=float)
+    return signal * cosine_taper(signal.shape[-1], fraction)

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at pipeline boundaries.  The
+subclasses mirror the major failure domains of the original legacy
+system: malformed record files, inconsistent pipeline state, and
+misconfigured parallel runtimes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class FormatError(ReproError):
+    """A strong-motion data file could not be parsed or written.
+
+    Raised by the :mod:`repro.formats` readers when a header field is
+    missing, a data block is truncated, or a numeric field does not
+    parse.  The message always includes the offending path when one is
+    known.
+    """
+
+
+class HeaderError(FormatError):
+    """A record header is missing a required field or holds a bad value."""
+
+
+class DataBlockError(FormatError):
+    """A record's numeric data block is truncated or malformed."""
+
+
+class PipelineError(ReproError):
+    """A pipeline process could not run to completion."""
+
+
+class MissingArtifactError(PipelineError):
+    """A process's declared input file does not exist in the workspace."""
+
+    def __init__(self, path: str, process: str | None = None) -> None:
+        self.path = str(path)
+        self.process = process
+        where = f" (required by {process})" if process else ""
+        super().__init__(f"missing pipeline artifact: {self.path}{where}")
+
+
+class DependencyError(PipelineError):
+    """The declared process graph is inconsistent (cycle, bad ordering)."""
+
+
+class StageOrderError(DependencyError):
+    """A stage plan would execute a process before one of its inputs exists."""
+
+
+class ParallelError(ReproError):
+    """The parallel runtime was misused or a worker failed."""
+
+
+class BackendError(ParallelError):
+    """An unknown or unavailable execution backend was requested."""
+
+
+class SchedulerError(ParallelError):
+    """The simulated machine was given an unsatisfiable task graph."""
+
+
+class SignalError(ReproError):
+    """A DSP routine received a signal it cannot process."""
+
+
+class FilterDesignError(SignalError):
+    """Band-pass corner frequencies are inconsistent or out of range."""
+
+
+class CalibrationError(ReproError):
+    """The benchmark cost model could not be calibrated."""

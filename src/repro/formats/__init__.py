@@ -1,0 +1,118 @@
+"""Strong-motion file formats.
+
+The legacy pipeline communicates exclusively through files; every
+process reads and writes the formats defined here.  The layout is an
+ASCII, Fortran-style fixed-width family ("OANT" formats) modeled on the
+classic SMC/V1–V2 strong-motion conventions the paper describes:
+
+========  ==========================================================
+suffix    contents
+========  ==========================================================
+``.v1``   raw (uncorrected) record — all three components
+``<c>.v1``one component of a raw record (output of P3)
+``.v2``   corrected record — acceleration, velocity, displacement
+``.f``    Fourier amplitude spectra of A/V/D vs period
+``.r``    elastic response spectra (SA/SV/SD × dampings × periods)
+``.gem``  single-series Global Earthquake Model input file
+``.par``  band-pass filter parameters (defaults or per-component)
+``.lst``  file list; ``.meta`` metadata/filelist for plotting stages
+========  ==========================================================
+"""
+
+from repro.formats.common import (
+    COMPONENTS,
+    COMPONENT_NAMES,
+    Header,
+    format_fixed_block,
+    parse_fixed_block,
+    read_lines,
+)
+from repro.formats.v1 import (
+    RawRecord,
+    ComponentRecord,
+    write_v1,
+    read_v1,
+    write_component_v1,
+    read_component_v1,
+    component_v1_name,
+)
+from repro.formats.v2 import (
+    CorrectedRecord,
+    write_v2,
+    read_v2,
+    component_v2_name,
+)
+from repro.formats.fourier import (
+    FourierRecord,
+    write_fourier,
+    read_fourier,
+    component_f_name,
+)
+from repro.formats.response import (
+    ResponseRecord,
+    write_response,
+    read_response,
+    component_r_name,
+)
+from repro.formats.gem import (
+    GemSeries,
+    write_gem,
+    read_gem,
+    gem_name,
+    GEM_QUANTITIES,
+    GEM_SOURCES,
+)
+from repro.formats.params import (
+    FilterParams,
+    write_filter_params,
+    read_filter_params,
+)
+from repro.formats.filelist import (
+    write_filelist,
+    read_filelist,
+    write_metadata,
+    read_metadata,
+    MetadataFile,
+)
+
+__all__ = [
+    "COMPONENTS",
+    "COMPONENT_NAMES",
+    "Header",
+    "format_fixed_block",
+    "parse_fixed_block",
+    "read_lines",
+    "RawRecord",
+    "ComponentRecord",
+    "write_v1",
+    "read_v1",
+    "write_component_v1",
+    "read_component_v1",
+    "component_v1_name",
+    "CorrectedRecord",
+    "write_v2",
+    "read_v2",
+    "component_v2_name",
+    "FourierRecord",
+    "write_fourier",
+    "read_fourier",
+    "component_f_name",
+    "ResponseRecord",
+    "write_response",
+    "read_response",
+    "component_r_name",
+    "GemSeries",
+    "write_gem",
+    "read_gem",
+    "gem_name",
+    "GEM_QUANTITIES",
+    "GEM_SOURCES",
+    "FilterParams",
+    "write_filter_params",
+    "read_filter_params",
+    "write_filelist",
+    "read_filelist",
+    "write_metadata",
+    "read_metadata",
+    "MetadataFile",
+]

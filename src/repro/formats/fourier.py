@@ -1,0 +1,116 @@
+"""F (Fourier spectrum) files.
+
+A ``<station><comp>.f`` file stores the Fourier amplitude spectra of
+the corrected acceleration, velocity and displacement against period in
+seconds (the paper plots them that way — Fig. 3).  Process P7 writes
+these; P9 plots them and P10 reads the *velocity* spectrum to locate
+the FPL/FSL inflection point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataBlockError
+from repro.formats.common import (
+    Header,
+    block_line_count,
+    format_fixed_block,
+    parse_fixed_block,
+    parse_header,
+    read_lines,
+)
+
+_SPECTRA = ("ACCELERATION", "VELOCITY", "DISPLACEMENT")
+
+
+@dataclass
+class FourierRecord:
+    """Fourier amplitude spectra of one corrected component.
+
+    ``periods`` are seconds, ascending; each spectrum is the amplitude
+    at the matching period (A in gal*s, V in cm, D in cm*s).
+    """
+
+    header: Header
+    periods: np.ndarray
+    acceleration: np.ndarray
+    velocity: np.ndarray
+    displacement: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.periods = np.asarray(self.periods, dtype=float)
+        self.acceleration = np.asarray(self.acceleration, dtype=float)
+        self.velocity = np.asarray(self.velocity, dtype=float)
+        self.displacement = np.asarray(self.displacement, dtype=float)
+        n = self.periods.shape[0]
+        for name, arr in self.spectra.items():
+            if arr.shape[0] != n:
+                raise DataBlockError(
+                    f"fourier record {self.header.station}{self.header.component}: "
+                    f"{name} spectrum length {arr.shape[0]} != periods length {n}"
+                )
+        self.header.npts = int(n)
+
+    @property
+    def spectra(self) -> dict[str, np.ndarray]:
+        """A/V/D spectra keyed by their block names."""
+        return {
+            "ACCELERATION": self.acceleration,
+            "VELOCITY": self.velocity,
+            "DISPLACEMENT": self.displacement,
+        }
+
+
+def component_f_name(station: str, comp: str) -> str:
+    """File name of a Fourier spectrum file: ``<station><comp>.f``."""
+    return f"{station}{comp}.f"
+
+
+def write_fourier(path: Path | str, record: FourierRecord) -> None:
+    """Write a Fourier spectrum file."""
+    parts = record.header.lines("FOURIER SPECTRA")
+    parts.append("DATA")
+    parts.append(f"SERIES-BLOCK: PERIOD {record.periods.shape[0]}")
+    parts.append(format_fixed_block(record.periods).rstrip("\n"))
+    for name in _SPECTRA:
+        values = record.spectra[name]
+        parts.append(f"SERIES-BLOCK: {name} {values.shape[0]}")
+        parts.append(format_fixed_block(values).rstrip("\n"))
+    Path(path).write_text("\n".join(parts) + "\n")
+
+
+def read_fourier(path: Path | str, *, process: str | None = None) -> FourierRecord:
+    """Read a Fourier spectrum file."""
+    lines = read_lines(path, process=process)
+    header, i = parse_header(lines, "FOURIER SPECTRA", path=str(path))
+    blocks: dict[str, np.ndarray] = {}
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line:
+            continue
+        if not line.startswith("SERIES-BLOCK:"):
+            raise DataBlockError(f"{path}: expected SERIES-BLOCK, got {line!r}")
+        try:
+            _, _, payload = line.partition(":")
+            name, count_txt = payload.split()
+            count = int(count_txt)
+        except ValueError as exc:
+            raise DataBlockError(f"{path}: malformed series block header {line!r}") from exc
+        nlines = block_line_count(count)
+        blocks[name] = parse_fixed_block(lines[i : i + nlines], count, path=str(path))
+        i += nlines
+    missing = [name for name in ("PERIOD", *_SPECTRA) if name not in blocks]
+    if missing:
+        raise DataBlockError(f"{path}: missing blocks {missing}")
+    return FourierRecord(
+        header=header,
+        periods=blocks["PERIOD"],
+        acceleration=blocks["ACCELERATION"],
+        velocity=blocks["VELOCITY"],
+        displacement=blocks["DISPLACEMENT"],
+    )

@@ -1,0 +1,142 @@
+"""V1 (uncorrected) record files.
+
+A station's ``<station>.v1`` file holds the raw acceleration time
+series of all three components as recorded by the accelerograph.
+Process P3 splits it into per-component ``<station><comp>.v1`` files,
+which are what the correction processes consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DataBlockError, HeaderError
+from repro.formats.common import (
+    COMPONENTS,
+    Header,
+    block_line_count,
+    format_fixed_block,
+    parse_fixed_block,
+    parse_header,
+    read_lines,
+)
+
+
+@dataclass
+class ComponentRecord:
+    """One uncorrected component: header plus raw acceleration (gal)."""
+
+    header: Header
+    acceleration: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.acceleration = np.asarray(self.acceleration, dtype=float)
+        self.header.npts = int(self.acceleration.shape[0])
+
+
+@dataclass
+class RawRecord:
+    """A full uncorrected station record (all three components).
+
+    ``components`` maps component code -> acceleration array; all three
+    of :data:`repro.formats.common.COMPONENTS` must be present and of
+    equal length (the instrument digitizes them synchronously).
+    """
+
+    header: Header
+    components: dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        missing = [c for c in COMPONENTS if c not in self.components]
+        if missing:
+            raise HeaderError(f"raw record for {self.header.station} missing components {missing}")
+        lengths = {c: len(self.components[c]) for c in COMPONENTS}
+        if len(set(lengths.values())) != 1:
+            raise DataBlockError(
+                f"raw record for {self.header.station} has unequal component lengths {lengths}"
+            )
+        self.components = {
+            c: np.asarray(self.components[c], dtype=float) for c in COMPONENTS
+        }
+        self.header.npts = int(lengths["l"])
+
+    @property
+    def npts(self) -> int:
+        """Samples per component."""
+        return self.header.npts
+
+    @property
+    def total_points(self) -> int:
+        """Total data points across all three components."""
+        return 3 * self.header.npts
+
+    def component_record(self, comp: str) -> ComponentRecord:
+        """Extract one component as a standalone record."""
+        if comp not in self.components:
+            raise HeaderError(f"no component {comp!r} in record {self.header.station}")
+        return ComponentRecord(
+            header=self.header.copy_for(component=comp),
+            acceleration=self.components[comp].copy(),
+        )
+
+
+def component_v1_name(station: str, comp: str) -> str:
+    """File name of a separated component V1 file: ``<station><comp>.v1``."""
+    return f"{station}{comp}.v1"
+
+
+def write_v1(path: Path | str, record: RawRecord) -> None:
+    """Write a full three-component V1 file."""
+    header = record.header
+    parts = header.lines("V1 UNCORRECTED")
+    parts.append("DATA")
+    for comp in COMPONENTS:
+        values = record.components[comp]
+        parts.append(f"COMPONENT-BLOCK: {comp} {values.shape[0]}")
+        parts.append(format_fixed_block(values).rstrip("\n"))
+    Path(path).write_text("\n".join(parts) + "\n")
+
+
+def read_v1(path: Path | str, *, process: str | None = None) -> RawRecord:
+    """Read a full three-component V1 file."""
+    lines = read_lines(path, process=process)
+    header, i = parse_header(lines, "V1 UNCORRECTED", path=str(path))
+    components: dict[str, np.ndarray] = {}
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line:
+            continue
+        if not line.startswith("COMPONENT-BLOCK:"):
+            raise DataBlockError(f"{path}: expected COMPONENT-BLOCK, got {line!r}")
+        try:
+            _, _, payload = line.partition(":")
+            comp, count_txt = payload.split()
+            count = int(count_txt)
+        except ValueError as exc:
+            raise DataBlockError(f"{path}: malformed component block header {line!r}") from exc
+        nlines = block_line_count(count)
+        block = lines[i : i + nlines]
+        i += nlines
+        components[comp] = parse_fixed_block(block, count, path=str(path))
+    return RawRecord(header=header, components=components)
+
+
+def write_component_v1(path: Path | str, record: ComponentRecord) -> None:
+    """Write a single-component V1 file (P3's output)."""
+    parts = record.header.lines("V1 COMPONENT")
+    parts.append("DATA")
+    parts.append(format_fixed_block(record.acceleration).rstrip("\n"))
+    Path(path).write_text("\n".join(parts) + "\n")
+
+
+def read_component_v1(path: Path | str, *, process: str | None = None) -> ComponentRecord:
+    """Read a single-component V1 file."""
+    lines = read_lines(path, process=process)
+    header, i = parse_header(lines, "V1 COMPONENT", path=str(path))
+    block = lines[i : i + block_line_count(header.npts)]
+    acc = parse_fixed_block(block, header.npts, path=str(path))
+    return ComponentRecord(header=header, acceleration=acc)

@@ -1,0 +1,49 @@
+"""Parallel runtime.
+
+Two halves:
+
+1. **Real execution** — OpenMP-shaped primitives (:func:`parallel_for`
+   with static/dynamic/guided schedules, :class:`TaskGroup` with
+   task/taskwait semantics) over pluggable backends: ``serial``,
+   ``thread`` (GIL-bound but fine for I/O-heavy stages) and
+   ``process`` (GIL-free, used for FLOPS-heavy stages).
+
+2. **Simulated execution** — a deterministic machine model
+   (:class:`SimulatedMachine`) with heterogeneous worker speeds and an
+   I/O-contention term, plus a dependency-aware fluid scheduler.  The
+   benchmark harness replays each pipeline implementation's task graph
+   on a model of the paper's i5-12450H (8 cores / 12 logical
+   processors) to reproduce the published speedups on hardware this
+   container does not have.
+"""
+
+from repro.parallel.backend import Backend, available_backends, resolve_workers
+from repro.parallel.chunks import Schedule, chunk_indices
+from repro.parallel.omp import TaskGroup, parallel_for, parallel_for_chunked
+from repro.parallel.timing import StageTiming, TaskRecord, Timer
+from repro.parallel.simulate import (
+    SimTask,
+    SimulatedMachine,
+    SimulationResult,
+    PAPER_MACHINE,
+    simulate_task_graph,
+)
+
+__all__ = [
+    "Backend",
+    "available_backends",
+    "resolve_workers",
+    "Schedule",
+    "chunk_indices",
+    "TaskGroup",
+    "parallel_for",
+    "parallel_for_chunked",
+    "StageTiming",
+    "TaskRecord",
+    "Timer",
+    "SimTask",
+    "SimulatedMachine",
+    "SimulationResult",
+    "PAPER_MACHINE",
+    "simulate_task_graph",
+]

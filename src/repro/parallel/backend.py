@@ -1,0 +1,45 @@
+"""Execution backends for the real (non-simulated) parallel runtime."""
+
+from __future__ import annotations
+
+import os
+from enum import Enum
+
+from repro.errors import BackendError
+
+
+class Backend(str, Enum):
+    """How :func:`repro.parallel.parallel_for` actually runs its body."""
+
+    SERIAL = "serial"
+    THREAD = "thread"
+    PROCESS = "process"
+
+    @classmethod
+    def coerce(cls, value: "Backend | str") -> "Backend":
+        """Accept enum members or their string names."""
+        if isinstance(value, Backend):
+            return value
+        try:
+            return cls(value)
+        except ValueError as exc:
+            raise BackendError(
+                f"unknown backend {value!r}; expected one of {[b.value for b in cls]}"
+            ) from exc
+
+
+def available_backends() -> list[Backend]:
+    """Backends usable on this host (all three are always available)."""
+    return [Backend.SERIAL, Backend.THREAD, Backend.PROCESS]
+
+
+def resolve_workers(num_workers: int | None) -> int:
+    """Resolve a worker count: None means all visible CPUs, floor 1.
+
+    Mirrors OpenMP's default of one thread per logical processor.
+    """
+    if num_workers is not None:
+        if num_workers < 1:
+            raise BackendError(f"num_workers must be >= 1, got {num_workers}")
+        return num_workers
+    return max(1, os.cpu_count() or 1)

@@ -1,0 +1,96 @@
+"""Loop scheduling policies, mirroring OpenMP's schedule clause.
+
+``chunk_indices(n, workers, schedule, chunk_size)`` produces the chunk
+decomposition a ``#pragma omp for schedule(...)`` would use:
+
+- ``static``  — equal contiguous blocks, one per worker;
+- ``dynamic`` — fixed-size chunks handed out on demand;
+- ``guided``  — exponentially shrinking chunks (remaining / workers),
+  floored at ``chunk_size``.
+
+The real backends use these to batch work (amortizing per-task
+overhead) and the simulator uses the same decomposition so both agree
+on what a schedule means.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import ParallelError
+
+
+class Schedule(str, Enum):
+    """OpenMP-style loop schedule kinds."""
+
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+    @classmethod
+    def coerce(cls, value: "Schedule | str") -> "Schedule":
+        """Accept enum members or their string names."""
+        if isinstance(value, Schedule):
+            return value
+        try:
+            return cls(value)
+        except ValueError as exc:
+            raise ParallelError(
+                f"unknown schedule {value!r}; expected one of {[s.value for s in cls]}"
+            ) from exc
+
+
+def chunk_indices(
+    n: int,
+    workers: int,
+    schedule: Schedule | str = Schedule.STATIC,
+    chunk_size: int | None = None,
+) -> list[range]:
+    """Decompose ``range(n)`` into chunks per the schedule policy.
+
+    Chunks are returned in dispatch order; every index appears exactly
+    once (asserted by property tests).
+    """
+    if n < 0:
+        raise ParallelError(f"iteration count must be >= 0, got {n}")
+    if workers < 1:
+        raise ParallelError(f"workers must be >= 1, got {workers}")
+    schedule = Schedule.coerce(schedule)
+    if n == 0:
+        return []
+
+    if schedule is Schedule.STATIC:
+        if chunk_size is not None:
+            if chunk_size < 1:
+                raise ParallelError(f"chunk_size must be >= 1, got {chunk_size}")
+            return [range(s, min(s + chunk_size, n)) for s in range(0, n, chunk_size)]
+        base, extra = divmod(n, workers)
+        chunks = []
+        start = 0
+        for w in range(min(workers, n)):
+            size = base + (1 if w < extra else 0)
+            if size == 0:
+                continue
+            chunks.append(range(start, start + size))
+            start += size
+        return chunks
+
+    if schedule is Schedule.DYNAMIC:
+        size = chunk_size if chunk_size is not None else 1
+        if size < 1:
+            raise ParallelError(f"chunk_size must be >= 1, got {size}")
+        return [range(s, min(s + size, n)) for s in range(0, n, size)]
+
+    # Guided: chunk = ceil(remaining / workers), floored at chunk_size.
+    floor = chunk_size if chunk_size is not None else 1
+    if floor < 1:
+        raise ParallelError(f"chunk_size must be >= 1, got {floor}")
+    chunks = []
+    start = 0
+    while start < n:
+        remaining = n - start
+        size = max(floor, -(-remaining // workers))
+        size = min(size, remaining)
+        chunks.append(range(start, start + size))
+        start += size
+    return chunks

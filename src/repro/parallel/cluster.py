@@ -1,0 +1,226 @@
+"""MPI-style message passing over local processes.
+
+The paper's closest relative ([9], Cornejo-Suárez et al.) distributes
+strong-motion processing with Python + MPI; the paper itself notes its
+temp-folder array management "resembl[es] principles seen in MPI"
+(§VIII).  This module provides that programming model without an MPI
+installation: SPMD workers with ranks, point-to-point ``send``/``recv``
+and the classic collectives (``bcast``, ``scatter``, ``gather``,
+``allgather``, ``barrier``), running over ``multiprocessing`` queues —
+one mailbox per rank, matched by (source, tag) like MPI envelopes.
+
+High-level entry points:
+
+- :func:`run_cluster` — launch an SPMD function on N ranks and collect
+  every rank's return value;
+- :func:`cluster_map` — the common pattern: scatter items round-robin,
+  map, gather in order (used by the cluster pipeline implementation).
+
+This is a shared-filesystem model, like an MPI job on a workstation:
+ranks exchange *control* data through messages while bulk artifacts go
+through the workspace, exactly as the pipeline's processes already do.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import ParallelError
+
+#: Default tag, mirroring MPI's wildcard-free common case.
+DEFAULT_TAG = 0
+
+_SENTINEL_ERROR = "__cluster_rank_error__"
+
+
+@dataclass
+class Communicator:
+    """One rank's endpoint: a mailbox per rank, addressed by index."""
+
+    rank: int
+    size: int
+    mailboxes: Sequence[Any]  # mp.Queue per rank
+    _stash: list[tuple[int, int, Any]] | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rank < self.size:
+            raise ParallelError(f"rank {self.rank} outside communicator of size {self.size}")
+        if len(self.mailboxes) != self.size:
+            raise ParallelError("communicator needs one mailbox per rank")
+        self._stash = []
+
+    # -- point to point -------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = DEFAULT_TAG) -> None:
+        """Send a picklable object to ``dest`` (non-blocking enqueue)."""
+        if not 0 <= dest < self.size:
+            raise ParallelError(f"send to invalid rank {dest}")
+        self.mailboxes[dest].put((self.rank, tag, obj))
+
+    def recv(self, source: int, tag: int = DEFAULT_TAG, timeout: float = 60.0) -> Any:
+        """Receive the next message matching (source, tag).
+
+        Non-matching messages are stashed and re-examined first on the
+        next call (MPI envelope matching).
+        """
+        stash = self._stash
+        for i, (src, t, obj) in enumerate(stash):
+            if src == source and t == tag:
+                del stash[i]
+                return obj
+        while True:
+            try:
+                src, t, obj = self.mailboxes[self.rank].get(timeout=timeout)
+            except queue_mod.Empty as exc:
+                raise ParallelError(
+                    f"rank {self.rank}: timed out waiting for (source={source}, tag={tag})"
+                ) from exc
+            if src == source and t == tag:
+                return obj
+            stash.append((src, t, obj))
+
+    # -- collectives -----------------------------------------------------
+
+    def bcast(self, obj: Any = None, root: int = 0) -> Any:
+        """Broadcast ``obj`` from root to every rank; returns it everywhere."""
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(obj, dest, tag=-1)
+            return obj
+        return self.recv(root, tag=-1)
+
+    def scatter(self, chunks: Sequence[Any] | None = None, root: int = 0) -> Any:
+        """Scatter one chunk per rank from root; returns this rank's chunk."""
+        if self.rank == root:
+            if chunks is None or len(chunks) != self.size:
+                raise ParallelError(f"scatter needs exactly {self.size} chunks at the root")
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(chunks[dest], dest, tag=-2)
+            return chunks[root]
+        return self.recv(root, tag=-2)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather every rank's object at root (rank order); None elsewhere."""
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag=-3)
+            return out
+        self.send(obj, root, tag=-3)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather at rank 0 then broadcast: every rank gets the full list."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def barrier(self) -> None:
+        """Synchronize all ranks (gather + broadcast of a token)."""
+        self.allgather(None)
+
+
+def _rank_main(
+    fn: Callable[..., Any],
+    rank: int,
+    size: int,
+    mailboxes: Sequence[Any],
+    result_queue: Any,
+    args: tuple,
+) -> None:
+    comm = Communicator(rank=rank, size=size, mailboxes=mailboxes)
+    try:
+        result = fn(comm, *args)
+        result_queue.put((rank, result))
+    except BaseException as exc:  # surface worker failures to the launcher
+        result_queue.put((rank, (_SENTINEL_ERROR, repr(exc))))
+
+
+def run_cluster(
+    fn: Callable[..., Any],
+    size: int,
+    *args: Any,
+    timeout: float = 300.0,
+) -> list[Any]:
+    """Run ``fn(comm, *args)`` as an SPMD program on ``size`` ranks.
+
+    ``fn`` must be a module-level (picklable) function taking the
+    communicator as its first argument.  Returns the per-rank return
+    values in rank order.  ``size == 1`` runs inline (no subprocess),
+    like an MPI job with one rank.
+    """
+    if size < 1:
+        raise ParallelError(f"cluster size must be >= 1, got {size}")
+    if size == 1:
+        comm = Communicator(rank=0, size=1, mailboxes=[mp.Queue()])
+        return [fn(comm, *args)]
+
+    ctx = mp.get_context()
+    mailboxes = [ctx.Queue() for _ in range(size)]
+    result_queue = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_rank_main,
+            args=(fn, rank, size, mailboxes, result_queue, args),
+        )
+        for rank in range(size)
+    ]
+    for worker in workers:
+        worker.start()
+    results: list[Any] = [None] * size
+    failures: list[str] = []
+    try:
+        for _ in range(size):
+            try:
+                rank, value = result_queue.get(timeout=timeout)
+            except queue_mod.Empty as exc:
+                raise ParallelError("cluster ranks did not all report back") from exc
+            if isinstance(value, tuple) and len(value) == 2 and value[0] == _SENTINEL_ERROR:
+                failures.append(f"rank {rank}: {value[1]}")
+            else:
+                results[rank] = value
+    finally:
+        for worker in workers:
+            worker.join(timeout=10.0)
+            if worker.is_alive():
+                worker.terminate()
+    if failures:
+        raise ParallelError("cluster ranks failed: " + "; ".join(failures))
+    return results
+
+
+def _map_worker(comm: Communicator, fn: Callable[[Any], Any], items: list[Any]) -> list[tuple[int, Any]]:
+    """SPMD body of :func:`cluster_map`: round-robin ownership."""
+    mine = list(range(comm.rank, len(items), comm.size))
+    return [(i, fn(items[i])) for i in mine]
+
+
+def cluster_map(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    size: int,
+    *,
+    timeout: float = 300.0,
+) -> list[Any]:
+    """Map ``fn`` over ``items`` across ``size`` ranks, order-preserving.
+
+    Items are assigned round-robin (rank r owns items r, r+size, ...),
+    the natural static schedule for similar-cost items; results come
+    back in item order regardless of rank completion order.
+    """
+    items = list(items)
+    if not items:
+        return []
+    size = min(size, len(items))
+    per_rank = run_cluster(_map_worker, size, fn, items, timeout=timeout)
+    out: list[Any] = [None] * len(items)
+    for rank_results in per_rank:
+        for index, value in rank_results:
+            out[index] = value
+    return out

@@ -1,0 +1,241 @@
+"""OpenMP-shaped primitives over real Python backends.
+
+``parallel_for`` is the library's ``#pragma omp parallel for``: it maps
+a function over an index range, preserving result order, with the
+schedule policies of :mod:`repro.parallel.chunks`.  ``TaskGroup`` is
+``parallel`` + ``single`` + ``task``/``taskwait``: tasks submitted
+inside the ``with`` block run concurrently and the block exit is the
+taskwait barrier.
+
+Backend notes (GIL): the ``thread`` backend suits the pipeline's
+I/O-heavy and plotting stages (file reads/writes release the GIL); the
+``process`` backend suits FLOPS-heavy stages and requires picklable
+functions and arguments — the pipeline's process bodies are module-
+level functions operating on paths, which pickle fine.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import ParallelError
+from repro.parallel.backend import Backend, resolve_workers
+from repro.parallel.chunks import Schedule, chunk_indices
+
+
+@contextmanager
+def shared_executor(
+    backend: Backend | str, num_workers: int | None = None
+) -> Iterator[Executor | None]:
+    """A pool reusable across many :func:`parallel_for` calls.
+
+    Creating a pool per loop costs milliseconds (and a fork per worker
+    for the process backend); a staged pipeline runs ten-plus loops, so
+    the implementations open one pool per run and pass it through the
+    ``executor`` parameter.  Yields ``None`` for the serial backend
+    (callers pass it straight through).
+    """
+    backend = Backend.coerce(backend)
+    workers = resolve_workers(num_workers)
+    if backend is Backend.SERIAL or workers == 1:
+        yield None
+        return
+    pool_cls = ThreadPoolExecutor if backend is Backend.THREAD else ProcessPoolExecutor
+    pool = pool_cls(max_workers=workers)
+    try:
+        yield pool
+    finally:
+        pool.shutdown(wait=True)
+
+
+def _run_chunk(func: Callable[[Any], Any], items: Sequence[Any], indices: range) -> list[Any]:
+    """Apply ``func`` to one chunk of items (runs inside a worker)."""
+    return [func(items[i]) for i in indices]
+
+
+def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[range],
+           results: list[Any]) -> None:
+    """Submit all chunks, wait, propagate the first failure."""
+    futures = {pool.submit(_run_chunk, func, items, chunk): chunk for chunk in chunks}
+    done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+    failed = next((f for f in done if f.exception() is not None), None)
+    if failed is not None:
+        for f in not_done:
+            f.cancel()
+        raise failed.exception()
+    for future, chunk in futures.items():
+        for i, value in zip(chunk, future.result()):
+            results[i] = value
+
+
+def parallel_for(
+    func: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    backend: Backend | str = Backend.THREAD,
+    num_workers: int | None = None,
+    schedule: Schedule | str = Schedule.DYNAMIC,
+    chunk_size: int | None = None,
+    executor: Executor | None = None,
+) -> list[Any]:
+    """Map ``func`` over ``items`` in parallel, preserving order.
+
+    The worker pool size defaults to the machine's logical processor
+    count (OpenMP's default).  Exceptions raised by any body propagate
+    to the caller after outstanding chunks are cancelled.  Pass an
+    ``executor`` (see :func:`shared_executor`) to reuse a pool across
+    loops; it is left open for the caller to manage.
+    """
+    backend = Backend.coerce(backend)
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        return []
+    workers = resolve_workers(num_workers)
+    chunks = chunk_indices(n, workers, schedule, chunk_size)
+
+    if executor is not None:
+        results: list[Any] = [None] * n
+        _drain(executor, func, items, chunks, results)
+        return results
+
+    if backend is Backend.SERIAL or workers == 1 or n == 1:
+        results = [None] * n
+        for chunk in chunks:
+            for i, value in zip(chunk, _run_chunk(func, items, chunk)):
+                results[i] = value
+        return results
+
+    pool_cls = ThreadPoolExecutor if backend is Backend.THREAD else ProcessPoolExecutor
+    results = [None] * n
+    with pool_cls(max_workers=min(workers, len(chunks))) as pool:
+        _drain(pool, func, items, chunks, results)
+    return results
+
+
+def parallel_for_chunked(
+    func: Callable[[Sequence[Any]], list[Any]],
+    items: Sequence[Any],
+    *,
+    backend: Backend | str = Backend.THREAD,
+    num_workers: int | None = None,
+    schedule: Schedule | str = Schedule.STATIC,
+    chunk_size: int | None = None,
+) -> list[Any]:
+    """Like :func:`parallel_for` but ``func`` receives whole chunks.
+
+    For bodies with per-call setup worth amortizing (opening shared
+    files, building filter taps); ``func`` must return one result per
+    input item, in order — violations raise :class:`ParallelError`.
+    """
+    backend = Backend.coerce(backend)
+    items = list(items)
+    n = len(items)
+    if n == 0:
+        return []
+    workers = resolve_workers(num_workers)
+    chunks = chunk_indices(n, workers, schedule, chunk_size)
+
+    def run(indices: range) -> list[Any]:
+        out = func([items[i] for i in indices])
+        if len(out) != len(indices):
+            raise ParallelError(
+                f"chunked body returned {len(out)} results for {len(indices)} items"
+            )
+        return out
+
+    results: list[Any] = [None] * n
+    if backend is Backend.SERIAL or workers == 1:
+        for chunk in chunks:
+            for i, value in zip(chunk, run(chunk)):
+                results[i] = value
+        return results
+
+    pool_cls = ThreadPoolExecutor if backend is Backend.THREAD else ProcessPoolExecutor
+    with pool_cls(max_workers=min(workers, len(chunks))) as pool:
+        futures = {pool.submit(run, chunk): chunk for chunk in chunks}
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        failed = next((f for f in done if f.exception() is not None), None)
+        if failed is not None:
+            for f in not_done:
+                f.cancel()
+            raise failed.exception()
+        for future, chunk in futures.items():
+            for i, value in zip(chunk, future.result()):
+                results[i] = value
+    return results
+
+
+class TaskGroup:
+    """``#pragma omp parallel`` / ``single`` / ``task`` / ``taskwait``.
+
+    Usage::
+
+        with TaskGroup(backend="thread", num_workers=4) as tg:
+            tg.task(initialize_flags)
+            tg.task(gather_input_files, workspace)
+        # <- implicit taskwait: all tasks have completed here
+        results = tg.results  # in submission order
+
+    A failing task propagates its exception at the barrier (and on
+    :meth:`taskwait`).
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: Backend | str = Backend.THREAD,
+        num_workers: int | None = None,
+    ) -> None:
+        self.backend = Backend.coerce(backend)
+        self.num_workers = resolve_workers(num_workers)
+        self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
+        self._futures: list[Any] = []
+        self._serial_results: list[Any] = []
+        self.results: list[Any] = []
+
+    def __enter__(self) -> "TaskGroup":
+        if self.backend is not Backend.SERIAL and self.num_workers > 1:
+            pool_cls = ThreadPoolExecutor if self.backend is Backend.THREAD else ProcessPoolExecutor
+            self._pool = pool_cls(max_workers=self.num_workers)
+        return self
+
+    def task(self, func: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
+        """Submit one task (``#pragma omp task``)."""
+        if self._pool is None:
+            self._serial_results.append(func(*args, **kwargs))
+        else:
+            self._futures.append(self._pool.submit(func, *args, **kwargs))
+
+    def taskwait(self) -> list[Any]:
+        """Barrier: wait for all submitted tasks, collect their results."""
+        if self._pool is None:
+            batch = self._serial_results
+            self._serial_results = []
+        else:
+            done, _ = wait(self._futures)
+            failed = next((f for f in self._futures if f.exception() is not None), None)
+            if failed is not None:
+                self._futures = []
+                raise failed.exception()
+            batch = [f.result() for f in self._futures]
+            self._futures = []
+        self.results.extend(batch)
+        return batch
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        try:
+            if exc_type is None:
+                self.taskwait()
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None

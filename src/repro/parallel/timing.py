@@ -1,0 +1,52 @@
+"""Timing instrumentation shared by the runtime and the pipeline.
+
+Every pipeline run produces per-process :class:`TaskRecord` entries and
+per-stage :class:`StageTiming` aggregates; the benchmark harness reads
+these to build the paper's tables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """Context manager measuring wall-clock time via ``perf_counter``."""
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One timed unit of work (a pipeline process or loop body)."""
+
+    name: str
+    duration_s: float
+
+
+@dataclass
+class StageTiming:
+    """Aggregated timing of one pipeline stage."""
+
+    stage: str
+    duration_s: float = 0.0
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+    def add(self, record: TaskRecord) -> None:
+        """Attach one task's timing to the stage."""
+        self.tasks.append(record)
+
+    @property
+    def task_total_s(self) -> float:
+        """Sum of member task durations (>= duration when parallel)."""
+        return sum(t.duration_s for t in self.tasks)

@@ -1,0 +1,28 @@
+"""Plotting substrate.
+
+The legacy pipeline's plotting processes write PostScript files
+(``<station>.ps``, ``<station>f.ps``, ``<station>r.ps``).  This package
+reimplements that from scratch: a minimal PostScript canvas, a line
+chart with linear/log axes, and the three seismological plot layouts.
+No matplotlib — plots are genuine vector documents written by us, so
+the plotting stages carry real I/O and formatting cost like the
+originals did.
+"""
+
+from repro.plotting.ps import PostScriptCanvas
+from repro.plotting.charts import Axis, LineChart, Series
+from repro.plotting.seismo import (
+    plot_accelerograph,
+    plot_fourier_spectrum,
+    plot_response_spectrum,
+)
+
+__all__ = [
+    "PostScriptCanvas",
+    "Axis",
+    "LineChart",
+    "Series",
+    "plot_accelerograph",
+    "plot_fourier_spectrum",
+    "plot_response_spectrum",
+]

@@ -1,0 +1,114 @@
+"""Grouped bar charts on the PostScript canvas.
+
+Figures 11 and 12 of the paper are grouped bar charts (per-stage and
+per-event execution times).  This renders the same layout: categories
+along the x-axis, one shaded bar per series within each category, a
+y-axis with round ticks and a legend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.plotting.charts import Axis
+from repro.plotting.ps import PostScriptCanvas
+
+
+@dataclass
+class BarSeries:
+    """One bar per category, with a shared gray level."""
+
+    label: str
+    values: list[float]
+    gray: float = 0.0
+
+
+@dataclass
+class BarChart:
+    """A grouped bar chart."""
+
+    title: str = ""
+    categories: list[str] = field(default_factory=list)
+    series: list[BarSeries] = field(default_factory=list)
+    y_label: str = ""
+    y_log: bool = False
+
+    def add(self, series: BarSeries) -> None:
+        """Append a series; its length must match the categories."""
+        if len(series.values) != len(self.categories):
+            raise ReproError(
+                f"series {series.label!r} has {len(series.values)} values for "
+                f"{len(self.categories)} categories"
+            )
+        self.series.append(series)
+
+    def draw(
+        self,
+        canvas: PostScriptCanvas,
+        *,
+        x0: float,
+        y0: float,
+        width: float,
+        height: float,
+    ) -> None:
+        """Render into the given page rectangle."""
+        if not self.series or not self.categories:
+            raise ReproError(f"bar chart {self.title!r} has no data")
+        values = np.array([s.values for s in self.series], dtype=float)
+        axis = Axis(label=self.y_label, log=self.y_log, lo=None if self.y_log else 0.0)
+        ylo, yhi = axis.resolved(values.ravel())
+
+        canvas.set_gray(0.0)
+        canvas.set_line_width(0.8)
+        canvas.set_dash(())
+        canvas.rect(x0, y0, width, height)
+        if self.title:
+            canvas.text(x0 + width / 2, y0 + height + 6, self.title, size=11, align="center")
+        if self.y_label:
+            canvas.text(x0 - 8, y0 + height + 6, self.y_label, size=9)
+
+        canvas.set_line_width(0.4)
+        for tick in axis.ticks(ylo, yhi):
+            if not (ylo <= tick <= yhi):
+                continue
+            py = y0 + self._frac(tick, ylo, yhi) * height
+            canvas.line(x0, py, x0 + 4, py)
+            canvas.text(x0 - 4, py - 2, f"{tick:g}", size=7, align="right")
+
+        n_cat = len(self.categories)
+        n_ser = len(self.series)
+        slot = width / n_cat
+        bar_w = 0.8 * slot / n_ser
+        for ci, category in enumerate(self.categories):
+            cx = x0 + (ci + 0.5) * slot
+            canvas.set_gray(0.0)
+            canvas.text(cx, y0 - 12, category, size=7, align="center")
+            for si, series in enumerate(self.series):
+                value = values[si, ci]
+                h = self._frac(value, ylo, yhi) * height
+                h = min(max(h, 0.0), height)
+                bx = cx - 0.4 * slot + si * bar_w
+                canvas.set_gray(series.gray)
+                if h > 0:
+                    canvas.rect(bx, y0, bar_w, h, fill=True)
+                canvas.set_gray(0.0)
+                canvas.rect(bx, y0, bar_w, max(h, 0.1))
+
+        legend_y = y0 + height - 10
+        for series in self.series:
+            canvas.set_gray(series.gray)
+            canvas.rect(x0 + width - 70, legend_y, 10, 6, fill=True)
+            canvas.set_gray(0.0)
+            canvas.rect(x0 + width - 70, legend_y, 10, 6)
+            canvas.text(x0 + width - 56, legend_y, series.label, size=7)
+            legend_y -= 11
+
+    def _frac(self, value: float, lo: float, hi: float) -> float:
+        if self.y_log:
+            if value <= 0:
+                return 0.0
+            return float((np.log10(value) - np.log10(lo)) / (np.log10(hi) - np.log10(lo)))
+        return float((value - lo) / (hi - lo))

@@ -1,0 +1,108 @@
+"""The three seismological plot layouts of the pipeline.
+
+- :func:`plot_accelerograph` (P6/P15): three stacked time-series panels
+  (acceleration, velocity, displacement) like the paper's Fig. 2.
+- :func:`plot_fourier_spectrum` (P9): log-log Fourier amplitude
+  spectra of A/V/D against period, like Fig. 3.
+- :func:`plot_response_spectrum` (P18): log-log response spectra
+  (SA/SV/SD at 5% damping) against period, like Fig. 4.
+
+Each renders one component per panel group for all three components of
+a station into a single-page PostScript file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats.fourier import FourierRecord
+from repro.formats.response import ResponseRecord
+from repro.formats.v2 import CorrectedRecord
+from repro.plotting.charts import Axis, LineChart, Series
+from repro.plotting.ps import PAGE_HEIGHT, PAGE_WIDTH, PostScriptCanvas
+
+_MARGIN = 54.0
+_GAP = 40.0
+
+
+def _panel_boxes(n: int) -> list[tuple[float, float, float, float]]:
+    """Page rectangles (x0, y0, w, h) for n stacked panels."""
+    width = PAGE_WIDTH - 2 * _MARGIN
+    total_h = PAGE_HEIGHT - 2 * _MARGIN - (n - 1) * _GAP
+    panel_h = total_h / n
+    boxes = []
+    for i in range(n):
+        y0 = PAGE_HEIGHT - _MARGIN - (i + 1) * panel_h - i * _GAP
+        boxes.append((_MARGIN, y0, width, panel_h))
+    return boxes
+
+
+def plot_accelerograph(path: Path | str, records: dict[str, CorrectedRecord]) -> None:
+    """Render a station's corrected motion (A/V/D per component)."""
+    station = next(iter(records.values())).header.station
+    canvas = PostScriptCanvas(title=f"{station} corrected motion")
+    comps = sorted(records)
+    quantities = (
+        ("acceleration", "cm/s^2"),
+        ("velocity", "cm/s"),
+        ("displacement", "cm"),
+    )
+    boxes = _panel_boxes(3)
+    grays = {comp: g for comp, g in zip(comps, (0.0, 0.45, 0.7))}
+    for (quantity, unit), box in zip(quantities, boxes):
+        chart = LineChart(
+            title=f"{station} {quantity}",
+            x_axis=Axis(label="Time (s)"),
+            y_axis=Axis(label=unit),
+        )
+        for comp in comps:
+            rec = records[comp]
+            t = np.arange(rec.header.npts) * rec.header.dt
+            chart.add(Series(x=t, y=getattr(rec, quantity), label=comp, gray=grays[comp]))
+        chart.draw(canvas, x0=box[0], y0=box[1], width=box[2], height=box[3])
+    canvas.save(path)
+
+
+def plot_fourier_spectrum(path: Path | str, records: dict[str, FourierRecord]) -> None:
+    """Render a station's Fourier amplitude spectra (per component)."""
+    station = next(iter(records.values())).header.station
+    canvas = PostScriptCanvas(title=f"{station} Fourier spectra")
+    comps = sorted(records)
+    boxes = _panel_boxes(len(comps))
+    for comp, box in zip(comps, boxes):
+        rec = records[comp]
+        chart = LineChart(
+            title=f"{station} component {comp}",
+            x_axis=Axis(label="Period (s)", log=True),
+            y_axis=Axis(label="Fourier amplitude", log=True),
+        )
+        chart.add(Series(x=rec.periods, y=rec.acceleration, label="acc", gray=0.0))
+        chart.add(Series(x=rec.periods, y=rec.velocity, label="vel", gray=0.45))
+        chart.add(Series(x=rec.periods, y=rec.displacement, label="disp", gray=0.7))
+        chart.draw(canvas, x0=box[0], y0=box[1], width=box[2], height=box[3])
+    canvas.save(path)
+
+
+def plot_response_spectrum(
+    path: Path | str, records: dict[str, ResponseRecord], *, damping: float = 0.05
+) -> None:
+    """Render a station's response spectra at the given damping ratio."""
+    station = next(iter(records.values())).header.station
+    canvas = PostScriptCanvas(title=f"{station} response spectra")
+    comps = sorted(records)
+    boxes = _panel_boxes(len(comps))
+    for comp, box in zip(comps, boxes):
+        rec = records[comp]
+        d_idx = int(np.argmin(np.abs(rec.dampings - damping)))
+        chart = LineChart(
+            title=f"{station} component {comp} ({100 * rec.dampings[d_idx]:.0f}% damping)",
+            x_axis=Axis(label="Period (s)", log=True),
+            y_axis=Axis(label="Spectral response", log=True),
+        )
+        chart.add(Series(x=rec.periods, y=rec.sa[d_idx], label="SA", gray=0.0))
+        chart.add(Series(x=rec.periods, y=rec.sv[d_idx], label="SV", gray=0.45))
+        chart.add(Series(x=rec.periods, y=rec.sd[d_idx], label="SD", gray=0.7))
+        chart.draw(canvas, x0=box[0], y0=box[1], width=box[2], height=box[3])
+    canvas.save(path)

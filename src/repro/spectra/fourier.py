@@ -1,0 +1,94 @@
+"""Fourier amplitude spectra (process P7).
+
+The pipeline computes, for every corrected component, the Fourier
+amplitude spectra of acceleration, velocity and displacement and writes
+them against *period* (the paper's Fig. 3 plots period on the x-axis).
+The velocity spectrum is the one later searched for the FPL/FSL
+inflection point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.fft import rfft, rfft_frequencies
+from repro.dsp.window import apply_taper
+from repro.errors import SignalError
+
+
+def fourier_amplitude_spectrum(
+    signal: np.ndarray,
+    dt: float,
+    *,
+    taper: float = 0.05,
+    pure: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-sided Fourier amplitude spectrum.
+
+    Returns ``(frequencies_hz, amplitude)`` with the physical scaling
+    ``|X(f)| = dt * |DFT|`` so the amplitude approximates the
+    continuous transform (units: input units × seconds).  The zero-
+    frequency bin is included; callers working in the period domain
+    drop it.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1 or signal.size == 0:
+        raise SignalError("fourier_amplitude_spectrum expects a non-empty 1-D signal")
+    if dt <= 0:
+        raise SignalError(f"sample interval must be positive, got {dt}")
+    tapered = apply_taper(signal, taper) if taper > 0 else signal
+    spectrum = rfft(tapered, pure=pure)
+    freqs = rfft_frequencies(signal.shape[0], dt)
+    return freqs, dt * np.abs(spectrum)
+
+
+def motion_fourier_spectra(
+    acc: np.ndarray,
+    vel: np.ndarray,
+    disp: np.ndarray,
+    dt: float,
+    *,
+    taper: float = 0.05,
+    max_period: float = 20.0,
+    min_period: float | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fourier spectra of the three motion series against period.
+
+    Returns ``(periods, fas_acc, fas_vel, fas_disp)`` with periods
+    ascending and clipped to ``[min_period, max_period]`` (the paper
+    plots 0.02 s – 20 s).  ``min_period`` defaults to two sample
+    intervals (the Nyquist period).
+    """
+    freqs, fa = fourier_amplitude_spectrum(acc, dt, taper=taper)
+    _, fv = fourier_amplitude_spectrum(vel, dt, taper=taper)
+    _, fd = fourier_amplitude_spectrum(disp, dt, taper=taper)
+    if min_period is None:
+        min_period = 2.0 * dt
+    # Drop the zero-frequency bin, convert to period, clip and sort.
+    with np.errstate(divide="ignore"):
+        periods = 1.0 / freqs[1:]
+    keep = (periods >= min_period) & (periods <= max_period)
+    order = np.argsort(periods[keep])
+    periods = periods[keep][order]
+    return periods, fa[1:][keep][order], fv[1:][keep][order], fd[1:][keep][order]
+
+
+def smooth_log(amplitude: np.ndarray, half_width: int = 3) -> np.ndarray:
+    """Running geometric-mean smoothing of a positive spectrum.
+
+    Strong-motion spectra are jagged; the inflection search runs on a
+    log-domain boxcar-smoothed copy.  Zeros are floored at the smallest
+    positive value present to keep the logarithm finite.
+    """
+    amplitude = np.asarray(amplitude, dtype=float)
+    if half_width < 0:
+        raise SignalError(f"half_width must be >= 0, got {half_width}")
+    if amplitude.size == 0 or half_width == 0:
+        return amplitude.copy()
+    positive = amplitude[amplitude > 0]
+    floor = positive.min() if positive.size else 1.0
+    loga = np.log(np.maximum(amplitude, floor))
+    kernel = np.ones(2 * half_width + 1) / (2 * half_width + 1)
+    padded = np.pad(loga, half_width, mode="edge")
+    smoothed = np.convolve(padded, kernel, mode="valid")
+    return np.exp(smoothed)

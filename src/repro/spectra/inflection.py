@@ -1,0 +1,112 @@
+"""FPL/FSL corner recovery from the velocity Fourier spectrum (P10).
+
+Below the event's corner the velocity Fourier spectrum of a real
+record stops falling and flattens into (or rises with) the noise floor.
+The legacy ``CalculateInflectionPoint`` walks the spectrum toward long
+periods — "searching for slope changes in data points for periods
+greater than one second" with early termination (paper §V-B) — and the
+period of the first persistent slope reversal fixes the long-period
+cut of the definitive band-pass: FPL (pass) at the inflection
+frequency and FSL (stop) a fixed ratio below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.fir import BandPassSpec
+from repro.errors import SignalError
+from repro.spectra.fourier import smooth_log
+
+
+@dataclass(frozen=True)
+class InflectionResult:
+    """Outcome of the inflection search on one velocity spectrum."""
+
+    period: float
+    fpl: float
+    fsl: float
+    found: bool
+    scanned: int
+
+    @property
+    def frequency(self) -> float:
+        """Corner frequency (Hz) of the detected inflection."""
+        return 1.0 / self.period
+
+
+def find_inflection_point(
+    periods: np.ndarray,
+    velocity_fas: np.ndarray,
+    *,
+    min_period: float = 1.0,
+    smoothing_half_width: int = 4,
+    slope_tolerance: float = 0.0,
+    persistence: int = 3,
+    fsl_ratio: float = 0.5,
+    fallback_period: float = 10.0,
+) -> InflectionResult:
+    """Locate the long-period inflection of a velocity Fourier spectrum.
+
+    Scans log-log slopes from ``min_period`` toward longer periods and
+    terminates early at the first run of ``persistence`` consecutive
+    non-decreasing steps (slope >= ``slope_tolerance``) — the point
+    where the spectrum stops decaying and noise takes over.  Returns
+    the inflection period, FPL = 1/period and FSL = ``fsl_ratio`` ×
+    FPL.  When no inflection exists (clean synthetic records), the
+    fallback period caps the usable band instead, with ``found=False``.
+    """
+    periods = np.asarray(periods, dtype=float)
+    velocity_fas = np.asarray(velocity_fas, dtype=float)
+    if periods.shape != velocity_fas.shape or periods.size == 0:
+        raise SignalError("periods and velocity spectrum must be equal-length, non-empty")
+    if not np.all(np.diff(periods) > 0):
+        raise SignalError("periods must be strictly ascending")
+    if persistence < 1:
+        raise SignalError(f"persistence must be >= 1, got {persistence}")
+
+    smoothed = smooth_log(velocity_fas, smoothing_half_width)
+    start = int(np.searchsorted(periods, min_period, side="left"))
+    scanned = 0
+    run = 0
+    inflection_idx: int | None = None
+    floor = smoothed[smoothed > 0].min() if np.any(smoothed > 0) else 1.0
+    log_amp = np.log(np.maximum(smoothed, floor))
+    log_per = np.log(periods)
+    # Early-termination scan, mirroring the legacy loop: walk long-ward
+    # and stop at the first persistent slope reversal.
+    for i in range(max(start, 1), periods.shape[0]):
+        scanned += 1
+        dp = log_per[i] - log_per[i - 1]
+        slope = (log_amp[i] - log_amp[i - 1]) / dp if dp > 0 else 0.0
+        if slope >= slope_tolerance:
+            run += 1
+            if run >= persistence:
+                inflection_idx = i - persistence + 1
+                break
+        else:
+            run = 0
+
+    if inflection_idx is not None:
+        period = float(periods[inflection_idx])
+        found = True
+    else:
+        period = float(min(fallback_period, periods[-1]))
+        found = False
+    fpl = 1.0 / period
+    return InflectionResult(
+        period=period, fpl=fpl, fsl=fsl_ratio * fpl, found=found, scanned=scanned
+    )
+
+
+def corners_from_inflection(result: InflectionResult, base: BandPassSpec) -> BandPassSpec:
+    """Definitive band-pass corners: FPL/FSL from the inflection search,
+    high-side corners inherited from the default spec (P13's filter)."""
+    fsl = result.fsl
+    fpl = result.fpl
+    # Keep the corners ordered even for degenerate spectra.
+    fpl = min(fpl, 0.5 * base.f_pass_high)
+    fsl = min(fsl, 0.5 * fpl)
+    return base.with_low_corners(fsl, fpl)

@@ -1,0 +1,124 @@
+"""Site-characterization spectral tools.
+
+Two standard companions of strong-motion spectral analysis:
+
+- **Konno–Ohmachi smoothing** — the logarithmic-bandwidth smoothing
+  window ``W(f, fc) = [sin(b log10(f/fc)) / (b log10(f/fc))]^4``
+  (Konno & Ohmachi 1998), the de-facto standard for smoothing Fourier
+  spectra before taking ratios;
+- **H/V spectral ratio** — the horizontal-to-vertical ratio used to
+  estimate a site's fundamental frequency from a single
+  three-component record (Nakamura's technique), computed from the
+  pipeline's own Fourier spectra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+
+
+def konno_ohmachi_window(freqs: np.ndarray, center: float, bandwidth: float = 40.0) -> np.ndarray:
+    """Konno–Ohmachi weights of every frequency around one center."""
+    freqs = np.asarray(freqs, dtype=float)
+    if center <= 0:
+        raise SignalError(f"center frequency must be positive, got {center}")
+    if bandwidth <= 0:
+        raise SignalError(f"bandwidth coefficient must be positive, got {bandwidth}")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x = bandwidth * np.log10(freqs / center)
+        w = (np.sin(x) / x) ** 4
+    w[np.isnan(w)] = 1.0  # f == center
+    w[freqs <= 0] = 0.0
+    return w
+
+
+def konno_ohmachi_smooth(
+    freqs: np.ndarray,
+    amplitude: np.ndarray,
+    *,
+    bandwidth: float = 40.0,
+    max_points: int = 4096,
+) -> np.ndarray:
+    """Smooth an amplitude spectrum with Konno–Ohmachi windows.
+
+    O(n^2) in the number of frequencies; spectra longer than
+    ``max_points`` are rejected (decimate first) to keep that explicit.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    amplitude = np.asarray(amplitude, dtype=float)
+    if freqs.shape != amplitude.shape:
+        raise SignalError("frequencies and amplitude must have equal shape")
+    if freqs.size == 0:
+        raise SignalError("cannot smooth an empty spectrum")
+    if freqs.size > max_points:
+        raise SignalError(
+            f"spectrum has {freqs.size} points (> {max_points}); decimate before smoothing"
+        )
+    positive = freqs > 0
+    out = amplitude.astype(float).copy()
+    pf = freqs[positive]
+    pa = amplitude[positive]
+    smoothed = np.empty_like(pa)
+    for i, fc in enumerate(pf):
+        w = konno_ohmachi_window(pf, fc, bandwidth)
+        total = w.sum()
+        smoothed[i] = float(np.dot(w, pa) / total) if total > 0 else pa[i]
+    out[positive] = smoothed
+    return out
+
+
+@dataclass(frozen=True)
+class HvResult:
+    """Outcome of an H/V analysis."""
+
+    freqs: np.ndarray
+    ratio: np.ndarray
+    peak_frequency: float
+    peak_amplitude: float
+
+
+def hv_spectral_ratio(
+    freqs: np.ndarray,
+    fas_horizontal_1: np.ndarray,
+    fas_horizontal_2: np.ndarray,
+    fas_vertical: np.ndarray,
+    *,
+    bandwidth: float = 40.0,
+    band: tuple[float, float] = (0.2, 20.0),
+) -> HvResult:
+    """Nakamura H/V ratio from the three components' Fourier spectra.
+
+    The horizontal spectrum is the geometric mean of the two
+    components; all three spectra are Konno–Ohmachi smoothed before
+    dividing.  The peak of the ratio inside ``band`` estimates the
+    site's fundamental frequency.
+    """
+    freqs = np.asarray(freqs, dtype=float)
+    h1 = np.asarray(fas_horizontal_1, dtype=float)
+    h2 = np.asarray(fas_horizontal_2, dtype=float)
+    v = np.asarray(fas_vertical, dtype=float)
+    if not (freqs.shape == h1.shape == h2.shape == v.shape):
+        raise SignalError("H/V inputs must share one frequency grid")
+    if np.any(h1 < 0) or np.any(h2 < 0) or np.any(v < 0):
+        raise SignalError("Fourier amplitudes must be non-negative")
+    horizontal = np.sqrt(np.maximum(h1, 0) * np.maximum(h2, 0))
+    h_s = konno_ohmachi_smooth(freqs, horizontal, bandwidth=bandwidth)
+    v_s = konno_ohmachi_smooth(freqs, v, bandwidth=bandwidth)
+    floor = max(v_s[v_s > 0].min() if np.any(v_s > 0) else 1.0, 1e-300)
+    ratio = h_s / np.maximum(v_s, floor)
+
+    lo, hi = band
+    in_band = (freqs >= lo) & (freqs <= hi)
+    if not np.any(in_band):
+        raise SignalError(f"no frequencies inside the H/V band {band}")
+    idx = int(np.argmax(np.where(in_band, ratio, -np.inf)))
+    return HvResult(
+        freqs=freqs,
+        ratio=ratio,
+        peak_frequency=float(freqs[idx]),
+        peak_amplitude=float(ratio[idx]),
+    )

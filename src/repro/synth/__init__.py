@@ -1,0 +1,36 @@
+"""Synthetic strong-motion data generation.
+
+The paper's 71 V1 accelerograms from the Salvadoran network are not
+public, so this package provides the substitute documented in
+DESIGN.md: a stochastic ground-motion simulator in the Boore (2003)
+tradition — Brune omega-squared source spectrum, whole-path
+attenuation, site amplification with kappa, and a Saragoni–Hart shaped
+noise carrier — plus a six-event catalog whose file counts and total
+data points match Table I of the paper exactly.
+"""
+
+from repro.synth.source import BruneSource, moment_from_magnitude, corner_frequency
+from repro.synth.path import PathModel
+from repro.synth.site import SiteModel
+from repro.synth.stochastic import StochasticSimulator, saragoni_hart_window
+from repro.synth.network import StationSpec, make_network
+from repro.synth.events import EventSpec, PAPER_EVENTS, paper_event, distribute_points
+from repro.synth.dataset import generate_event_dataset, DatasetManifest
+
+__all__ = [
+    "BruneSource",
+    "moment_from_magnitude",
+    "corner_frequency",
+    "PathModel",
+    "SiteModel",
+    "StochasticSimulator",
+    "saragoni_hart_window",
+    "StationSpec",
+    "make_network",
+    "EventSpec",
+    "PAPER_EVENTS",
+    "paper_event",
+    "distribute_points",
+    "generate_event_dataset",
+    "DatasetManifest",
+]

@@ -1,0 +1,147 @@
+"""The six-event catalog matched to the paper's experimental dataset.
+
+Table I of the paper lists, per event, the number of V1 files and the
+total data points.  :data:`PAPER_EVENTS` reproduces those exactly; the
+per-file point counts are distributed deterministically inside the
+7,300–35,000 range the paper quotes (§VII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SignalError
+
+#: Per-file data-point bounds quoted in the paper (§VII-A).
+MIN_FILE_POINTS: int = 7_300
+MAX_FILE_POINTS: int = 35_000
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One seismic event of the experimental catalog."""
+
+    event_id: str
+    date: str
+    magnitude: float
+    n_files: int
+    total_points: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.n_files < 1:
+            raise SignalError(f"event {self.event_id}: needs >= 1 file")
+        if not MIN_FILE_POINTS * self.n_files <= self.total_points <= MAX_FILE_POINTS * self.n_files:
+            raise SignalError(
+                f"event {self.event_id}: {self.total_points} points cannot be split into "
+                f"{self.n_files} files of {MIN_FILE_POINTS}-{MAX_FILE_POINTS} points"
+            )
+
+    def file_points(self) -> list[int]:
+        """Deterministic per-file data-point counts summing to the total."""
+        return distribute_points(
+            self.total_points, self.n_files, MIN_FILE_POINTS, MAX_FILE_POINTS, self.seed
+        )
+
+
+def distribute_points(total: int, n: int, lo: int, hi: int, seed: int) -> list[int]:
+    """Split ``total`` into ``n`` integers in [lo, hi], deterministically.
+
+    Draws uniform proposals, rescales them to the required total, then
+    repairs any bound violations by shifting the excess onto files with
+    slack.  Raises :class:`SignalError` when no split exists.
+    """
+    if not n * lo <= total <= n * hi:
+        raise SignalError(f"cannot split {total} into {n} parts within [{lo}, {hi}]")
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(lo, hi, n)
+    scaled = raw * (total / raw.sum())
+    parts = np.clip(np.round(scaled).astype(int), lo, hi)
+    # Repair the rounding/clipping drift one unit at a time, spending it
+    # on the entries with the most slack.
+    drift = total - int(parts.sum())
+    step = 1 if drift > 0 else -1
+    guard = 0
+    while drift != 0:
+        slack = (hi - parts) if step > 0 else (parts - lo)
+        idx = int(np.argmax(slack))
+        if slack[idx] == 0:
+            raise SignalError(f"cannot repair distribution drift for total={total}, n={n}")
+        parts[idx] += step
+        drift -= step
+        guard += 1
+        if guard > abs(total) + n * (hi - lo):
+            raise SignalError("distribute_points failed to converge")
+    return [int(p) for p in parts]
+
+
+#: The six events of Table I: (id, date, magnitude, V1 files, data points).
+PAPER_EVENTS: tuple[EventSpec, ...] = (
+    EventSpec("EV-NOV18", "2018-11-24", 5.1, 5, 56_000, seed=181124),
+    EventSpec("EV-APR18", "2018-04-02", 5.4, 5, 115_000, seed=180402),
+    EventSpec("EV-JUL19A", "2019-07-10", 5.3, 9, 145_000, seed=190710),
+    EventSpec("EV-APR17", "2017-04-10", 5.9, 15, 309_000, seed=170410),
+    EventSpec("EV-MAY19", "2019-05-30", 6.2, 18, 361_000, seed=190530),
+    EventSpec("EV-JUL19B", "2019-07-31", 6.0, 19, 384_000, seed=190731),
+)
+
+
+def paper_event(event_id: str) -> EventSpec:
+    """Look up a catalog event by id (raises on unknown ids)."""
+    for event in PAPER_EVENTS:
+        if event.event_id == event_id:
+            return event
+    known = [e.event_id for e in PAPER_EVENTS]
+    raise SignalError(f"unknown event {event_id!r}; catalog has {known}")
+
+
+def write_catalog(path, events: "list[EventSpec] | tuple[EventSpec, ...]") -> None:
+    """Write an event catalog file.
+
+    One ``EVENT id date magnitude n_files total_points seed`` line per
+    event under a banner — the input format of ``repro-bulletin``.
+    """
+    from pathlib import Path
+
+    lines = ["OANT EVENT CATALOG"]
+    for event in events:
+        lines.append(
+            f"EVENT {event.event_id} {event.date} {event.magnitude:.2f} "
+            f"{event.n_files} {event.total_points} {event.seed}"
+        )
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_catalog(path) -> list[EventSpec]:
+    """Read an event catalog file written by :func:`write_catalog`."""
+    from pathlib import Path
+
+    path = Path(path)
+    if not path.exists():
+        raise SignalError(f"catalog file not found: {path}")
+    lines = path.read_text().splitlines()
+    if not lines or lines[0].strip() != "OANT EVENT CATALOG":
+        raise SignalError(f"{path}: not an event catalog file")
+    events: list[EventSpec] = []
+    for line in lines[1:]:
+        tokens = line.split()
+        if not tokens:
+            continue
+        if tokens[0] != "EVENT" or len(tokens) != 7:
+            raise SignalError(f"{path}: malformed catalog line {line!r}")
+        try:
+            events.append(
+                EventSpec(
+                    event_id=tokens[1],
+                    date=tokens[2],
+                    magnitude=float(tokens[3]),
+                    n_files=int(tokens[4]),
+                    total_points=int(tokens[5]),
+                    seed=int(tokens[6]),
+                )
+            )
+        except ValueError as exc:
+            raise SignalError(f"{path}: bad numeric field in {line!r}") from exc
+    return events

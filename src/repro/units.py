@@ -1,0 +1,58 @@
+"""Physical units used in strong-motion processing.
+
+The legacy pipeline works in CGS units throughout: accelerations in
+gal (cm/s^2), velocities in cm/s and displacements in cm.  Spectra are
+reported against period in seconds.  This module centralizes the
+conversion constants so no magic numbers appear in processing code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Standard gravity in gal (cm/s^2).
+G_GAL: float = 980.665
+
+#: Standard gravity in m/s^2.
+G_SI: float = 9.80665
+
+#: One gal expressed in m/s^2.
+GAL_TO_SI: float = 0.01
+
+#: One m/s^2 expressed in gal.
+SI_TO_GAL: float = 100.0
+
+
+def gal_to_g(acc_gal: np.ndarray | float) -> np.ndarray | float:
+    """Convert acceleration from gal to units of standard gravity."""
+    return np.asarray(acc_gal) / G_GAL if isinstance(acc_gal, np.ndarray) else acc_gal / G_GAL
+
+
+def g_to_gal(acc_g: np.ndarray | float) -> np.ndarray | float:
+    """Convert acceleration from units of standard gravity to gal."""
+    return np.asarray(acc_g) * G_GAL if isinstance(acc_g, np.ndarray) else acc_g * G_GAL
+
+
+def gal_to_si(acc_gal: np.ndarray | float) -> np.ndarray | float:
+    """Convert acceleration from gal to m/s^2."""
+    return acc_gal * GAL_TO_SI
+
+
+def si_to_gal(acc_si: np.ndarray | float) -> np.ndarray | float:
+    """Convert acceleration from m/s^2 to gal."""
+    return acc_si * SI_TO_GAL
+
+
+def period_to_frequency(period_s: np.ndarray | float) -> np.ndarray | float:
+    """Convert period in seconds to frequency in Hz (element-wise)."""
+    return 1.0 / np.asarray(period_s) if isinstance(period_s, np.ndarray) else 1.0 / period_s
+
+
+def frequency_to_period(freq_hz: np.ndarray | float) -> np.ndarray | float:
+    """Convert frequency in Hz to period in seconds (element-wise)."""
+    return 1.0 / np.asarray(freq_hz) if isinstance(freq_hz, np.ndarray) else 1.0 / freq_hz
+
+
+def angular_frequency(freq_hz: np.ndarray | float) -> np.ndarray | float:
+    """Convert frequency in Hz to angular frequency in rad/s."""
+    return 2.0 * np.pi * freq_hz

@@ -1,0 +1,88 @@
+"""Tests for the calibrated cost model."""
+
+import pytest
+
+from repro.bench.costmodel import DEFAULT_COST_MODEL, CostModel, Overheads
+from repro.bench.paper_data import PAPER_STAGE_IX_SHARE, paper_row
+from repro.bench.workloads import EventWorkload, paper_workloads
+from repro.core.registry import OPTIMIZED_ORDER, ORIGINAL_ORDER, REDUNDANT_PROCESSES
+
+
+@pytest.fixture(scope="module")
+def anchor():
+    """The calibration workload (largest event)."""
+    return paper_workloads()[-1]
+
+
+class TestCalibrationAnchors:
+    def test_sequential_original_total_matches(self, anchor):
+        total = DEFAULT_COST_MODEL.sequential_total(ORIGINAL_ORDER, anchor)
+        assert total == pytest.approx(483.7, rel=0.002)
+
+    def test_sequential_optimized_total_matches(self, anchor):
+        total = DEFAULT_COST_MODEL.sequential_total(OPTIMIZED_ORDER, anchor)
+        assert total == pytest.approx(426.0, rel=0.002)
+
+    def test_stage_ix_share(self, anchor):
+        p16 = DEFAULT_COST_MODEL.cost(16, anchor)
+        total = DEFAULT_COST_MODEL.sequential_total(ORIGINAL_ORDER, anchor)
+        assert p16 / total == pytest.approx(PAPER_STAGE_IX_SHARE, abs=0.01)
+
+    def test_redundant_cost_matches_published_gap(self, anchor):
+        redundant = sum(DEFAULT_COST_MODEL.cost(pid, anchor) for pid in REDUNDANT_PROCESSES)
+        assert redundant == pytest.approx(483.7 - 426.0, rel=0.01)
+
+
+class TestScaling:
+    def test_cost_linear_in_points(self):
+        small = EventWorkload("A", "a", (10_000,))
+        large = EventWorkload("B", "b", (20_000,))
+        pc = DEFAULT_COST_MODEL.process(16)
+        gain = DEFAULT_COST_MODEL.cost(16, large) - DEFAULT_COST_MODEL.cost(16, small)
+        assert gain == pytest.approx(pc.per_point_s * 10_000)
+
+    def test_cost_grows_with_files(self):
+        few = EventWorkload("A", "a", (30_000,))
+        many = EventWorkload("B", "b", (10_000, 10_000, 10_000))
+        assert DEFAULT_COST_MODEL.cost(9, many) > DEFAULT_COST_MODEL.cost(9, few)
+
+    def test_file_cost_shares_sum_to_total(self, anchor):
+        for pid in (3, 4, 16, 19):
+            shares = DEFAULT_COST_MODEL.file_cost_shares(pid, anchor)
+            assert sum(shares) == pytest.approx(DEFAULT_COST_MODEL.cost(pid, anchor))
+            assert len(shares) == anchor.n_files
+
+    def test_bigger_files_get_bigger_shares(self):
+        workload = EventWorkload("A", "a", (10_000, 30_000))
+        shares = DEFAULT_COST_MODEL.file_cost_shares(16, workload)
+        assert shares[1] > shares[0]
+
+
+class TestResources:
+    def test_all_processes_have_profiles(self):
+        for pid in range(20):
+            pc = DEFAULT_COST_MODEL.process(pid)
+            assert 0 <= pc.io <= 1
+            assert 0 <= pc.mem <= 1
+            assert pc.io + pc.mem <= 1.0
+
+    def test_response_spectrum_is_compute_bound(self):
+        pc = DEFAULT_COST_MODEL.process(16)
+        assert pc.io < 0.3
+        assert pc.mem > 0.3
+
+    def test_gem_generation_is_io_bound(self):
+        assert DEFAULT_COST_MODEL.process(19).io > 0.7
+
+
+class TestOverheads:
+    def test_driver_cost_scaling(self):
+        ovh = Overheads()
+        small = ovh.driver_cost(56_000)
+        large = ovh.driver_cost(384_000)
+        assert large > small
+        assert large == pytest.approx(ovh.driver_fixed_s + ovh.driver_per_point_s * 384_000)
+
+    def test_custom_overheads_accepted(self):
+        model = CostModel(overheads=Overheads(task_spawn_s=0.1))
+        assert model.overheads.task_spawn_s == 0.1

@@ -1,0 +1,57 @@
+"""Tests for report formatting and the measured-table module."""
+
+import pytest
+
+from repro.bench.measured_table import MeasuredTableRow, render_measured_table
+from repro.bench.report import comparison_table, format_table, relative_error
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(("name", "value"), [("a", 1.5), ("long-name", 22.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # Right-aligned columns: every row has equal length.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_float_formatting(self):
+        text = format_table(("x",), [(3.14159,)])
+        assert "3.14" in text
+
+    def test_comparison_table_title(self):
+        text = comparison_table(("a",), [(1,)], title="My table")
+        assert text.startswith("My table\n")
+
+    def test_empty_rows(self):
+        text = format_table(("only", "headers"), [])
+        assert "only" in text
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.10)
+        assert relative_error(90.0, 100.0) == pytest.approx(-0.10)
+
+    def test_zero_reference(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(5.0, 0.0) == float("inf")
+
+
+class TestMeasuredTable:
+    def test_render_and_speedup(self):
+        row = MeasuredTableRow(
+            event_id="EV-X",
+            n_files=3,
+            total_points=1_000,
+            times_s={
+                "seq-original": 2.0,
+                "seq-optimized": 1.8,
+                "partial-parallel": 1.7,
+                "full-parallel": 1.0,
+            },
+        )
+        assert row.speedup == pytest.approx(2.0)
+        text = render_measured_table([row])
+        assert "EV-X" in text
+        assert "2.00x" in text

@@ -1,0 +1,228 @@
+"""Per-process unit tests, run against a shared tiny workspace.
+
+Each process is exercised in pipeline order on the same context,
+asserting the artifacts it must create (and their invariants) exist
+before the next process depends on them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import artifacts as art
+from repro.core.processes.p00_flags import FLAG_NAMES, run_p00
+from repro.core.processes.p01_gather import run_p01
+from repro.core.processes.p02_params import run_p02
+from repro.core.processes.p03_separate import run_p03, stations_from_list
+from repro.core.processes.p04_correct import run_p04
+from repro.core.processes.p05_metadata import run_p05
+from repro.core.processes.p07_fourier import run_p07
+from repro.core.processes.p08_fourier_meta import run_p08
+from repro.core.processes.p09_plot_fourier import run_p09
+from repro.core.processes.p10_corners import run_p10
+from repro.core.processes.p11_flags2 import run_p11
+from repro.core.processes.p13_correct2 import run_p13
+from repro.core.processes.p15_plot_acc import run_p15
+from repro.core.processes.p16_response import run_p16, trace_pairs
+from repro.core.processes.p17_response_meta import run_p17
+from repro.core.processes.p18_plot_response import run_p18
+from repro.core.processes.p19_gem import interleaved_files, run_p19
+from repro.errors import MissingArtifactError, PipelineError
+from repro.formats.common import COMPONENTS
+from repro.formats.filelist import read_filelist, read_metadata
+from repro.formats.fourier import read_fourier
+from repro.formats.gem import read_gem
+from repro.formats.params import read_filter_params
+from repro.formats.response import read_response
+from repro.formats.v1 import read_component_v1, read_v1
+from repro.formats.v2 import read_v2
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    """A module-scoped context the tests advance through the pipeline."""
+    import shutil
+
+    from repro.synth.dataset import generate_event_dataset
+    from tests.conftest import TINY_EVENT, make_context
+
+    root = tmp_path_factory.mktemp("proc") / "ws"
+    context = make_context(root)
+    generate_event_dataset(TINY_EVENT, context.workspace.input_dir)
+    return context
+
+
+@pytest.mark.order_dependent
+class TestProcessChain:
+    def test_p00_flags(self, ctx):
+        run_p00(ctx)
+        text = ctx.workspace.work(art.FLAGS).read_text()
+        assert len(text.splitlines()) == 10
+        for name in FLAG_NAMES:
+            assert name in text
+
+    def test_p01_gather(self, ctx):
+        run_p01(ctx)
+        names = read_filelist(ctx.workspace.work(art.V1_LIST))
+        assert names == sorted(names)
+        assert all(name.endswith(".v1") for name in names)
+        assert len(names) == 2
+
+    def test_p02_params(self, ctx):
+        run_p02(ctx)
+        params = read_filter_params(ctx.workspace.work(art.FILTER_PARAMS))
+        assert params.overrides == {}
+        assert params.default.f_pass_low == ctx.default_filter.f_pass_low
+
+    def test_p03_separate(self, ctx):
+        run_p03(ctx)
+        stations = stations_from_list(ctx.workspace)
+        for station in stations:
+            raw = read_v1(ctx.workspace.raw_v1(station))
+            for comp in COMPONENTS:
+                record = read_component_v1(ctx.workspace.component_v1(station, comp))
+                assert np.allclose(record.acceleration, raw.components[comp], rtol=1e-6)
+                assert record.header.component == comp
+
+    def test_p04_default_correction(self, ctx):
+        run_p04(ctx)
+        stations = stations_from_list(ctx.workspace)
+        for station in stations:
+            for comp in COMPONENTS:
+                record = read_v2(ctx.workspace.component_v2(station, comp))
+                assert record.f_pass_low == pytest.approx(ctx.default_filter.f_pass_low)
+        maxvals = ctx.workspace.work(art.MAXVALS).read_text().splitlines()
+        assert len(maxvals) == 3 * len(stations)
+        # No scratch left behind.
+        assert not list(ctx.workspace.work_dir.glob("*.max"))
+        assert not (ctx.workspace.work_dir / "tool.cfg").exists()
+
+    def test_p05_metadata(self, ctx):
+        run_p05(ctx)
+        for name, purpose in (
+            (art.ACCGRAPH_META, "ACCGRAPH"),
+            (art.FOURIER_META, "FOURIER"),
+            (art.RESPONSE_META, "RESPONSE"),
+        ):
+            meta = read_metadata(ctx.workspace.work(name))
+            assert meta.purpose == purpose
+            assert len(meta.entries) == 2
+
+    def test_p07_fourier(self, ctx):
+        run_p07(ctx)
+        stations = stations_from_list(ctx.workspace)
+        for station in stations:
+            for comp in COMPONENTS:
+                record = read_fourier(ctx.workspace.component_f(station, comp))
+                assert record.periods[-1] <= ctx.fourier_max_period
+
+    def test_p08_fourier_meta(self, ctx):
+        run_p08(ctx)
+        meta = read_metadata(ctx.workspace.work(art.FOURIERGRAPH_META))
+        assert meta.purpose == "FOURIERGRAPH"
+        assert all(len(entry) == 4 for entry in meta.entries)
+
+    def test_p09_plot_fourier(self, ctx):
+        run_p09(ctx)
+        for station in stations_from_list(ctx.workspace):
+            doc = ctx.workspace.plot_fourier(station).read_text()
+            assert doc.startswith("%!PS")
+
+    def test_p10_corners(self, ctx):
+        run_p10(ctx)
+        params = read_filter_params(ctx.workspace.work(art.FILTER_CORRECTED))
+        stations = stations_from_list(ctx.workspace)
+        assert len(params.overrides) == 3 * len(stations)
+        for spec in params.overrides.values():
+            spec.validate(nyquist=0.5 / 0.004)  # generous nyquist
+
+    def test_p10_parallel_inner_identical(self, ctx, tmp_path):
+        serial_bytes = ctx.workspace.work(art.FILTER_CORRECTED).read_bytes()
+        run_p10(ctx, parallel_inner=True)
+        assert ctx.workspace.work(art.FILTER_CORRECTED).read_bytes() == serial_bytes
+
+    def test_p11_flags2(self, ctx):
+        run_p11(ctx)
+        assert ctx.workspace.work(art.FLAGS2).exists()
+
+    def test_p13_definitive_correction(self, ctx):
+        before = read_v2(
+            ctx.workspace.component_v2(stations_from_list(ctx.workspace)[0], "l")
+        )
+        run_p13(ctx)
+        station = stations_from_list(ctx.workspace)[0]
+        after = read_v2(ctx.workspace.component_v2(station, "l"))
+        params = read_filter_params(ctx.workspace.work(art.FILTER_CORRECTED))
+        expected = params.spec_for(station, "l")
+        assert after.f_pass_low == pytest.approx(expected.f_pass_low)
+        # The definitive corners differ from the defaults, so the
+        # records must have been re-corrected.
+        assert after.f_pass_low != pytest.approx(before.f_pass_low)
+        assert ctx.workspace.work(art.MAXVALS2).exists()
+
+    def test_p15_plot_acc(self, ctx):
+        run_p15(ctx)
+        for station in stations_from_list(ctx.workspace):
+            assert ctx.workspace.plot_accelerograph(station).read_text().startswith("%!PS")
+
+    def test_p16_response(self, ctx):
+        run_p16(ctx)
+        pairs = trace_pairs(ctx)
+        assert len(pairs) == 3 * len(stations_from_list(ctx.workspace))
+        for _v2_name, r_name in pairs:
+            record = read_response(ctx.workspace.work(r_name))
+            assert record.sa.shape == (
+                len(ctx.response_config.dampings),
+                ctx.response_config.periods.size,
+            )
+            assert np.all(record.sa >= 0)
+
+    def test_p17_response_meta(self, ctx):
+        run_p17(ctx)
+        meta = read_metadata(ctx.workspace.work(art.RESPONSEGRAPH_META))
+        assert meta.purpose == "RESPONSEGRAPH"
+
+    def test_p18_plot_response(self, ctx):
+        run_p18(ctx)
+        for station in stations_from_list(ctx.workspace):
+            assert ctx.workspace.plot_response(station).read_text().startswith("%!PS")
+
+    def test_p19_gem(self, ctx):
+        run_p19(ctx)
+        stations = stations_from_list(ctx.workspace)
+        files = interleaved_files(ctx)
+        assert len(files) == 6 * len(stations)
+        # 18 GEM files per station, with consistent content.
+        for station in stations:
+            for comp in COMPONENTS:
+                v2 = read_v2(ctx.workspace.component_v2(station, comp))
+                gem_a = read_gem(ctx.workspace.gem(station, comp, "2", "A"))
+                assert np.allclose(gem_a.values, v2.acceleration, rtol=1e-6)
+                r = read_response(ctx.workspace.component_r(station, comp))
+                gem_ra = read_gem(ctx.workspace.gem(station, comp, "R", "A"))
+                d_idx = int(np.argmin(np.abs(r.dampings - 0.05)))
+                assert np.allclose(gem_ra.values, r.sa[d_idx], rtol=1e-6)
+                assert np.allclose(gem_ra.abscissa, r.periods, rtol=1e-6)
+
+
+class TestProcessFailures:
+    def test_p01_requires_input(self, tmp_path):
+        from tests.conftest import make_context
+
+        ctx = make_context(tmp_path / "empty")
+        with pytest.raises(PipelineError):
+            run_p01(ctx)
+
+    def test_p03_requires_list(self, tmp_path):
+        from tests.conftest import make_context
+
+        ctx = make_context(tmp_path / "nolist")
+        (ctx.workspace.input_dir / "X.v1").write_text("stub")
+        with pytest.raises(MissingArtifactError):
+            run_p03(ctx)
+
+    def test_p16_requires_metadata(self, tmp_path):
+        from tests.conftest import make_context
+
+        ctx = make_context(tmp_path / "nometa")
+        with pytest.raises(MissingArtifactError):
+            run_p16(ctx)

@@ -1,0 +1,109 @@
+"""Unit tests for the STA/LTA detector."""
+
+import numpy as np
+import pytest
+
+from repro.detect.stalta import (
+    TriggerOnset,
+    classic_sta_lta,
+    recursive_sta_lta,
+    trigger_onsets,
+)
+from repro.errors import SignalError
+
+
+def noisy_trace_with_event(rng, n=8000, event_at=4000, event_len=800, amp=20.0):
+    """Background noise with a strong burst at a known position."""
+    trace = rng.normal(size=n) * 0.5
+    trace[event_at : event_at + event_len] += rng.normal(size=event_len) * amp
+    return trace
+
+
+class TestCharacteristicFunctions:
+    @pytest.mark.parametrize("func", [classic_sta_lta, recursive_sta_lta])
+    def test_quiet_trace_near_unity(self, rng, func):
+        trace = rng.normal(size=5000)
+        ratio = func(trace, 50, 1000)
+        settled = ratio[2000:]
+        assert 0.5 < np.median(settled) < 2.0
+
+    @pytest.mark.parametrize("func", [classic_sta_lta, recursive_sta_lta])
+    def test_event_spikes_ratio(self, rng, func):
+        trace = noisy_trace_with_event(rng)
+        ratio = func(trace, 50, 2000)
+        assert ratio[4000:4400].max() > 10.0
+
+    @pytest.mark.parametrize("func", [classic_sta_lta, recursive_sta_lta])
+    def test_warmup_suppressed(self, rng, func):
+        trace = rng.normal(size=4000)
+        ratio = func(trace, 50, 1000)
+        assert np.all(ratio[: 999 if func is classic_sta_lta else 1000] == 0.0)
+
+    def test_classic_exact_on_constant(self):
+        trace = np.ones(3000)
+        ratio = classic_sta_lta(trace, 10, 100)
+        assert np.allclose(ratio[200:], 1.0)
+
+    @pytest.mark.parametrize("func", [classic_sta_lta, recursive_sta_lta])
+    def test_rejects_bad_windows(self, rng, func):
+        trace = rng.normal(size=1000)
+        with pytest.raises(SignalError):
+            func(trace, 100, 50)
+        with pytest.raises(SignalError):
+            func(trace, 0, 50)
+        with pytest.raises(SignalError):
+            func(rng.normal(size=10), 2, 50)
+
+    def test_same_length_as_input(self, rng):
+        trace = rng.normal(size=3333)
+        assert classic_sta_lta(trace, 20, 300).shape == trace.shape
+        assert recursive_sta_lta(trace, 20, 300).shape == trace.shape
+
+
+class TestTriggerOnsets:
+    def test_single_pulse(self):
+        ratio = np.zeros(100)
+        ratio[40:60] = 5.0
+        onsets = trigger_onsets(ratio, 4.0, 1.0)
+        assert len(onsets) == 1
+        assert onsets[0].on == 40
+        assert onsets[0].off == 60
+
+    def test_hysteresis_keeps_trigger_alive(self):
+        ratio = np.zeros(100)
+        ratio[40:44] = 5.0
+        ratio[44:56] = 2.0  # below on, above off: still triggered
+        ratio[56:60] = 5.0
+        onsets = trigger_onsets(ratio, 4.0, 1.0)
+        assert len(onsets) == 1
+        assert onsets[0].off == 60
+
+    def test_min_duration_filters_blips(self):
+        ratio = np.zeros(100)
+        ratio[10] = 9.0
+        ratio[50:70] = 9.0
+        onsets = trigger_onsets(ratio, 4.0, 1.0, min_duration=5)
+        assert len(onsets) == 1
+        assert onsets[0].on == 50
+
+    def test_open_trigger_closes_at_end(self):
+        ratio = np.zeros(50)
+        ratio[40:] = 9.0
+        onsets = trigger_onsets(ratio, 4.0, 1.0)
+        assert onsets == [TriggerOnset(on=40, off=49)]
+
+    def test_multiple_events(self):
+        ratio = np.zeros(200)
+        ratio[20:40] = 5.0
+        ratio[120:150] = 5.0
+        onsets = trigger_onsets(ratio, 4.0, 1.0)
+        assert [o.on for o in onsets] == [20, 120]
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(SignalError):
+            trigger_onsets(np.zeros(10), 2.0, 3.0)
+        with pytest.raises(SignalError):
+            trigger_onsets(np.zeros(10), 3.0, 1.0, min_duration=0)
+
+    def test_duration_helper(self):
+        assert TriggerOnset(on=5, off=25).duration_samples() == 20

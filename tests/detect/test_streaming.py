@@ -1,0 +1,116 @@
+"""Tests for the streaming detector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detect.streaming import StreamingDetector
+from repro.errors import SignalError
+from repro.synth.source import BruneSource
+from repro.synth.stochastic import StochasticSimulator
+
+
+def make_stream(rng, n=24_000, events_at=(8_000,)):
+    dt = 0.01
+    stream = rng.normal(size=n) * 0.05
+    sim = StochasticSimulator(source=BruneSource(magnitude=5.4))
+    for at in events_at:
+        burst = sim.simulate(1500, dt, 18.0, rng, pre_event_fraction=0.0)
+        stream[at : at + burst.size] += burst
+    return stream, dt
+
+
+def run_streaming(stream, dt, chunk_size, **kwargs):
+    detector = StreamingDetector(dt=dt, **kwargs)
+    windows = []
+    for start in range(0, len(stream), chunk_size):
+        windows.extend(detector.push(stream[start : start + chunk_size]))
+    windows.extend(detector.finish())
+    return windows, detector
+
+
+class TestStreamingDetector:
+    def test_detects_embedded_event(self, rng):
+        stream, dt = make_stream(rng)
+        windows, _ = run_streaming(stream, dt, chunk_size=1000)
+        assert len(windows) == 1
+        assert abs(windows[0].trigger_on - 8_000) * dt < 2.0
+
+    def test_quiet_stream_silent(self, rng):
+        stream = rng.normal(size=20_000) * 0.05
+        windows, _ = run_streaming(stream, 0.01, chunk_size=512)
+        assert windows == []
+
+    def test_two_events(self, rng):
+        stream, dt = make_stream(rng, n=40_000, events_at=(8_000, 28_000))
+        windows, _ = run_streaming(stream, dt, chunk_size=700)
+        assert len(windows) == 2
+
+    def test_chunking_invariance(self, rng):
+        stream, dt = make_stream(rng)
+        reference, _ = run_streaming(stream, dt, chunk_size=len(stream))
+        for chunk_size in (1, 97, 1000, 7777):
+            windows, _ = run_streaming(stream, dt, chunk_size=chunk_size)
+            assert [(w.trigger_on, w.start) for w in windows] == [
+                (w.trigger_on, w.start) for w in reference
+            ], f"chunk_size={chunk_size}"
+
+    @given(chunk_size=st.integers(1, 5000))
+    @settings(max_examples=12, deadline=None)
+    def test_chunking_invariance_property(self, chunk_size):
+        rng = np.random.default_rng(123)
+        stream, dt = make_stream(rng, n=16_000, events_at=(6_000,))
+        reference, _ = run_streaming(stream, dt, chunk_size=len(stream))
+        windows, _ = run_streaming(stream, dt, chunk_size=chunk_size)
+        assert [(w.trigger_on, w.start, w.stop) for w in windows] == [
+            (w.trigger_on, w.start, w.stop) for w in reference
+        ]
+
+    def test_window_samples_retrievable(self, rng):
+        stream, dt = make_stream(rng)
+        detector = StreamingDetector(dt=dt)
+        windows = []
+        for start in range(0, len(stream), 800):
+            for window in detector.push(stream[start : start + 800]):
+                samples = detector.window_samples(window)
+                windows.append((window, samples))
+        for window, samples in windows:
+            assert samples.size == window.n_samples
+            expected = stream[window.start : window.stop]
+            assert np.allclose(samples, expected)
+
+    def test_retrigger_merging(self, rng):
+        dt = 0.01
+        stream = rng.normal(size=40_000) * 0.05
+        sim = StochasticSimulator(source=BruneSource(magnitude=5.0))
+        burst = sim.simulate(800, dt, 15.0, rng, pre_event_fraction=0.0)
+        stream[10_000:10_800] += burst
+        stream[11_200:12_000] += burst  # inside the merge gap
+        windows, _ = run_streaming(stream, dt, chunk_size=900, min_gap_s=10.0)
+        assert len(windows) == 1
+
+    def test_finish_closes_open_trigger(self, rng):
+        dt = 0.01
+        stream = rng.normal(size=6_000) * 0.05
+        sim = StochasticSimulator(source=BruneSource(magnitude=5.5))
+        burst = sim.simulate(1500, dt, 15.0, rng, pre_event_fraction=0.0)
+        stream[4_400:5_900] += burst  # event still ringing at stream end
+        detector = StreamingDetector(dt=dt)
+        windows = detector.push(stream)
+        windows += detector.finish()
+        assert len(windows) == 1
+
+    def test_empty_push(self):
+        detector = StreamingDetector(dt=0.01)
+        assert detector.push(np.array([])) == []
+
+    def test_validation(self):
+        with pytest.raises(SignalError):
+            StreamingDetector(dt=0.0)
+        with pytest.raises(SignalError):
+            StreamingDetector(dt=0.01, on_threshold=1.0, off_threshold=2.0)
+        with pytest.raises(SignalError):
+            StreamingDetector(dt=0.01, sta_s=30.0, lta_s=20.0)
+        with pytest.raises(SignalError):
+            StreamingDetector(dt=0.01).push(np.zeros((2, 2)))

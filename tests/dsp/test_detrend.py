@@ -1,0 +1,94 @@
+"""Unit tests for repro.dsp.detrend."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.detrend import (
+    baseline_correct,
+    remove_linear_trend,
+    remove_mean,
+    remove_polynomial_trend,
+)
+from repro.errors import SignalError
+
+
+class TestRemoveMean:
+    def test_zero_mean_output(self, rng):
+        x = rng.normal(size=500) + 3.7
+        assert remove_mean(x).mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_preserves_shape(self, rng):
+        x = rng.normal(size=123)
+        assert remove_mean(x).shape == x.shape
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            remove_mean(np.array([]))
+
+
+class TestRemoveLinear:
+    def test_removes_pure_line(self):
+        t = np.arange(100, dtype=float)
+        x = 2.0 + 0.5 * t
+        assert np.allclose(remove_linear_trend(x), 0.0, atol=1e-9)
+
+    def test_leaves_oscillation(self, rng):
+        t = np.linspace(0, 10, 1000)
+        osc = np.sin(2 * np.pi * 1.0 * t)
+        x = osc + 5.0 + 0.3 * t
+        y = remove_linear_trend(x)
+        # The partial final cycle leaks slightly into the line fit.
+        assert np.corrcoef(y, osc)[0, 1] > 0.995
+
+    def test_single_sample(self):
+        assert remove_linear_trend(np.array([42.0])).tolist() == [0.0]
+
+    def test_output_is_orthogonal_to_line(self, rng):
+        x = rng.normal(size=200)
+        y = remove_linear_trend(x)
+        t = np.arange(200) - 99.5
+        assert abs(np.dot(y, t)) < 1e-6 * np.linalg.norm(y) * np.linalg.norm(t) + 1e-9
+
+
+class TestRemovePolynomial:
+    def test_order_zero_is_mean_removal(self, rng):
+        x = rng.normal(size=100) + 2.0
+        assert np.allclose(remove_polynomial_trend(x, 0), remove_mean(x))
+
+    def test_removes_cubic(self):
+        t = np.linspace(-1, 1, 300)
+        x = 1.0 + t - 2 * t**2 + 0.5 * t**3
+        assert np.allclose(remove_polynomial_trend(x, 3), 0.0, atol=1e-8)
+
+    def test_short_signal_falls_back_to_mean(self):
+        x = np.array([1.0, 2.0])
+        y = remove_polynomial_trend(x, 5)
+        assert y.mean() == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(SignalError):
+            remove_polynomial_trend(np.ones(10), -1)
+
+
+class TestBaselineCorrect:
+    def test_removes_instrument_offset(self, rng):
+        x = rng.normal(size=2000) * 0.01
+        x += 7.5  # instrument offset
+        y = baseline_correct(x)
+        assert abs(y.mean()) < 0.05
+
+    def test_removes_drift(self):
+        t = np.arange(1000, dtype=float)
+        x = 0.002 * t  # slow drift
+        y = baseline_correct(x)
+        assert np.max(np.abs(y)) < np.max(np.abs(x)) * 0.05
+
+    def test_preserves_signal_energy(self, rng):
+        t = np.linspace(0, 20, 2000)
+        sig = np.sin(2 * np.pi * 2.0 * t)
+        y = baseline_correct(sig + 3.0)
+        assert np.corrcoef(y, sig)[0, 1] > 0.999
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            baseline_correct(np.array([]))

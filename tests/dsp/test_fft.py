@@ -1,0 +1,132 @@
+"""Unit tests for repro.dsp.fft (the self-contained FFT)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fft import (
+    fft,
+    fft_bluestein,
+    fft_pure,
+    fft_radix2,
+    ifft,
+    ifft_pure,
+    ifft_radix2,
+    irfft,
+    next_pow2,
+    rfft,
+    rfft_frequencies,
+)
+from repro.errors import SignalError
+
+
+class TestNextPow2:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (1000, 1024), (1024, 1024)]
+    )
+    def test_values(self, n, expected):
+        assert next_pow2(n) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(SignalError):
+            next_pow2(0)
+
+
+class TestRadix2:
+    def test_matches_numpy(self, rng):
+        for n in (1, 2, 4, 64, 256):
+            x = rng.normal(size=n) + 1j * rng.normal(size=n)
+            assert np.allclose(fft_radix2(x), np.fft.fft(x), atol=1e-10)
+
+    def test_roundtrip(self, rng):
+        x = rng.normal(size=128) + 1j * rng.normal(size=128)
+        assert np.allclose(ifft_radix2(fft_radix2(x)), x, atol=1e-10)
+
+    def test_rejects_non_pow2(self):
+        with pytest.raises(SignalError):
+            fft_radix2(np.zeros(6))
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            fft_radix2(np.array([]))
+
+    def test_impulse(self):
+        x = np.zeros(16)
+        x[0] = 1.0
+        assert np.allclose(fft_radix2(x), np.ones(16))
+
+
+class TestBluestein:
+    @pytest.mark.parametrize("n", [1, 3, 5, 6, 7, 12, 100, 101, 255])
+    def test_matches_numpy(self, rng, n):
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        assert np.allclose(fft_bluestein(x), np.fft.fft(x), atol=1e-8)
+
+    def test_power_of_two_also_works(self, rng):
+        x = rng.normal(size=32)
+        assert np.allclose(fft_bluestein(x), np.fft.fft(x), atol=1e-9)
+
+
+class TestPureDispatch:
+    @pytest.mark.parametrize("n", [1, 2, 7, 16, 30, 128, 333])
+    def test_any_length(self, rng, n):
+        x = rng.normal(size=n)
+        assert np.allclose(fft_pure(x), np.fft.fft(x), atol=1e-8)
+
+    def test_inverse_roundtrip(self, rng):
+        x = rng.normal(size=90) + 1j * rng.normal(size=90)
+        assert np.allclose(ifft_pure(fft_pure(x)), x, atol=1e-9)
+
+    def test_linearity(self, rng):
+        a = rng.normal(size=50)
+        b = rng.normal(size=50)
+        lhs = fft_pure(2.0 * a + 3.0 * b)
+        rhs = 2.0 * fft_pure(a) + 3.0 * fft_pure(b)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    def test_parseval(self, rng):
+        x = rng.normal(size=256)
+        spec = fft_pure(x)
+        assert np.sum(np.abs(x) ** 2) == pytest.approx(np.sum(np.abs(spec) ** 2) / 256)
+
+
+class TestPublicWrappers:
+    def test_fft_default_is_numpy(self, rng):
+        x = rng.normal(size=100)
+        assert np.allclose(fft(x), np.fft.fft(x))
+
+    def test_fft_pure_flag(self, rng):
+        x = rng.normal(size=100)
+        assert np.allclose(fft(x, pure=True), np.fft.fft(x), atol=1e-8)
+
+    def test_ifft_pure_flag(self, rng):
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        assert np.allclose(ifft(x, pure=True), np.fft.ifft(x), atol=1e-9)
+
+    def test_rfft_matches_numpy(self, rng):
+        x = rng.normal(size=101)
+        assert np.allclose(rfft(x), np.fft.rfft(x))
+        assert np.allclose(rfft(x, pure=True), np.fft.rfft(x), atol=1e-8)
+
+    def test_irfft_roundtrip(self, rng):
+        x = rng.normal(size=128)
+        assert np.allclose(irfft(rfft(x), 128), x, atol=1e-10)
+
+    def test_irfft_pure_roundtrip(self, rng):
+        for n in (64, 65):
+            x = rng.normal(size=n)
+            assert np.allclose(irfft(rfft(x), n, pure=True), x, atol=1e-8)
+
+
+class TestFrequencies:
+    def test_matches_numpy(self):
+        assert np.allclose(rfft_frequencies(100, 0.01), np.fft.rfftfreq(100, 0.01))
+
+    def test_nyquist_is_last(self):
+        freqs = rfft_frequencies(100, 0.005)
+        assert freqs[-1] == pytest.approx(100.0)  # 1/(2*0.005)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SignalError):
+            rfft_frequencies(0, 0.01)
+        with pytest.raises(SignalError):
+            rfft_frequencies(10, -1.0)

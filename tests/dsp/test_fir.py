@@ -1,0 +1,135 @@
+"""Unit tests for repro.dsp.fir (Hamming band-pass design/filtering)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fir import (
+    DEFAULT_BANDPASS,
+    BandPassSpec,
+    design_bandpass,
+    filter_delay_samples,
+    fir_filter,
+    hamming_bandpass,
+)
+from repro.errors import FilterDesignError
+
+
+def freq_response(taps: np.ndarray, freqs: np.ndarray, dt: float) -> np.ndarray:
+    m = (len(taps) - 1) // 2
+    n = np.arange(-m, m + 1)
+    return np.array(
+        [np.abs(np.sum(taps * np.exp(-2j * np.pi * f * dt * n))) for f in freqs]
+    )
+
+
+class TestBandPassSpec:
+    def test_default_is_valid(self):
+        DEFAULT_BANDPASS.validate(nyquist=50.0)
+
+    def test_rejects_unordered_corners(self):
+        spec = BandPassSpec(0.2, 0.1, 25.0, 30.0)
+        with pytest.raises(FilterDesignError):
+            spec.validate(nyquist=50.0)
+
+    def test_rejects_above_nyquist(self):
+        spec = BandPassSpec(0.05, 0.1, 25.0, 60.0)
+        with pytest.raises(FilterDesignError):
+            spec.validate(nyquist=50.0)
+
+    def test_rejects_nan(self):
+        spec = BandPassSpec(0.05, float("nan"), 25.0, 30.0)
+        with pytest.raises(FilterDesignError):
+            spec.validate(nyquist=50.0)
+
+    def test_transition_width(self):
+        spec = BandPassSpec(0.05, 0.10, 25.0, 30.0)
+        assert spec.transition_width == pytest.approx(0.05)
+
+    def test_with_low_corners(self):
+        updated = DEFAULT_BANDPASS.with_low_corners(0.2, 0.4)
+        assert updated.f_stop_low == 0.2
+        assert updated.f_pass_low == 0.4
+        assert updated.f_pass_high == DEFAULT_BANDPASS.f_pass_high
+        assert updated.f_stop_high == DEFAULT_BANDPASS.f_stop_high
+
+
+class TestDesign:
+    def test_taps_are_odd_and_symmetric(self):
+        taps = design_bandpass(DEFAULT_BANDPASS, 0.01)
+        assert len(taps) % 2 == 1
+        assert np.allclose(taps, taps[::-1])
+
+    def test_max_taps_respected(self):
+        taps = design_bandpass(DEFAULT_BANDPASS, 0.005, max_taps=513)
+        assert len(taps) <= 513
+
+    def test_passband_gain_near_unity(self):
+        spec = BandPassSpec(0.5, 1.0, 10.0, 12.0)
+        dt = 0.01
+        taps = design_bandpass(spec, dt)
+        freqs = np.array([2.0, 3.0, 5.0])
+        gains = freq_response(taps, freqs, dt)
+        assert np.all(np.abs(gains - 1.0) < 0.05)
+
+    def test_stopband_attenuation(self):
+        spec = BandPassSpec(0.5, 1.0, 10.0, 12.0)
+        dt = 0.01
+        taps = design_bandpass(spec, dt)
+        gains = freq_response(taps, np.array([0.1, 20.0, 40.0]), dt)
+        assert np.all(gains < 0.05)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(FilterDesignError):
+            design_bandpass(DEFAULT_BANDPASS, 0.0)
+
+
+class TestFilter:
+    def test_preserves_length(self, rng):
+        x = rng.normal(size=777)
+        taps = design_bandpass(DEFAULT_BANDPASS, 0.01)
+        assert fir_filter(x, taps).shape == x.shape
+
+    def test_zero_phase_alignment(self):
+        # A pass-band sinusoid should come through nearly unshifted.
+        dt = 0.01
+        t = np.arange(4000) * dt
+        x = np.sin(2 * np.pi * 2.0 * t)
+        y = hamming_bandpass(x, dt, BandPassSpec(0.2, 0.5, 10.0, 15.0))
+        mid = slice(1000, 3000)
+        corr = np.corrcoef(x[mid], y[mid])[0, 1]
+        assert corr > 0.999
+
+    def test_removes_dc(self):
+        dt = 0.01
+        x = np.ones(4000) * 5.0
+        y = hamming_bandpass(x, dt, BandPassSpec(0.2, 0.5, 10.0, 15.0))
+        assert np.max(np.abs(y[1000:3000])) < 0.05
+
+    def test_removes_high_frequency(self):
+        dt = 0.01
+        t = np.arange(4000) * dt
+        x = np.sin(2 * np.pi * 40.0 * t)
+        y = hamming_bandpass(x, dt, BandPassSpec(0.2, 0.5, 10.0, 15.0))
+        assert np.max(np.abs(y[1000:3000])) < 0.05
+
+    def test_linearity(self, rng):
+        dt = 0.01
+        a = rng.normal(size=1000)
+        b = rng.normal(size=1000)
+        taps = design_bandpass(DEFAULT_BANDPASS, dt)
+        lhs = fir_filter(2 * a - b, taps)
+        rhs = 2 * fir_filter(a, taps) - fir_filter(b, taps)
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    def test_empty_signal(self):
+        taps = design_bandpass(DEFAULT_BANDPASS, 0.01)
+        assert fir_filter(np.array([]), taps).size == 0
+
+    def test_rejects_2d(self):
+        taps = design_bandpass(DEFAULT_BANDPASS, 0.01)
+        with pytest.raises(FilterDesignError):
+            fir_filter(np.zeros((3, 3)), taps)
+
+    def test_delay_helper(self):
+        taps = np.ones(9)
+        assert filter_delay_samples(taps) == 4

@@ -1,0 +1,105 @@
+"""Unit tests for instrument response simulation and removal."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.instrument import (
+    AccelerometerModel,
+    remove_instrument_response,
+    simulate_instrument,
+)
+from repro.errors import SignalError
+
+
+class TestModel:
+    def test_unit_gain_at_low_frequency(self):
+        model = AccelerometerModel(natural_freq_hz=100.0, damping=0.707)
+        h = model.transfer_function(np.array([0.0, 1.0, 5.0]))
+        assert np.allclose(np.abs(h), 1.0, atol=0.01)
+
+    def test_rolloff_above_corner(self):
+        model = AccelerometerModel(natural_freq_hz=50.0)
+        h = model.transfer_function(np.array([200.0]))
+        assert np.abs(h)[0] < 0.1
+
+    def test_resonance_mild_at_707_damping(self):
+        # 0.707 damping: maximally flat, no resonant peak above ~1.0.
+        model = AccelerometerModel(natural_freq_hz=100.0, damping=0.707)
+        freqs = np.linspace(1, 150, 300)
+        assert np.abs(model.transfer_function(freqs)).max() < 1.05
+
+    def test_underdamped_sensor_peaks(self):
+        model = AccelerometerModel(natural_freq_hz=100.0, damping=0.2)
+        freqs = np.linspace(50, 150, 300)
+        assert np.abs(model.transfer_function(freqs)).max() > 2.0
+
+    def test_sensitivity_scales(self):
+        model = AccelerometerModel(sensitivity=2.5)
+        h = model.transfer_function(np.array([1.0]))
+        assert np.abs(h)[0] == pytest.approx(2.5, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(SignalError):
+            AccelerometerModel(natural_freq_hz=-5.0)
+        with pytest.raises(SignalError):
+            AccelerometerModel(damping=0.0)
+        with pytest.raises(SignalError):
+            AccelerometerModel(sensitivity=0.0)
+
+
+class TestSimulateAndRemove:
+    def test_in_band_passthrough(self, rng):
+        # A 100 Hz sensor barely touches a 1 Hz signal.
+        dt = 0.005
+        t = np.arange(8000) * dt
+        true = np.sin(2 * np.pi * 1.0 * t)
+        model = AccelerometerModel(natural_freq_hz=100.0)
+        recorded = simulate_instrument(true, dt, model)
+        mid = slice(1000, 7000)
+        assert np.allclose(recorded[mid], true[mid], atol=0.02)
+
+    def test_roundtrip_in_band(self, rng):
+        from repro.dsp.fir import BandPassSpec, hamming_bandpass
+
+        dt = 0.005
+        true = hamming_bandpass(
+            rng.normal(size=8000), dt, BandPassSpec(0.2, 0.5, 20.0, 25.0)
+        )
+        model = AccelerometerModel(natural_freq_hz=50.0, damping=0.707)
+        recorded = simulate_instrument(true, dt, model)
+        corrected = remove_instrument_response(recorded, dt, model)
+        mid = slice(1000, 7000)
+        err = np.abs(corrected[mid] - true[mid]).max() / np.abs(true).max()
+        assert err < 0.02
+
+    def test_low_natural_freq_distorts_more(self, rng):
+        dt = 0.005
+        t = np.arange(8000) * dt
+        true = np.sin(2 * np.pi * 10.0 * t)
+        weak = simulate_instrument(true, dt, AccelerometerModel(natural_freq_hz=15.0))
+        strong = simulate_instrument(true, dt, AccelerometerModel(natural_freq_hz=200.0))
+        err_weak = np.abs(weak - true)[1000:7000].max()
+        err_strong = np.abs(strong - true)[1000:7000].max()
+        assert err_weak > err_strong
+
+    def test_water_level_bounds_amplification(self, rng):
+        # Broadband noise through a low-corner sensor, then correction:
+        # without the water level, the out-of-band division would blow
+        # up; the corrected trace must stay comparable to the input.
+        dt = 0.002
+        recorded = rng.normal(size=8000)
+        model = AccelerometerModel(natural_freq_hz=20.0)
+        corrected = remove_instrument_response(recorded, dt, model, water_level=0.05)
+        assert np.abs(corrected).max() < 100 * np.abs(recorded).max()
+
+    def test_invalid_water_level(self, rng):
+        with pytest.raises(SignalError):
+            remove_instrument_response(
+                rng.normal(size=100), 0.01, AccelerometerModel(), water_level=1.5
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SignalError):
+            simulate_instrument(np.array([]), 0.01, AccelerometerModel())
+        with pytest.raises(SignalError):
+            remove_instrument_response(np.array([]), 0.01, AccelerometerModel())

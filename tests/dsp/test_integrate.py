@@ -1,0 +1,99 @@
+"""Unit tests for repro.dsp.integrate."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.integrate import (
+    acceleration_to_motion,
+    acceleration_to_velocity,
+    differentiate_central,
+    integrate_trapezoid,
+    velocity_to_displacement,
+)
+from repro.errors import SignalError
+
+
+class TestTrapezoid:
+    def test_constant_integrates_to_ramp(self):
+        dt = 0.1
+        x = np.ones(11)
+        out = integrate_trapezoid(x, dt)
+        assert np.allclose(out, np.arange(11) * dt)
+
+    def test_starts_at_zero(self, rng):
+        out = integrate_trapezoid(rng.normal(size=50), 0.01)
+        assert out[0] == 0.0
+
+    def test_matches_analytic_sine(self):
+        dt = 0.001
+        t = np.arange(0, 2, dt)
+        x = np.cos(2 * np.pi * t)
+        out = integrate_trapezoid(x, dt)
+        expected = np.sin(2 * np.pi * t) / (2 * np.pi)
+        assert np.allclose(out, expected, atol=1e-5)
+
+    def test_linearity(self, rng):
+        a = rng.normal(size=100)
+        b = rng.normal(size=100)
+        lhs = integrate_trapezoid(a + 2 * b, 0.01)
+        rhs = integrate_trapezoid(a, 0.01) + 2 * integrate_trapezoid(b, 0.01)
+        assert np.allclose(lhs, rhs)
+
+    def test_empty(self):
+        assert integrate_trapezoid(np.array([]), 0.01).size == 0
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(SignalError):
+            integrate_trapezoid(np.ones(10), 0.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(SignalError):
+            integrate_trapezoid(np.ones((2, 5)), 0.01)
+
+
+class TestDifferentiate:
+    def test_inverse_of_integration(self, rng):
+        dt = 0.01
+        x = np.sin(np.linspace(0, 6, 1000))
+        vel = integrate_trapezoid(x, dt)
+        back = differentiate_central(vel, dt)
+        assert np.allclose(back[5:-5], x[5:-5], atol=1e-3)
+
+    def test_short_signals(self):
+        assert np.all(differentiate_central(np.array([1.0]), 0.01) == 0.0)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(SignalError):
+            differentiate_central(np.ones(10), -0.1)
+
+
+class TestMotionChain:
+    def test_sine_acceleration_peaks(self):
+        # a(t) = A sin(w t) from rest -> v = (A/w)(1 - cos w t), whose
+        # peak is 2A/w; after detrending v -> -(A/w) cos w t, so the
+        # displacement peak is A/w^2.
+        dt = 0.002
+        f = 1.0
+        w = 2 * np.pi * f
+        t = np.arange(0, 30, dt)
+        acc = 10.0 * np.sin(w * t)
+        vel_raw = acceleration_to_velocity(acc, dt, detrend=False)
+        assert np.max(np.abs(vel_raw)) == pytest.approx(2 * 10.0 / w, rel=0.02)
+        vel = acceleration_to_velocity(acc, dt, detrend=True)
+        disp = velocity_to_displacement(vel, dt, detrend=True)
+        assert np.max(np.abs(disp)) == pytest.approx(10.0 / w**2, rel=0.1)
+
+    def test_detrend_removes_velocity_drift(self, rng):
+        dt = 0.01
+        acc = rng.normal(size=5000) + 0.05  # small accel bias -> drift
+        vel = acceleration_to_velocity(acc, dt, detrend=True)
+        # Without detrending the drift dominates; with it the ends stay bounded.
+        drift = acceleration_to_velocity(acc, dt, detrend=False)
+        assert np.abs(vel[-1]) < np.abs(drift[-1])
+
+    def test_triple_output_consistency(self, rng):
+        dt = 0.01
+        raw = rng.normal(size=2000)
+        a, v, d = acceleration_to_motion(raw, dt)
+        assert a.shape == v.shape == d.shape
+        assert np.array_equal(a, np.asarray(raw, dtype=float))

@@ -1,0 +1,137 @@
+"""Unit tests for the intensity-measure module."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.intensity import (
+    arias_intensity,
+    bracketed_duration,
+    cumulative_absolute_velocity,
+    husid_curve,
+    intensity_measures,
+    rms_acceleration,
+    significant_duration,
+)
+from repro.errors import SignalError
+from repro.units import G_GAL
+
+
+@pytest.fixture()
+def pulse_record():
+    """A 10 s record with all its energy between 4 s and 6 s."""
+    dt = 0.01
+    acc = np.zeros(1000)
+    acc[400:600] = 100.0  # constant 100 gal burst
+    return acc, dt
+
+
+class TestArias:
+    def test_constant_burst_closed_form(self, pulse_record):
+        acc, dt = pulse_record
+        # Ia = pi/(2g) * a^2 * T_burst.
+        expected = np.pi / (2 * G_GAL) * 100.0**2 * 2.0
+        assert arias_intensity(acc, dt) == pytest.approx(expected, rel=0.01)
+
+    def test_scales_quadratically(self, pulse_record):
+        acc, dt = pulse_record
+        assert arias_intensity(2 * acc, dt) == pytest.approx(
+            4 * arias_intensity(acc, dt)
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            arias_intensity(np.array([]), 0.01)
+
+
+class TestHusid:
+    def test_monotone_zero_to_one(self, pulse_record):
+        acc, dt = pulse_record
+        husid = husid_curve(acc, dt)
+        assert husid[0] == 0.0
+        assert husid[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(husid) >= -1e-12)
+
+    def test_flat_before_burst(self, pulse_record):
+        acc, dt = pulse_record
+        husid = husid_curve(acc, dt)
+        assert np.all(husid[:400] == 0.0)
+        assert np.all(husid[600:] == pytest.approx(1.0))
+
+    def test_zero_record(self):
+        husid = husid_curve(np.zeros(100), 0.01)
+        assert np.all(husid == 0.0)
+
+
+class TestDurations:
+    def test_significant_duration_of_burst(self, pulse_record):
+        acc, dt = pulse_record
+        # 5-95% of a uniform 2 s burst is 90% of it.
+        assert significant_duration(acc, dt) == pytest.approx(1.8, abs=0.05)
+
+    def test_custom_percentiles(self, pulse_record):
+        acc, dt = pulse_record
+        d_full = significant_duration(acc, dt, lower=0.01, upper=0.99)
+        d_mid = significant_duration(acc, dt, lower=0.25, upper=0.75)
+        assert d_full > d_mid
+
+    def test_bracketed_duration(self, pulse_record):
+        acc, dt = pulse_record
+        assert bracketed_duration(acc, dt, threshold_gal=50.0) == pytest.approx(
+            1.99, abs=0.02
+        )
+
+    def test_bracketed_never_exceeded(self, pulse_record):
+        acc, dt = pulse_record
+        assert bracketed_duration(acc, dt, threshold_gal=500.0) == 0.0
+
+    def test_zero_record_durations(self):
+        assert significant_duration(np.zeros(50), 0.01) == 0.0
+        assert bracketed_duration(np.zeros(50), 0.01) == 0.0
+
+    def test_rejects_bad_percentiles(self, pulse_record):
+        acc, dt = pulse_record
+        with pytest.raises(SignalError):
+            significant_duration(acc, dt, lower=0.9, upper=0.1)
+
+
+class TestCavRms:
+    def test_cav_of_burst(self, pulse_record):
+        acc, dt = pulse_record
+        assert cumulative_absolute_velocity(acc, dt) == pytest.approx(200.0, rel=0.01)
+
+    def test_cav_sign_invariant(self, pulse_record):
+        acc, dt = pulse_record
+        assert cumulative_absolute_velocity(-acc, dt) == pytest.approx(
+            cumulative_absolute_velocity(acc, dt)
+        )
+
+    def test_rms_over_significant_window(self, pulse_record):
+        acc, dt = pulse_record
+        # Within the burst the signal is constant 100 gal.
+        assert rms_acceleration(acc, dt) == pytest.approx(100.0, rel=0.02)
+
+    def test_rms_full_record_lower(self, pulse_record):
+        acc, dt = pulse_record
+        full = rms_acceleration(acc, dt, significant_only=False)
+        sig = rms_acceleration(acc, dt, significant_only=True)
+        assert full < sig
+
+
+class TestBundle:
+    def test_all_measures_consistent(self, pulse_record):
+        acc, dt = pulse_record
+        measures = intensity_measures(acc, dt)
+        assert measures.arias_cm_s == pytest.approx(arias_intensity(acc, dt))
+        assert measures.cav_cm_s == pytest.approx(
+            cumulative_absolute_velocity(acc, dt)
+        )
+        assert measures.significant_duration_s > 0
+        assert measures.bracketed_duration_s > 0
+        assert measures.rms_gal > 0
+
+    def test_realistic_record(self, rng):
+        dt = 0.01
+        acc = rng.normal(size=6000) * np.hanning(6000) * 30.0
+        measures = intensity_measures(acc, dt)
+        assert 0 < measures.significant_duration_s < 60.0
+        assert measures.arias_cm_s > 0

@@ -1,0 +1,51 @@
+"""Unit tests for repro.dsp.peak."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.peak import PeakValues, peak_amplitude, peak_ground_motion, peak_index
+from repro.errors import SignalError
+
+
+class TestPeakIndex:
+    def test_finds_largest_magnitude(self):
+        x = np.array([1.0, -5.0, 3.0])
+        assert peak_index(x) == 1
+
+    def test_signed_amplitude(self):
+        x = np.array([1.0, -5.0, 3.0])
+        assert peak_amplitude(x) == -5.0
+
+    def test_first_of_ties(self):
+        x = np.array([2.0, -2.0])
+        assert peak_index(x) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            peak_index(np.array([]))
+
+
+class TestPeakGroundMotion:
+    def test_times_match_indices(self):
+        dt = 0.01
+        acc = np.zeros(100)
+        acc[40] = -9.0
+        vel = np.zeros(100)
+        vel[10] = 2.0
+        disp = np.zeros(100)
+        disp[99] = 0.5
+        peaks = peak_ground_motion(acc, vel, disp, dt)
+        assert peaks.pga == -9.0
+        assert peaks.pga_time == pytest.approx(0.40)
+        assert peaks.pgv == 2.0
+        assert peaks.pgv_time == pytest.approx(0.10)
+        assert peaks.pgd == 0.5
+        assert peaks.pgd_time == pytest.approx(0.99)
+
+    def test_as_tuple_ordering(self):
+        peaks = PeakValues(1.0, 0.1, 2.0, 0.2, 3.0, 0.3)
+        assert peaks.as_tuple() == (1.0, 0.1, 2.0, 0.2, 3.0, 0.3)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(SignalError):
+            peak_ground_motion(np.ones(5), np.ones(5), np.ones(5), 0.0)

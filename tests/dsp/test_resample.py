@@ -1,0 +1,67 @@
+"""Unit tests for repro.dsp.resample."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import decimate, resample_linear
+from repro.errors import SignalError
+
+
+class TestDecimate:
+    def test_factor_one_is_identity(self, rng):
+        x = rng.normal(size=100)
+        y, dt = decimate(x, 1, 0.01)
+        assert np.array_equal(y, x)
+        assert dt == 0.01
+
+    def test_length_and_dt(self, rng):
+        x = rng.normal(size=1000)
+        y, dt = decimate(x, 4, 0.005)
+        assert len(y) == 250
+        assert dt == pytest.approx(0.02)
+
+    def test_preserves_low_frequency_content(self):
+        dt = 0.005
+        t = np.arange(8000) * dt
+        x = np.sin(2 * np.pi * 1.0 * t)
+        y, new_dt = decimate(x, 2, dt)
+        t2 = np.arange(len(y)) * new_dt
+        expected = np.sin(2 * np.pi * 1.0 * t2)
+        mid = slice(500, 3000)
+        assert np.corrcoef(y[mid], expected[mid])[0, 1] > 0.999
+
+    def test_suppresses_aliasing_band(self):
+        dt = 0.005  # 200 Hz; decimating by 2 -> new Nyquist 50 Hz
+        t = np.arange(8000) * dt
+        x = np.sin(2 * np.pi * 80.0 * t)  # above the new Nyquist
+        y, _ = decimate(x, 2, dt)
+        assert np.max(np.abs(y[500:3000])) < 0.05
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(SignalError):
+            decimate(np.ones(10), 0, 0.01)
+
+
+class TestResampleLinear:
+    def test_identity_rate(self, rng):
+        x = rng.normal(size=64)
+        y = resample_linear(x, 0.01, 0.01)
+        assert np.allclose(y, x)
+
+    def test_duration_preserved(self):
+        x = np.arange(101, dtype=float)
+        y = resample_linear(x, 0.01, 0.02)
+        assert len(y) == 51
+        assert y[-1] == pytest.approx(100.0)
+
+    def test_upsampling_interpolates(self):
+        x = np.array([0.0, 1.0])
+        y = resample_linear(x, 0.1, 0.05)
+        assert np.allclose(y, [0.0, 0.5, 1.0])
+
+    def test_empty(self):
+        assert resample_linear(np.array([]), 0.01, 0.02).size == 0
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(SignalError):
+            resample_linear(np.ones(5), 0.0, 0.01)

@@ -1,0 +1,107 @@
+"""Unit tests for repro.dsp.window."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.window import apply_taper, cosine_taper, hamming, hann
+from repro.errors import SignalError
+
+
+class TestHamming:
+    def test_endpoints(self):
+        w = hamming(11)
+        assert w[0] == pytest.approx(0.08)
+        assert w[-1] == pytest.approx(0.08)
+
+    def test_peak_at_center(self):
+        w = hamming(11)
+        assert w[5] == pytest.approx(1.0)
+        assert np.argmax(w) == 5
+
+    def test_symmetry(self):
+        w = hamming(64)
+        assert np.allclose(w, w[::-1])
+
+    def test_matches_closed_form(self):
+        n = 21
+        k = np.arange(n)
+        expected = 0.54 - 0.46 * np.cos(2 * np.pi * k / (n - 1))
+        assert np.allclose(hamming(n), expected)
+
+    def test_matches_numpy(self):
+        assert np.allclose(hamming(33), np.hamming(33))
+
+    def test_length_one(self):
+        assert hamming(1).tolist() == [1.0]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SignalError):
+            hamming(0)
+
+
+class TestHann:
+    def test_endpoints_zero(self):
+        w = hann(9)
+        assert w[0] == pytest.approx(0.0)
+        assert w[-1] == pytest.approx(0.0)
+
+    def test_matches_numpy(self):
+        assert np.allclose(hann(33), np.hanning(33))
+
+    def test_length_one(self):
+        assert hann(1).tolist() == [1.0]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SignalError):
+            hann(-3)
+
+
+class TestCosineTaper:
+    def test_middle_untouched(self):
+        w = cosine_taper(101, 0.05)
+        assert np.all(w[10:91] == 1.0)
+
+    def test_ends_are_zero(self):
+        w = cosine_taper(100, 0.1)
+        assert w[0] == pytest.approx(0.0)
+        assert w[-1] == pytest.approx(0.0)
+
+    def test_zero_fraction_is_boxcar(self):
+        assert np.all(cosine_taper(50, 0.0) == 1.0)
+
+    def test_symmetry(self):
+        w = cosine_taper(80, 0.2)
+        assert np.allclose(w, w[::-1])
+
+    def test_monotone_ramp(self):
+        w = cosine_taper(200, 0.25)
+        ramp = w[:50]
+        assert np.all(np.diff(ramp) >= 0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(SignalError):
+            cosine_taper(10, 0.7)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            cosine_taper(0)
+
+
+class TestApplyTaper:
+    def test_preserves_length_and_dtype(self, rng):
+        x = rng.normal(size=500)
+        y = apply_taper(x, 0.05)
+        assert y.shape == x.shape
+        assert y.dtype == np.float64
+
+    def test_does_not_modify_input(self, rng):
+        x = rng.normal(size=100)
+        before = x.copy()
+        apply_taper(x)
+        assert np.array_equal(x, before)
+
+    def test_reduces_edge_energy(self, rng):
+        x = np.ones(1000)
+        y = apply_taper(x, 0.1)
+        assert abs(y[0]) < 1e-12 and abs(y[-1]) < 1e-12
+        assert y[500] == pytest.approx(1.0)

@@ -1,0 +1,134 @@
+"""Unit tests for repro.formats.common."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataBlockError, HeaderError, MissingArtifactError
+from repro.formats.common import (
+    Header,
+    block_line_count,
+    format_fixed_block,
+    parse_fixed_block,
+    parse_header,
+    read_lines,
+)
+
+
+class TestFixedBlocks:
+    def test_roundtrip(self, rng):
+        values = rng.normal(size=37) * 1e3
+        text = format_fixed_block(values)
+        parsed = parse_fixed_block(text.splitlines(), 37)
+        assert np.allclose(parsed, values, rtol=1e-6)
+
+    def test_five_per_line(self):
+        text = format_fixed_block(np.arange(12.0))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert len(lines[0]) == 75  # 5 fields x 15 chars
+
+    def test_empty(self):
+        assert format_fixed_block(np.array([])) == ""
+
+    def test_line_count_helper(self):
+        assert block_line_count(1) == 1
+        assert block_line_count(5) == 1
+        assert block_line_count(6) == 2
+        assert block_line_count(12) == 3
+
+    def test_count_mismatch_raises(self):
+        text = format_fixed_block(np.arange(10.0))
+        with pytest.raises(DataBlockError):
+            parse_fixed_block(text.splitlines(), 11)
+
+    def test_bad_field_raises(self):
+        with pytest.raises(DataBlockError):
+            parse_fixed_block(["   garbage_data"], 1)
+
+    def test_negative_and_tiny_values(self):
+        values = np.array([-1.234567e-30, 9.87e20, 0.0])
+        parsed = parse_fixed_block(format_fixed_block(values).splitlines(), 3)
+        assert np.allclose(parsed, values, rtol=1e-6)
+
+
+class TestHeader:
+    def make(self):
+        return Header(
+            station="ST01",
+            component="l",
+            event_id="EV-X",
+            origin_time="2020-01-01",
+            magnitude=5.5,
+            dt=0.01,
+            npts=100,
+            units="GAL",
+            extra={"DIST-KM": "12.50"},
+        )
+
+    def test_roundtrip(self):
+        header = self.make()
+        lines = header.lines("V1 COMPONENT") + ["DATA"]
+        parsed, idx = parse_header(lines, "V1 COMPONENT")
+        assert parsed.station == "ST01"
+        assert parsed.component == "l"
+        assert parsed.magnitude == pytest.approx(5.5)
+        assert parsed.dt == pytest.approx(0.01)
+        assert parsed.npts == 100
+        assert parsed.extra == {"DIST-KM": "12.50"}
+        assert idx == len(lines)
+
+    def test_wrong_banner(self):
+        lines = self.make().lines("V1 COMPONENT") + ["DATA"]
+        with pytest.raises(HeaderError):
+            parse_header(lines, "V2 CORRECTED")
+
+    def test_missing_data_terminator(self):
+        lines = self.make().lines("V1 COMPONENT")
+        with pytest.raises(HeaderError):
+            parse_header(lines, "V1 COMPONENT")
+
+    def test_missing_required_field(self):
+        lines = ["OANT STRONG-MOTION V1 COMPONENT", "STATION: X", "DATA"]
+        with pytest.raises(HeaderError):
+            parse_header(lines, "V1 COMPONENT")
+
+    def test_bad_numeric_field(self):
+        lines = [
+            "OANT STRONG-MOTION V1 COMPONENT",
+            "STATION: X",
+            "DT: not-a-number",
+            "NPTS: 5",
+            "DATA",
+        ]
+        with pytest.raises(HeaderError):
+            parse_header(lines, "V1 COMPONENT")
+
+    def test_malformed_line(self):
+        lines = ["OANT STRONG-MOTION V1 COMPONENT", "NO COLON HERE", "DATA"]
+        with pytest.raises(HeaderError):
+            parse_header(lines, "V1 COMPONENT")
+
+    def test_empty_file(self):
+        with pytest.raises(HeaderError):
+            parse_header([], "V1 COMPONENT")
+
+    def test_copy_for(self):
+        header = self.make()
+        clone = header.copy_for(component="t", npts=42)
+        assert clone.component == "t"
+        assert clone.npts == 42
+        assert clone.station == header.station
+        clone.extra["NEW"] = "1"
+        assert "NEW" not in header.extra  # deep-enough copy
+
+
+class TestReadLines:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MissingArtifactError) as err:
+            read_lines(tmp_path / "nope.v1", process="P3")
+        assert "P3" in str(err.value)
+
+    def test_reads_lines(self, tmp_path):
+        p = tmp_path / "x.txt"
+        p.write_text("a\nb\n")
+        assert read_lines(p) == ["a", "b"]

@@ -1,0 +1,88 @@
+"""Round-trip tests for the GEM format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataBlockError, HeaderError, MissingArtifactError
+from repro.formats.gem import (
+    GEM_QUANTITIES,
+    GEM_SOURCES,
+    GemSeries,
+    gem_name,
+    read_gem,
+    write_gem,
+)
+
+
+def make_series(rng, n=20, source="2", quantity="A") -> GemSeries:
+    return GemSeries(
+        station="ST03",
+        component="l",
+        source=source,
+        quantity=quantity,
+        abscissa=np.arange(n) * 0.01,
+        values=rng.normal(size=n),
+    )
+
+
+class TestGemSeries:
+    def test_roundtrip(self, tmp_path, rng):
+        series = make_series(rng)
+        path = tmp_path / gem_name("ST03", "l", "2", "A")
+        write_gem(path, series)
+        back = read_gem(path)
+        assert back.station == "ST03"
+        assert back.component == "l"
+        assert back.source == "2"
+        assert back.quantity == "A"
+        assert np.allclose(back.abscissa, series.abscissa, rtol=1e-6)
+        assert np.allclose(back.values, series.values, rtol=1e-6)
+
+    @pytest.mark.parametrize("source", GEM_SOURCES)
+    @pytest.mark.parametrize("quantity", GEM_QUANTITIES)
+    def test_all_codes_roundtrip(self, tmp_path, rng, source, quantity):
+        series = make_series(rng, source=source, quantity=quantity)
+        path = tmp_path / gem_name("ST03", "l", source, quantity)
+        write_gem(path, series)
+        back = read_gem(path)
+        assert back.source == source
+        assert back.quantity == quantity
+
+    def test_name_helper(self):
+        assert gem_name("ST03", "l", "R", "D") == "ST03lRD.gem"
+        assert gem_name("ST03", "t", "2", "V") == "ST03t2V.gem"
+
+    def test_rejects_bad_source(self, rng):
+        with pytest.raises(HeaderError):
+            make_series(rng, source="X")
+
+    def test_rejects_bad_quantity(self, rng):
+        with pytest.raises(HeaderError):
+            make_series(rng, quantity="Z")
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataBlockError):
+            GemSeries("S", "l", "2", "A", abscissa=np.ones(3), values=np.ones(4))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MissingArtifactError):
+            read_gem(tmp_path / "nope.gem", process="P19")
+
+    def test_not_a_gem_file(self, tmp_path):
+        path = tmp_path / "x.gem"
+        path.write_text("NOT A GEM FILE\n")
+        with pytest.raises(HeaderError):
+            read_gem(path)
+
+    def test_malformed_banner(self, tmp_path):
+        path = tmp_path / "x.gem"
+        path.write_text("GEM only three fields\nABSCISSA VALUE\n")
+        with pytest.raises(HeaderError):
+            read_gem(path)
+
+    def test_empty_series(self, tmp_path):
+        series = GemSeries("S", "l", "2", "A", abscissa=np.array([]), values=np.array([]))
+        path = tmp_path / "empty.gem"
+        write_gem(path, series)
+        back = read_gem(path)
+        assert back.values.size == 0

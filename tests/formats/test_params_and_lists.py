@@ -1,0 +1,134 @@
+"""Tests for filter-parameter, filelist and metadata formats."""
+
+import pytest
+
+from repro.dsp.fir import DEFAULT_BANDPASS, BandPassSpec
+from repro.errors import FormatError, MissingArtifactError
+from repro.formats.filelist import (
+    MetadataFile,
+    read_filelist,
+    read_metadata,
+    write_filelist,
+    write_metadata,
+)
+from repro.formats.params import FilterParams, read_filter_params, write_filter_params
+
+
+class TestFilterParams:
+    def test_roundtrip_default_only(self, tmp_path):
+        path = tmp_path / "filter.par"
+        write_filter_params(path, FilterParams(default=DEFAULT_BANDPASS))
+        back = read_filter_params(path)
+        assert back.default.f_stop_low == pytest.approx(DEFAULT_BANDPASS.f_stop_low)
+        assert back.default.f_pass_low == pytest.approx(DEFAULT_BANDPASS.f_pass_low)
+        assert back.default.f_pass_high == pytest.approx(DEFAULT_BANDPASS.f_pass_high)
+        assert back.default.f_stop_high == pytest.approx(DEFAULT_BANDPASS.f_stop_high)
+        assert back.overrides == {}
+
+    def test_roundtrip_with_overrides(self, tmp_path):
+        params = FilterParams(default=DEFAULT_BANDPASS)
+        spec = BandPassSpec(0.2, 0.4, 25.0, 30.0)
+        params.set_override("ST01", "l", spec)
+        params.set_override("ST01", "t", BandPassSpec(0.1, 0.3, 25.0, 30.0))
+        path = tmp_path / "filter_corrected.par"
+        write_filter_params(path, params)
+        back = read_filter_params(path)
+        assert back.spec_for("ST01", "l").f_pass_low == pytest.approx(0.4)
+        assert back.spec_for("ST01", "t").f_stop_low == pytest.approx(0.1)
+        # Unknown traces fall back to the default.
+        assert back.spec_for("ST99", "v").f_pass_low == pytest.approx(
+            DEFAULT_BANDPASS.f_pass_low
+        )
+
+    def test_deterministic_override_order(self, tmp_path):
+        a = FilterParams(default=DEFAULT_BANDPASS)
+        b = FilterParams(default=DEFAULT_BANDPASS)
+        spec = BandPassSpec(0.2, 0.4, 25.0, 30.0)
+        a.set_override("ST02", "t", spec)
+        a.set_override("ST01", "l", spec)
+        b.set_override("ST01", "l", spec)
+        b.set_override("ST02", "t", spec)
+        pa, pb = tmp_path / "a.par", tmp_path / "b.par"
+        write_filter_params(pa, a)
+        write_filter_params(pb, b)
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MissingArtifactError):
+            read_filter_params(tmp_path / "nope.par", process="P4")
+
+    def test_not_a_params_file(self, tmp_path):
+        path = tmp_path / "x.par"
+        path.write_text("garbage\n")
+        with pytest.raises(FormatError):
+            read_filter_params(path)
+
+    def test_missing_default_rejected(self, tmp_path):
+        path = tmp_path / "x.par"
+        path.write_text("OANT FILTER PARAMETERS\nTRACE S l 0.1 0.2 10 12\n")
+        with pytest.raises(FormatError):
+            read_filter_params(path)
+
+    def test_malformed_trace_rejected(self, tmp_path):
+        path = tmp_path / "x.par"
+        path.write_text("OANT FILTER PARAMETERS\nDEFAULT 0.05 0.1 25 30\nTRACE S l 0.1\n")
+        with pytest.raises(FormatError):
+            read_filter_params(path)
+
+
+class TestFileList:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "v1files.lst"
+        names = ["ST01.v1", "ST02.v1", "ST03.v1"]
+        write_filelist(path, names)
+        assert read_filelist(path) == names
+
+    def test_empty_list(self, tmp_path):
+        path = tmp_path / "empty.lst"
+        write_filelist(path, [])
+        assert read_filelist(path) == []
+
+    def test_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.lst"
+        path.write_text("OANT FILE LIST\nCOUNT 2\nonly-one.v1\n")
+        with pytest.raises(FormatError):
+            read_filelist(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MissingArtifactError):
+            read_filelist(tmp_path / "nope.lst")
+
+    def test_wrong_banner(self, tmp_path):
+        path = tmp_path / "bad.lst"
+        path.write_text("WRONG\nCOUNT 0\n")
+        with pytest.raises(FormatError):
+            read_filelist(path)
+
+
+class TestMetadata:
+    def test_roundtrip(self, tmp_path):
+        meta = MetadataFile(
+            purpose="FOURIER",
+            entries=[("ST01", "ST01l.v2", "ST01t.v2"), ("ST02", "ST02l.v2", "ST02t.v2")],
+        )
+        path = tmp_path / "fourier.meta"
+        write_metadata(path, meta)
+        back = read_metadata(path)
+        assert back.purpose == "FOURIER"
+        assert back.entries == meta.entries
+
+    def test_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.meta"
+        path.write_text("OANT STAGE METADATA\nPURPOSE X\nCOUNT 3\na b\n")
+        with pytest.raises(FormatError):
+            read_metadata(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.meta"
+        path.write_text("OANT STAGE METADATA\n")
+        with pytest.raises(FormatError):
+            read_metadata(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MissingArtifactError):
+            read_metadata(tmp_path / "nope.meta", process="P9")

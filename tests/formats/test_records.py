@@ -1,0 +1,170 @@
+"""Round-trip tests for the V1/V2 record formats."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.peak import PeakValues
+from repro.errors import DataBlockError, HeaderError, MissingArtifactError
+from repro.formats.common import COMPONENTS, Header
+from repro.formats.v1 import (
+    ComponentRecord,
+    RawRecord,
+    component_v1_name,
+    read_component_v1,
+    read_v1,
+    write_component_v1,
+    write_v1,
+)
+from repro.formats.v2 import CorrectedRecord, component_v2_name, read_v2, write_v2
+
+
+def make_header(**kwargs) -> Header:
+    base = dict(
+        station="ST01",
+        event_id="EV-T",
+        origin_time="2020-05-01",
+        magnitude=5.1,
+        dt=0.01,
+        npts=0,
+        units="GAL",
+    )
+    base.update(kwargs)
+    return Header(**base)
+
+
+def make_raw(rng, npts=50) -> RawRecord:
+    comps = {c: rng.normal(size=npts) for c in COMPONENTS}
+    return RawRecord(header=make_header(), components=comps)
+
+
+class TestRawRecord:
+    def test_roundtrip(self, tmp_path, rng):
+        record = make_raw(rng)
+        path = tmp_path / "ST01.v1"
+        write_v1(path, record)
+        back = read_v1(path)
+        assert back.header.station == "ST01"
+        assert back.header.magnitude == pytest.approx(5.1)
+        for comp in COMPONENTS:
+            assert np.allclose(back.components[comp], record.components[comp], rtol=1e-6)
+
+    def test_total_points(self, rng):
+        record = make_raw(rng, npts=40)
+        assert record.npts == 40
+        assert record.total_points == 120
+
+    def test_missing_component_rejected(self, rng):
+        with pytest.raises(HeaderError):
+            RawRecord(header=make_header(), components={"l": np.ones(5), "t": np.ones(5)})
+
+    def test_unequal_lengths_rejected(self, rng):
+        comps = {"l": np.ones(5), "t": np.ones(5), "v": np.ones(6)}
+        with pytest.raises(DataBlockError):
+            RawRecord(header=make_header(), components=comps)
+
+    def test_component_record_extraction(self, rng):
+        record = make_raw(rng)
+        comp = record.component_record("t")
+        assert comp.header.component == "t"
+        assert np.array_equal(comp.acceleration, record.components["t"])
+
+    def test_unknown_component_extraction(self, rng):
+        with pytest.raises(HeaderError):
+            make_raw(rng).component_record("x")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MissingArtifactError):
+            read_v1(tmp_path / "nope.v1")
+
+    def test_corrupt_block_header(self, tmp_path, rng):
+        path = tmp_path / "ST01.v1"
+        write_v1(path, make_raw(rng))
+        text = path.read_text().replace("COMPONENT-BLOCK: l", "JUNK-LINE:")
+        path.write_text(text)
+        with pytest.raises(DataBlockError):
+            read_v1(path)
+
+
+class TestComponentRecord:
+    def test_roundtrip(self, tmp_path, rng):
+        record = ComponentRecord(
+            header=make_header(component="v"), acceleration=rng.normal(size=33)
+        )
+        path = tmp_path / component_v1_name("ST01", "v")
+        write_component_v1(path, record)
+        back = read_component_v1(path)
+        assert back.header.component == "v"
+        assert back.header.npts == 33
+        assert np.allclose(back.acceleration, record.acceleration, rtol=1e-6)
+
+    def test_name_helper(self):
+        assert component_v1_name("ABC", "l") == "ABCl.v1"
+
+    def test_npts_synced(self, rng):
+        record = ComponentRecord(header=make_header(npts=999), acceleration=rng.normal(size=7))
+        assert record.header.npts == 7
+
+
+def make_corrected(rng, npts=40) -> CorrectedRecord:
+    return CorrectedRecord(
+        header=make_header(component="l"),
+        acceleration=rng.normal(size=npts),
+        velocity=rng.normal(size=npts),
+        displacement=rng.normal(size=npts),
+        peaks=PeakValues(-12.5, 0.4, 3.3, 0.5, 0.8, 0.7),
+        f_stop_low=0.05,
+        f_pass_low=0.1,
+        f_pass_high=25.0,
+        f_stop_high=30.0,
+    )
+
+
+class TestCorrectedRecord:
+    def test_roundtrip(self, tmp_path, rng):
+        record = make_corrected(rng)
+        path = tmp_path / component_v2_name("ST01", "l")
+        write_v2(path, record)
+        back = read_v2(path)
+        assert np.allclose(back.acceleration, record.acceleration, rtol=1e-6)
+        assert np.allclose(back.velocity, record.velocity, rtol=1e-6)
+        assert np.allclose(back.displacement, record.displacement, rtol=1e-6)
+        assert back.peaks.pga == pytest.approx(-12.5, rel=1e-6)
+        assert back.peaks.pgd_time == pytest.approx(0.7)
+        assert back.f_pass_low == pytest.approx(0.1)
+
+    def test_name_helper(self):
+        assert component_v2_name("X", "t") == "Xt.v2"
+
+    def test_unequal_series_rejected(self, rng):
+        with pytest.raises(DataBlockError):
+            CorrectedRecord(
+                header=make_header(component="l"),
+                acceleration=np.ones(10),
+                velocity=np.ones(9),
+                displacement=np.ones(10),
+                peaks=PeakValues(0, 0, 0, 0, 0, 0),
+                f_stop_low=0.05,
+                f_pass_low=0.1,
+                f_pass_high=25.0,
+                f_stop_high=30.0,
+            )
+
+    def test_missing_peaks_line_rejected(self, tmp_path, rng):
+        path = tmp_path / "x.v2"
+        write_v2(path, make_corrected(rng))
+        lines = [l for l in path.read_text().splitlines() if not l.startswith("PEAKS:")]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(DataBlockError):
+            read_v2(path)
+
+    def test_missing_series_rejected(self, tmp_path, rng):
+        path = tmp_path / "x.v2"
+        write_v2(path, make_corrected(rng))
+        text = path.read_text().replace("SERIES-BLOCK: VELOCITY", "SERIES-BLOCK: SOMETHING")
+        path.write_text(text)
+        with pytest.raises(DataBlockError):
+            read_v2(path)
+
+    def test_series_property(self, rng):
+        record = make_corrected(rng)
+        assert set(record.series) == {"ACCELERATION", "VELOCITY", "DISPLACEMENT"}

@@ -1,0 +1,114 @@
+"""Tests for the repro-process / repro-bench command-line entry points."""
+
+import shutil
+
+import pytest
+
+from repro.cli import main_bench, main_process
+from tests.conftest import tiny_dataset_dir  # noqa: F401  (fixture reexport)
+
+
+class TestProcessCli:
+    def test_run_on_existing_dataset(self, tmp_path, tiny_dataset_dir, capsys):
+        ws = tmp_path / "ws"
+        (ws / "input").mkdir(parents=True)
+        for src in tiny_dataset_dir.glob("*.v1"):
+            shutil.copy2(src, ws / "input" / src.name)
+        rc = main_process(
+            [str(ws), "-i", "seq-optimized", "--periods", "10", "--workers", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "seq-optimized" in out
+        assert (ws / "work" / "v1files.lst").exists()
+
+    def test_generate_event_scaled(self, tmp_path, capsys):
+        ws = tmp_path / "gen"
+        rc = main_process(
+            [
+                str(ws),
+                "-i",
+                "full-parallel",
+                "--generate-event",
+                "EV-NOV18",
+                "--scale",
+                "0.01",
+                "--periods",
+                "8",
+                "--workers",
+                "2",
+            ]
+        )
+        assert rc == 0
+        assert len(list((ws / "input").glob("*.v1"))) == 5
+        out = capsys.readouterr().out
+        assert "full-parallel" in out
+
+    def test_unknown_implementation_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main_process([str(tmp_path), "-i", "warp-speed"])
+
+
+class TestBenchCli:
+    def test_table1(self, capsys):
+        assert main_bench(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "SpeedUp" in out
+        assert "483.70" in out  # the calibration anchor row
+
+    def test_figure11(self, capsys):
+        assert main_bench(["figure11"]) == 0
+        out = capsys.readouterr().out
+        assert "IX" in out and "Paper" in out
+
+    def test_figure12(self, capsys):
+        assert main_bench(["figure12"]) == 0
+        assert "Fully Parallelized" in capsys.readouterr().out
+
+    def test_figure13(self, capsys):
+        assert main_bench(["figure13"]) == 0
+        assert "pts/s" in capsys.readouterr().out
+
+    def test_ablation(self, capsys):
+        assert main_bench(["ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "workers" in out
+        assert "Critical-path" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main_bench(["figure99"])
+
+    def test_figure_render_flag(self, tmp_path, capsys):
+        out = tmp_path / "f11.ps"
+        assert main_bench(["figure11", "--render", str(out)]) == 0
+        assert out.read_text().startswith("%!PS")
+        assert "rendered" in capsys.readouterr().out
+
+    def test_schedule_render(self, tmp_path, capsys):
+        out = tmp_path / "sched.ps"
+        rc = main_bench(
+            ["schedule", "--render", str(out), "--implementation", "wavefront-parallel"]
+        )
+        assert rc == 0
+        assert out.exists()
+
+    def test_measured_single_event(self, capsys):
+        assert main_bench(["measured", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "seq-original" in out
+        assert "speedup on this machine" in out
+
+    def test_incremental_via_process_cli(self, tmp_path, tiny_dataset_dir, capsys):
+        from repro.cli import main_process
+
+        ws = tmp_path / "ws"
+        (ws / "input").mkdir(parents=True)
+        for src in tiny_dataset_dir.glob("*.v1"):
+            shutil.copy2(src, ws / "input" / src.name)
+        args = [str(ws), "-i", "incremental", "--periods", "8", "--workers", "2"]
+        assert main_process(args) == 0
+        # Second invocation: warm, near-instant, still exits cleanly.
+        assert main_process(args) == 0
+        out = capsys.readouterr().out
+        assert "incremental" in out

@@ -1,0 +1,93 @@
+"""Unit tests for backends and loop scheduling policies."""
+
+import pytest
+
+from repro.errors import BackendError, ParallelError
+from repro.parallel.backend import Backend, available_backends, resolve_workers
+from repro.parallel.chunks import Schedule, chunk_indices
+
+
+class TestBackend:
+    def test_coerce_string(self):
+        assert Backend.coerce("thread") is Backend.THREAD
+        assert Backend.coerce("process") is Backend.PROCESS
+        assert Backend.coerce("serial") is Backend.SERIAL
+
+    def test_coerce_enum_passthrough(self):
+        assert Backend.coerce(Backend.THREAD) is Backend.THREAD
+
+    def test_unknown_rejected(self):
+        with pytest.raises(BackendError):
+            Backend.coerce("gpu")
+
+    def test_available_backends(self):
+        assert set(available_backends()) == {Backend.SERIAL, Backend.THREAD, Backend.PROCESS}
+
+    def test_resolve_workers_default(self):
+        assert resolve_workers(None) >= 1
+
+    def test_resolve_workers_explicit(self):
+        assert resolve_workers(7) == 7
+
+    def test_resolve_workers_rejects_zero(self):
+        with pytest.raises(BackendError):
+            resolve_workers(0)
+
+
+def covered_indices(chunks):
+    out = []
+    for chunk in chunks:
+        out.extend(chunk)
+    return out
+
+
+class TestChunks:
+    def test_static_even_split(self):
+        chunks = chunk_indices(12, 4, Schedule.STATIC)
+        assert [len(c) for c in chunks] == [3, 3, 3, 3]
+
+    def test_static_remainder_spread(self):
+        chunks = chunk_indices(10, 4, Schedule.STATIC)
+        assert [len(c) for c in chunks] == [3, 3, 2, 2]
+
+    def test_static_with_chunk_size(self):
+        chunks = chunk_indices(10, 4, Schedule.STATIC, chunk_size=4)
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_dynamic_default_unit_chunks(self):
+        chunks = chunk_indices(5, 2, Schedule.DYNAMIC)
+        assert [len(c) for c in chunks] == [1] * 5
+
+    def test_dynamic_chunk_size(self):
+        chunks = chunk_indices(10, 3, "dynamic", chunk_size=3)
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+
+    def test_guided_shrinks(self):
+        chunks = chunk_indices(100, 4, Schedule.GUIDED)
+        sizes = [len(c) for c in chunks]
+        assert sizes[0] == 25
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_guided_floor(self):
+        chunks = chunk_indices(100, 4, Schedule.GUIDED, chunk_size=10)
+        assert all(len(c) >= 10 for c in chunks[:-1])
+
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    @pytest.mark.parametrize("n,workers", [(0, 1), (1, 4), (7, 3), (100, 8)])
+    def test_full_coverage(self, schedule, n, workers):
+        chunks = chunk_indices(n, workers, schedule)
+        assert sorted(covered_indices(chunks)) == list(range(n))
+
+    def test_more_workers_than_items(self):
+        chunks = chunk_indices(2, 10, Schedule.STATIC)
+        assert sorted(covered_indices(chunks)) == [0, 1]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ParallelError):
+            chunk_indices(-1, 2)
+        with pytest.raises(ParallelError):
+            chunk_indices(5, 0)
+        with pytest.raises(ParallelError):
+            chunk_indices(5, 2, Schedule.DYNAMIC, chunk_size=0)
+        with pytest.raises(ParallelError):
+            chunk_indices(5, 2, "unknown")

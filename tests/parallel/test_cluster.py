@@ -1,0 +1,147 @@
+"""Tests for the MPI-style cluster runtime."""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel.cluster import Communicator, cluster_map, run_cluster
+
+
+# SPMD bodies must be module-level (picklable).
+def body_rank_size(comm):
+    return (comm.rank, comm.size)
+
+
+def body_ring(comm):
+    """Pass a token around the ring, accumulating ranks."""
+    if comm.rank == 0:
+        comm.send([0], dest=1 % comm.size)
+        token = comm.recv(source=comm.size - 1)
+        return token
+    token = comm.recv(source=comm.rank - 1)
+    token.append(comm.rank)
+    comm.send(token, dest=(comm.rank + 1) % comm.size)
+    return None
+
+
+def body_bcast(comm):
+    value = {"payload": 42} if comm.rank == 0 else None
+    return comm.bcast(value, root=0)
+
+
+def body_scatter_gather(comm):
+    chunks = [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+    mine = comm.scatter(chunks, root=0)
+    return comm.gather(mine * 2, root=0)
+
+
+def body_allgather(comm):
+    return comm.allgather(comm.rank**2)
+
+
+def body_barrier_then_value(comm):
+    comm.barrier()
+    return comm.rank
+
+
+def body_tag_matching(comm):
+    if comm.size < 2:
+        return "skip"
+    if comm.rank == 0:
+        # Send tag-5 first, then tag-7; rank 1 asks for 7 first.
+        comm.send("five", dest=1, tag=5)
+        comm.send("seven", dest=1, tag=7)
+        return None
+    seven = comm.recv(source=0, tag=7)
+    five = comm.recv(source=0, tag=5)
+    return (seven, five)
+
+
+def body_failing(comm):
+    if comm.rank == 1:
+        raise RuntimeError("rank 1 exploded")
+    return comm.rank
+
+
+def square(x):
+    return x * x
+
+
+class TestCommunicator:
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ParallelError):
+            Communicator(rank=3, size=2, mailboxes=[mp.Queue(), mp.Queue()])
+
+    def test_mailbox_count_checked(self):
+        with pytest.raises(ParallelError):
+            Communicator(rank=0, size=2, mailboxes=[mp.Queue()])
+
+    def test_send_to_invalid_rank(self):
+        comm = Communicator(rank=0, size=1, mailboxes=[mp.Queue()])
+        with pytest.raises(ParallelError):
+            comm.send("x", dest=5)
+
+    def test_single_rank_collectives(self):
+        comm = Communicator(rank=0, size=1, mailboxes=[mp.Queue()])
+        assert comm.bcast("v") == "v"
+        assert comm.scatter(["only"]) == "only"
+        assert comm.gather("g") == ["g"]
+        assert comm.allgather(7) == [7]
+        comm.barrier()  # must not deadlock
+
+
+class TestRunCluster:
+    def test_single_rank_inline(self):
+        assert run_cluster(body_rank_size, 1) == [(0, 1)]
+
+    def test_ranks_and_sizes(self):
+        results = run_cluster(body_rank_size, 3, timeout=60.0)
+        assert results == [(0, 3), (1, 3), (2, 3)]
+
+    def test_ring_token(self):
+        results = run_cluster(body_ring, 3, timeout=60.0)
+        assert results[0] == [0, 1, 2]
+
+    def test_bcast(self):
+        results = run_cluster(body_bcast, 3, timeout=60.0)
+        assert results == [{"payload": 42}] * 3
+
+    def test_scatter_gather(self):
+        results = run_cluster(body_scatter_gather, 3, timeout=60.0)
+        assert results[0] == [0, 20, 40]
+        assert results[1] is None and results[2] is None
+
+    def test_allgather(self):
+        results = run_cluster(body_allgather, 3, timeout=60.0)
+        assert results == [[0, 1, 4]] * 3
+
+    def test_barrier(self):
+        assert run_cluster(body_barrier_then_value, 2, timeout=60.0) == [0, 1]
+
+    def test_tag_matching_with_stash(self):
+        results = run_cluster(body_tag_matching, 2, timeout=60.0)
+        assert results[1] == ("seven", "five")
+
+    def test_rank_failure_surfaces(self):
+        with pytest.raises(ParallelError, match="rank 1"):
+            run_cluster(body_failing, 2, timeout=60.0)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ParallelError):
+            run_cluster(body_rank_size, 0)
+
+
+class TestClusterMap:
+    def test_order_preserved(self):
+        items = list(range(11))
+        assert cluster_map(square, items, size=3, timeout=60.0) == [i * i for i in items]
+
+    def test_empty(self):
+        assert cluster_map(square, [], size=4) == []
+
+    def test_size_clamped_to_items(self):
+        assert cluster_map(square, [3], size=8, timeout=60.0) == [9]
+
+    def test_single_rank(self):
+        assert cluster_map(square, [1, 2, 3], size=1) == [1, 4, 9]

@@ -1,0 +1,166 @@
+"""Unit tests for the simulated machine and fluid scheduler."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.parallel.simulate import (
+    PAPER_MACHINE,
+    SimTask,
+    SimulatedMachine,
+    paper_machine,
+    simulate_task_graph,
+)
+
+UNIFORM = SimulatedMachine(speeds=(1.0, 1.0, 1.0, 1.0), io_capacity=100.0, mem_capacity=100.0)
+SERIAL = SimulatedMachine(speeds=(1.0,), io_capacity=100.0, mem_capacity=100.0)
+
+
+class TestSimTask:
+    def test_rejects_negative_work(self):
+        with pytest.raises(SchedulerError):
+            SimTask("t", -1.0)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(SchedulerError):
+            SimTask("t", 1.0, io_fraction=1.5)
+        with pytest.raises(SchedulerError):
+            SimTask("t", 1.0, io_fraction=0.6, mem_fraction=0.6)
+
+
+class TestMachine:
+    def test_paper_machine_shape(self):
+        machine = paper_machine()
+        assert machine.num_workers == 12
+        assert machine.speeds.count(1.0) == 4
+
+    def test_restricted_keeps_fastest(self):
+        limited = PAPER_MACHINE.restricted(4)
+        assert limited.speeds == (1.0, 1.0, 1.0, 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchedulerError):
+            SimulatedMachine(speeds=())
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(SchedulerError):
+            SimulatedMachine(speeds=(1.0,), io_capacity=0.0)
+
+
+class TestScheduler:
+    def test_empty_graph(self):
+        result = simulate_task_graph([], UNIFORM)
+        assert result.makespan_s == 0.0
+
+    def test_single_task(self):
+        result = simulate_task_graph([SimTask("a", 5.0)], UNIFORM)
+        assert result.makespan_s == pytest.approx(5.0)
+
+    def test_serial_machine_sums_work(self):
+        tasks = [SimTask(f"t{i}", 2.0) for i in range(5)]
+        result = simulate_task_graph(tasks, SERIAL)
+        assert result.makespan_s == pytest.approx(10.0)
+
+    def test_perfect_parallelism(self):
+        tasks = [SimTask(f"t{i}", 3.0) for i in range(4)]
+        result = simulate_task_graph(tasks, UNIFORM)
+        assert result.makespan_s == pytest.approx(3.0)
+
+    def test_makespan_at_least_critical_path(self):
+        tasks = [
+            SimTask("a", 2.0),
+            SimTask("b", 3.0, deps=("a",)),
+            SimTask("c", 4.0, deps=("b",)),
+        ]
+        result = simulate_task_graph(tasks, UNIFORM)
+        assert result.makespan_s == pytest.approx(9.0)
+
+    def test_makespan_at_least_work_over_capacity(self):
+        tasks = [SimTask(f"t{i}", 1.0) for i in range(16)]
+        result = simulate_task_graph(tasks, UNIFORM)
+        assert result.makespan_s >= 16.0 / 4 - 1e-9
+
+    def test_dependency_ordering(self):
+        tasks = [SimTask("a", 1.0), SimTask("b", 1.0, deps=("a",))]
+        result = simulate_task_graph(tasks, UNIFORM)
+        placement = {p.name: p for p in result.placements}
+        assert placement["b"].start_s >= placement["a"].finish_s - 1e-12
+
+    def test_slower_workers_slow_tasks(self):
+        machine = SimulatedMachine(speeds=(0.5,), io_capacity=10.0, mem_capacity=10.0)
+        result = simulate_task_graph([SimTask("a", 3.0)], machine)
+        assert result.makespan_s == pytest.approx(6.0)
+
+    def test_io_contention_stretches(self):
+        machine = SimulatedMachine(speeds=(1.0, 1.0, 1.0, 1.0), io_capacity=1.0,
+                                   mem_capacity=100.0)
+        tasks = [SimTask(f"t{i}", 1.0, io_fraction=1.0) for i in range(4)]
+        result = simulate_task_graph(tasks, machine)
+        # Four pure-IO tasks on one IO stream: no faster than serial.
+        assert result.makespan_s == pytest.approx(4.0)
+
+    def test_mem_contention_stretches(self):
+        machine = SimulatedMachine(speeds=(1.0, 1.0), io_capacity=100.0, mem_capacity=1.0)
+        tasks = [SimTask(f"t{i}", 1.0, mem_fraction=1.0) for i in range(2)]
+        result = simulate_task_graph(tasks, machine)
+        assert result.makespan_s == pytest.approx(2.0)
+
+    def test_compute_tasks_unaffected_by_io_capacity(self):
+        tight = SimulatedMachine(speeds=(1.0, 1.0), io_capacity=0.001, mem_capacity=100.0)
+        tasks = [SimTask(f"t{i}", 1.0, io_fraction=0.0) for i in range(2)]
+        result = simulate_task_graph(tasks, tight)
+        assert result.makespan_s == pytest.approx(1.0)
+
+    def test_zero_work_tasks(self):
+        tasks = [SimTask("a", 0.0), SimTask("b", 1.0, deps=("a",))]
+        result = simulate_task_graph(tasks, UNIFORM)
+        assert result.makespan_s == pytest.approx(1.0)
+
+    def test_determinism(self):
+        tasks = [SimTask(f"t{i}", 1.0 + (i % 3), io_fraction=0.3) for i in range(20)]
+        r1 = simulate_task_graph(tasks, PAPER_MACHINE)
+        r2 = simulate_task_graph(tasks, PAPER_MACHINE)
+        assert r1.makespan_s == r2.makespan_s
+        assert [(p.name, p.worker) for p in r1.placements] == [
+            (p.name, p.worker) for p in r2.placements
+        ]
+
+    def test_stage_durations(self):
+        tasks = [
+            SimTask("a", 2.0, stage="S1"),
+            SimTask("b", 2.0, stage="S1"),
+            SimTask("c", 1.0, deps=("a", "b"), stage="S2"),
+        ]
+        result = simulate_task_graph(tasks, UNIFORM)
+        durations = result.stage_durations()
+        assert durations["S1"] == pytest.approx(2.0)
+        assert durations["S2"] == pytest.approx(1.0)
+
+    def test_no_worker_overlap(self):
+        tasks = [SimTask(f"t{i}", 1.0 + 0.1 * i) for i in range(10)]
+        result = simulate_task_graph(tasks, UNIFORM)
+        by_worker: dict[int, list] = {}
+        for p in result.placements:
+            by_worker.setdefault(p.worker, []).append((p.start_s, p.finish_s))
+        for intervals in by_worker.values():
+            intervals.sort()
+            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                assert s2 >= f1 - 1e-9
+
+    def test_cycle_detected(self):
+        tasks = [SimTask("a", 1.0, deps=("b",)), SimTask("b", 1.0, deps=("a",))]
+        with pytest.raises(SchedulerError):
+            simulate_task_graph(tasks, UNIFORM)
+
+    def test_unknown_dep_detected(self):
+        with pytest.raises(SchedulerError):
+            simulate_task_graph([SimTask("a", 1.0, deps=("ghost",))], UNIFORM)
+
+    def test_duplicate_name_detected(self):
+        with pytest.raises(SchedulerError):
+            simulate_task_graph([SimTask("a", 1.0), SimTask("a", 2.0)], UNIFORM)
+
+    def test_heterogeneous_prefers_fast_workers(self):
+        machine = SimulatedMachine(speeds=(1.0, 0.1), io_capacity=100.0, mem_capacity=100.0)
+        result = simulate_task_graph([SimTask("a", 1.0)], machine)
+        assert result.placements[0].worker == 0
+        assert result.makespan_s == pytest.approx(1.0)

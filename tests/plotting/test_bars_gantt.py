@@ -1,0 +1,109 @@
+"""Tests for bar charts, Gantt rendering and the figure renderers."""
+
+import pytest
+
+from repro.bench.render import (
+    render_figure11_ps,
+    render_figure12_ps,
+    render_figure13_ps,
+    render_schedule_ps,
+)
+from repro.errors import ReproError
+from repro.parallel.simulate import SimTask, SimulatedMachine, simulate_task_graph
+from repro.plotting.bars import BarChart, BarSeries
+from repro.plotting.gantt import plot_schedule_gantt
+from repro.plotting.ps import PostScriptCanvas
+
+
+class TestBarChart:
+    def make(self):
+        chart = BarChart(
+            title="demo",
+            categories=["A", "B", "C"],
+            y_label="seconds",
+        )
+        chart.add(BarSeries("first", [1.0, 2.0, 3.0], gray=0.3))
+        chart.add(BarSeries("second", [0.5, 1.5, 2.5], gray=0.7))
+        return chart
+
+    def draw(self, chart):
+        canvas = PostScriptCanvas()
+        chart.draw(canvas, x0=60, y0=60, width=400, height=300)
+        return canvas.render()
+
+    def test_draws_bars_and_legend(self):
+        doc = self.draw(self.make())
+        assert "closepath fill" in doc
+        assert "(first)" in doc and "(second)" in doc
+        assert "(A)" in doc and "(C)" in doc
+
+    def test_length_mismatch_rejected(self):
+        chart = BarChart(categories=["A", "B"])
+        with pytest.raises(ReproError):
+            chart.add(BarSeries("bad", [1.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            self.draw(BarChart(categories=["A"]))
+
+    def test_zero_values_allowed(self):
+        chart = BarChart(categories=["A", "B"])
+        chart.add(BarSeries("zeros", [0.0, 0.0]))
+        doc = self.draw(chart)
+        assert "nan" not in doc
+
+    def test_deterministic(self):
+        assert self.draw(self.make()) == self.draw(self.make())
+
+
+class TestGantt:
+    def make_result(self):
+        machine = SimulatedMachine(speeds=(1.0, 1.0), io_capacity=10.0, mem_capacity=10.0)
+        tasks = [
+            SimTask("a", 2.0, stage="S1"),
+            SimTask("b", 3.0, stage="S1"),
+            SimTask("c", 1.0, deps=("a", "b"), stage="S2"),
+        ]
+        return simulate_task_graph(tasks, machine)
+
+    def test_renders_rows_and_legend(self, tmp_path):
+        path = tmp_path / "gantt.ps"
+        plot_schedule_gantt(path, self.make_result(), title="test schedule")
+        doc = path.read_text()
+        assert doc.startswith("%!PS")
+        assert "(LP0)" in doc and "(LP1)" in doc
+        assert "(S1)" in doc and "(S2)" in doc
+        assert "(test schedule)" in doc
+
+    def test_empty_schedule_rejected(self, tmp_path):
+        from repro.parallel.simulate import SimulationResult
+
+        with pytest.raises(ReproError):
+            plot_schedule_gantt(tmp_path / "x.ps", SimulationResult(makespan_s=0.0))
+
+
+class TestFigureRenderers:
+    def test_figure11(self, tmp_path):
+        path = tmp_path / "f11.ps"
+        render_figure11_ps(path)
+        doc = path.read_text()
+        assert "(IX)" in doc
+        assert "(Sequential Original)" in doc
+
+    def test_figure12(self, tmp_path):
+        path = tmp_path / "f12.ps"
+        render_figure12_ps(path)
+        assert "(Fully Parallelized)" in path.read_text()
+
+    def test_figure13(self, tmp_path):
+        path = tmp_path / "f13.ps"
+        render_figure13_ps(path)
+        doc = path.read_text()
+        assert "(Overall speedup vs problem size)" in doc
+        assert "(parallel)" in doc and "(sequential)" in doc
+
+    def test_schedule_renders_all_implementations(self, tmp_path):
+        for impl in ("full-parallel", "partial-parallel", "wavefront-parallel"):
+            path = tmp_path / f"{impl}.ps"
+            render_schedule_ps(path, implementation=impl, event_index=0)
+            assert path.read_text().startswith("%!PS")

@@ -1,0 +1,80 @@
+"""Unit tests for the PostScript writer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.plotting.ps import PAGE_HEIGHT, PAGE_WIDTH, PostScriptCanvas
+
+
+class TestCanvas:
+    def test_valid_document_structure(self):
+        canvas = PostScriptCanvas(title="test plot")
+        canvas.line(10, 10, 100, 100)
+        doc = canvas.render()
+        assert doc.startswith("%!PS-Adobe-3.0\n")
+        assert "%%Title: test plot" in doc
+        assert doc.rstrip().endswith("%%EOF")
+        assert "showpage" in doc
+        assert f"%%BoundingBox: 0 0 {int(PAGE_WIDTH)} {int(PAGE_HEIGHT)}" in doc
+
+    def test_polyline_commands(self):
+        canvas = PostScriptCanvas()
+        canvas.polyline([(0, 0), (10, 20), (30, 40)])
+        doc = canvas.render()
+        assert "0.00 0.00 moveto" in doc
+        assert "10.00 20.00 lineto" in doc
+        assert "30.00 40.00 lineto" in doc
+        assert "stroke" in doc
+
+    def test_single_point_polyline_is_noop(self):
+        canvas = PostScriptCanvas()
+        canvas.polyline([(1, 1)])
+        assert "moveto" not in canvas.render()
+
+    def test_text_escaping(self):
+        canvas = PostScriptCanvas()
+        canvas.text(10, 10, "a(b)c\\d")
+        doc = canvas.render()
+        assert r"(a\(b\)c\\d)" in doc
+
+    def test_text_alignment_variants(self):
+        canvas = PostScriptCanvas()
+        canvas.text(5, 5, "L", align="left")
+        canvas.text(5, 5, "C", align="center")
+        canvas.text(5, 5, "R", align="right")
+        doc = canvas.render()
+        assert doc.count("show") >= 3
+
+    def test_bad_alignment_rejected(self):
+        canvas = PostScriptCanvas()
+        with pytest.raises(ReproError):
+            canvas.text(0, 0, "x", align="diagonal")
+
+    def test_rect_fill_and_stroke(self):
+        canvas = PostScriptCanvas()
+        canvas.rect(0, 0, 10, 10)
+        canvas.rect(0, 0, 10, 10, fill=True)
+        doc = canvas.render()
+        assert "closepath stroke" in doc
+        assert "closepath fill" in doc
+
+    def test_color_and_dash_commands(self):
+        canvas = PostScriptCanvas()
+        canvas.set_gray(0.5)
+        canvas.set_rgb(1, 0, 0)
+        canvas.set_dash((3, 2))
+        canvas.set_dash(())
+        doc = canvas.render()
+        assert "0.500 setgray" in doc
+        assert "1.000 0.000 0.000 setrgbcolor" in doc
+        assert "[3.00 2.00] 0 setdash" in doc
+        assert "[] 0 setdash" in doc
+
+    def test_save_writes_and_finishes(self, tmp_path):
+        canvas = PostScriptCanvas()
+        canvas.line(0, 0, 1, 1)
+        path = tmp_path / "plot.ps"
+        canvas.save(path)
+        assert path.read_text().startswith("%!PS")
+        with pytest.raises(ReproError):
+            canvas.line(0, 0, 2, 2)

@@ -1,0 +1,126 @@
+"""Unit tests for the seismological plot layouts."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.peak import PeakValues
+from repro.formats.common import COMPONENTS, Header
+from repro.formats.fourier import FourierRecord
+from repro.formats.response import ResponseRecord
+from repro.formats.v2 import CorrectedRecord
+from repro.plotting.seismo import (
+    plot_accelerograph,
+    plot_fourier_spectrum,
+    plot_response_spectrum,
+)
+
+
+def header(comp):
+    return Header(station="ST01", component=comp, dt=0.01, npts=0, magnitude=5.0)
+
+
+@pytest.fixture()
+def v2_records(rng):
+    out = {}
+    for comp in COMPONENTS:
+        n = 500
+        out[comp] = CorrectedRecord(
+            header=header(comp),
+            acceleration=rng.normal(size=n),
+            velocity=rng.normal(size=n),
+            displacement=rng.normal(size=n),
+            peaks=PeakValues(1, 0.1, 2, 0.2, 3, 0.3),
+            f_stop_low=0.05,
+            f_pass_low=0.1,
+            f_pass_high=25.0,
+            f_stop_high=30.0,
+        )
+    return out
+
+
+@pytest.fixture()
+def f_records(rng):
+    out = {}
+    periods = np.geomspace(0.02, 20, 60)
+    for comp in COMPONENTS:
+        out[comp] = FourierRecord(
+            header=header(comp),
+            periods=periods,
+            acceleration=np.abs(rng.normal(size=60)) + 0.01,
+            velocity=np.abs(rng.normal(size=60)) + 0.01,
+            displacement=np.abs(rng.normal(size=60)) + 0.01,
+        )
+    return out
+
+
+@pytest.fixture()
+def r_records(rng):
+    out = {}
+    periods = np.geomspace(0.02, 20, 30)
+    dampings = np.array([0.02, 0.05, 0.1])
+    for comp in COMPONENTS:
+        out[comp] = ResponseRecord(
+            header=header(comp),
+            periods=periods,
+            dampings=dampings,
+            sa=np.abs(rng.normal(size=(3, 30))) + 0.01,
+            sv=np.abs(rng.normal(size=(3, 30))) + 0.01,
+            sd=np.abs(rng.normal(size=(3, 30))) + 0.01,
+        )
+    return out
+
+
+class TestPlots:
+    def test_accelerograph_plot(self, tmp_path, v2_records):
+        path = tmp_path / "ST01.ps"
+        plot_accelerograph(path, v2_records)
+        doc = path.read_text()
+        assert doc.startswith("%!PS")
+        assert "(ST01 acceleration)" in doc
+        assert "(ST01 velocity)" in doc
+        assert "(ST01 displacement)" in doc
+
+    def test_fourier_plot(self, tmp_path, f_records):
+        path = tmp_path / "ST01f.ps"
+        plot_fourier_spectrum(path, f_records)
+        doc = path.read_text()
+        assert "(ST01 component l)" in doc
+        assert "(acc)" in doc and "(vel)" in doc and "(disp)" in doc
+
+    def test_response_plot_selects_damping(self, tmp_path, r_records):
+        path = tmp_path / "ST01r.ps"
+        plot_response_spectrum(path, r_records, damping=0.05)
+        doc = path.read_text()
+        assert "5% damping" in doc
+        assert "(SA)" in doc and "(SV)" in doc and "(SD)" in doc
+
+    def test_response_plot_nearest_damping(self, tmp_path, r_records):
+        path = tmp_path / "x.ps"
+        plot_response_spectrum(path, r_records, damping=0.04)
+        assert "5% damping" in path.read_text()
+
+    def test_plots_are_deterministic(self, tmp_path, v2_records):
+        p1, p2 = tmp_path / "a.ps", tmp_path / "b.ps"
+        plot_accelerograph(p1, v2_records)
+        plot_accelerograph(p2, v2_records)
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_long_record_is_decimated(self, tmp_path, rng):
+        n = 60_000
+        records = {
+            "l": CorrectedRecord(
+                header=header("l"),
+                acceleration=rng.normal(size=n),
+                velocity=rng.normal(size=n),
+                displacement=rng.normal(size=n),
+                peaks=PeakValues(1, 0.1, 2, 0.2, 3, 0.3),
+                f_stop_low=0.05,
+                f_pass_low=0.1,
+                f_pass_high=25.0,
+                f_stop_high=30.0,
+            )
+        }
+        path = tmp_path / "big.ps"
+        plot_accelerograph(path, records)
+        # Decimation keeps the document bounded.
+        assert path.stat().st_size < 2_000_000

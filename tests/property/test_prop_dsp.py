@@ -1,0 +1,142 @@
+"""Property-based tests for the DSP substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dsp.detrend import remove_linear_trend, remove_mean
+from repro.dsp.fft import fft_pure, ifft_pure, irfft, rfft
+from repro.dsp.fir import BandPassSpec, design_bandpass, fir_filter
+from repro.dsp.integrate import integrate_trapezoid
+from repro.dsp.peak import peak_amplitude
+from repro.dsp.window import cosine_taper, hamming
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def signals(min_size=1, max_size=257):
+    return arrays(np.float64, st.integers(min_size, max_size), elements=finite_floats)
+
+
+class TestFFTProperties:
+    @given(signals(min_size=1, max_size=130))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, x):
+        back = ifft_pure(fft_pure(x)).real
+        scale = max(np.abs(x).max(), 1.0)
+        assert np.allclose(back, x, atol=1e-7 * scale)
+
+    @given(signals(min_size=2, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_parseval(self, x):
+        spec = fft_pure(x)
+        energy_t = np.sum(np.abs(x) ** 2)
+        energy_f = np.sum(np.abs(spec) ** 2) / len(x)
+        assert energy_f == pytest.approx(energy_t, rel=1e-6, abs=1e-6)
+
+    @given(signals(min_size=2, max_size=100), st.floats(-5, 5), st.floats(-5, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, x, a, b):
+        y = x[::-1].copy()
+        lhs = fft_pure(a * x + b * y)
+        rhs = a * fft_pure(x) + b * fft_pure(y)
+        scale = max(np.abs(rhs).max(), 1.0)
+        assert np.allclose(lhs, rhs, atol=1e-7 * scale)
+
+    @given(signals(min_size=2, max_size=128))
+    @settings(max_examples=40, deadline=None)
+    def test_rfft_matches_full(self, x):
+        full = fft_pure(x)
+        half = rfft(x, pure=True)
+        assert np.allclose(half, full[: len(half)], atol=1e-7 * max(np.abs(full).max(), 1.0))
+
+    @given(signals(min_size=2, max_size=96))
+    @settings(max_examples=40, deadline=None)
+    def test_real_roundtrip(self, x):
+        back = irfft(rfft(x), len(x))
+        assert np.allclose(back, x, atol=1e-8 * max(np.abs(x).max(), 1.0))
+
+
+class TestWindowProperties:
+    @given(st.integers(1, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_hamming_bounded(self, n):
+        w = hamming(n)
+        assert np.all(w >= 0.079)
+        assert np.all(w <= 1.0 + 1e-12)
+
+    @given(st.integers(1, 400), st.floats(0, 0.5))
+    @settings(max_examples=50, deadline=None)
+    def test_taper_bounded_and_symmetric(self, n, fraction):
+        w = cosine_taper(n, fraction)
+        assert np.all((0 <= w) & (w <= 1 + 1e-12))
+        assert np.allclose(w, w[::-1])
+
+
+class TestDetrendProperties:
+    @given(signals(min_size=1))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_removal_idempotent(self, x):
+        once = remove_mean(x)
+        twice = remove_mean(once)
+        assert np.allclose(once, twice, atol=1e-9 * max(np.abs(x).max(), 1.0))
+
+    @given(signals(min_size=2), st.floats(-100, 100), st.floats(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_line_invariance(self, x, offset, slope):
+        # Adding any line must not change the detrended output.
+        t = np.arange(len(x), dtype=float)
+        a = remove_linear_trend(x)
+        b = remove_linear_trend(x + offset + slope * t)
+        assert np.allclose(a, b, atol=1e-6 * max(np.abs(x).max(), 1.0) + 1e-6)
+
+
+class TestIntegrateProperties:
+    @given(signals(min_size=2), st.floats(1e-4, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_linearity_in_signal(self, x, dt):
+        a = integrate_trapezoid(x, dt)
+        b = integrate_trapezoid(2.5 * x, dt)
+        assert np.allclose(b, 2.5 * a, rtol=1e-9, atol=1e-12)
+
+    @given(signals(min_size=2), st.floats(1e-4, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_peak(self, x, dt):
+        # |integral| <= duration * peak.
+        out = integrate_trapezoid(x, dt)
+        bound = (len(x) - 1) * dt * np.abs(x).max() + 1e-12
+        assert np.all(np.abs(out) <= bound * (1 + 1e-9))
+
+
+class TestFilterProperties:
+    @given(signals(min_size=64, max_size=256), st.floats(0.5, 3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_gain_bounded(self, x, scale):
+        # A normalized band-pass never amplifies energy materially.
+        dt = 0.01
+        taps = design_bandpass(BandPassSpec(0.5, 1.0, 10.0, 12.0), dt)
+        y = fir_filter(x * scale, taps)
+        in_rms = np.sqrt(np.mean((x * scale) ** 2))
+        out_rms = np.sqrt(np.mean(y**2))
+        assert out_rms <= 1.6 * in_rms + 1e-9
+
+    @given(signals(min_size=16, max_size=128))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_input_zero_output(self, x):
+        dt = 0.01
+        taps = design_bandpass(BandPassSpec(0.5, 1.0, 10.0, 12.0), dt)
+        y = fir_filter(np.zeros_like(x), taps)
+        assert np.allclose(y, 0.0)
+
+
+class TestPeakProperties:
+    @given(signals(min_size=1))
+    @settings(max_examples=50, deadline=None)
+    def test_peak_dominates(self, x):
+        peak = peak_amplitude(x)
+        assert np.all(np.abs(x) <= abs(peak) + 1e-15)
+        assert abs(peak) == np.abs(x).max()

@@ -1,0 +1,108 @@
+"""Property-based round-trip tests for the file formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dsp.peak import PeakValues
+from repro.formats.common import COMPONENTS, Header, format_fixed_block, parse_fixed_block
+from repro.formats.gem import GemSeries, read_gem, write_gem
+from repro.formats.v1 import RawRecord, read_v1, write_v1
+from repro.formats.v2 import CorrectedRecord, read_v2, write_v2
+
+# E15.7 fields carry ~7 significant digits; values are drawn within the
+# format's representable range.
+format_floats = st.floats(
+    min_value=-1e30, max_value=1e30, allow_nan=False, allow_infinity=False
+)
+
+station_names = st.text(
+    alphabet=st.sampled_from("ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"), min_size=1, max_size=8
+)
+
+
+def value_arrays(min_size=1, max_size=64):
+    return arrays(np.float64, st.integers(min_size, max_size), elements=format_floats)
+
+
+def assert_close_e15(a, b):
+    # E15.7 guarantees 7 significant digits.
+    np.testing.assert_allclose(a, b, rtol=2e-7, atol=1e-30)
+
+
+class TestFixedBlockProperties:
+    @given(value_arrays(min_size=0, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, values):
+        text = format_fixed_block(values)
+        parsed = parse_fixed_block(text.splitlines(), len(values))
+        assert_close_e15(parsed, values)
+
+
+class TestV1Properties:
+    @given(station_names, value_arrays(min_size=1, max_size=40), st.floats(1e-3, 0.1))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, tmp_path_factory, station, base, dt):
+        components = {c: base * (i + 1) for i, c in enumerate(COMPONENTS)}
+        header = Header(station=station, dt=dt, npts=len(base))
+        record = RawRecord(header=header, components=components)
+        path = tmp_path_factory.mktemp("v1prop") / f"{station}.v1"
+        write_v1(path, record)
+        back = read_v1(path)
+        assert back.header.station == station
+        assert back.header.dt == pytest.approx(dt, rel=1e-5)
+        for comp in COMPONENTS:
+            assert_close_e15(back.components[comp], components[comp])
+
+
+class TestV2Properties:
+    @given(value_arrays(min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, tmp_path_factory, series):
+        record = CorrectedRecord(
+            header=Header(station="PR", component="l", dt=0.01, npts=len(series)),
+            acceleration=series,
+            velocity=series * 0.5,
+            displacement=series * 0.25,
+            peaks=PeakValues(
+                float(series[0]), 0.0, float(series[-1]), 0.1, 0.0, 0.2
+            ),
+            f_stop_low=0.05,
+            f_pass_low=0.1,
+            f_pass_high=25.0,
+            f_stop_high=30.0,
+        )
+        path = tmp_path_factory.mktemp("v2prop") / "PRl.v2"
+        write_v2(path, record)
+        back = read_v2(path)
+        assert_close_e15(back.acceleration, record.acceleration)
+        assert_close_e15(back.velocity, record.velocity)
+        assert_close_e15(back.displacement, record.displacement)
+
+
+class TestGemProperties:
+    @given(
+        station_names,
+        st.sampled_from(["2", "R"]),
+        st.sampled_from(["A", "V", "D"]),
+        value_arrays(min_size=0, max_size=60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, tmp_path_factory, station, source, quantity, values):
+        series = GemSeries(
+            station=station,
+            component="t",
+            source=source,
+            quantity=quantity,
+            abscissa=np.arange(len(values), dtype=float),
+            values=values,
+        )
+        path = tmp_path_factory.mktemp("gemprop") / "x.gem"
+        write_gem(path, series)
+        back = read_gem(path)
+        assert back.station == station
+        assert back.source == source
+        assert back.quantity == quantity
+        assert_close_e15(back.values, values)

@@ -1,0 +1,82 @@
+"""Property-based tests for the response-spectrum solver invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.spectra.response import (
+    ResponseSpectrumConfig,
+    response_spectrum_nigam_jennings,
+    sdof_coefficients,
+    sdof_response_history,
+)
+
+acc_arrays = arrays(
+    np.float64,
+    st.integers(64, 400),
+    elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+)
+
+periods = st.floats(0.05, 10.0)
+dampings = st.floats(0.0, 0.5)
+
+
+class TestSdofProperties:
+    @given(periods, dampings, st.floats(0.001, 0.05))
+    @settings(max_examples=60, deadline=None)
+    def test_stability(self, T, z, dt):
+        # The one-step map must not amplify free vibration (|eig| <= 1).
+        A, _, _ = sdof_coefficients(T, z, dt)
+        eigs = np.linalg.eigvals(A)
+        assert np.all(np.abs(eigs) <= 1.0 + 1e-9)
+
+    @given(acc_arrays, periods, dampings)
+    @settings(max_examples=30, deadline=None)
+    def test_response_scales_linearly(self, acc, T, z):
+        dt = 0.01
+        x1, v1, a1 = sdof_response_history(acc, dt, T, z)
+        x2, v2, a2 = sdof_response_history(2.0 * acc, dt, T, z)
+        scale = max(np.abs(x1).max(), 1e-12)
+        assert np.allclose(x2, 2.0 * x1, atol=1e-9 * scale)
+
+    @given(acc_arrays, periods)
+    @settings(max_examples=30, deadline=None)
+    def test_damping_never_increases_displacement_peak(self, acc, T):
+        dt = 0.01
+        config_lo = ResponseSpectrumConfig(periods=np.array([T]), dampings=(0.02,))
+        config_hi = ResponseSpectrumConfig(periods=np.array([T]), dampings=(0.3,))
+        lo = response_spectrum_nigam_jennings(acc, dt, config_lo)
+        hi = response_spectrum_nigam_jennings(acc, dt, config_hi)
+        assert hi.sd[0, 0] <= lo.sd[0, 0] * 1.05 + 1e-12
+
+    @given(acc_arrays)
+    @settings(max_examples=20, deadline=None)
+    def test_spectra_are_non_negative_and_finite(self, acc):
+        dt = 0.01
+        config = ResponseSpectrumConfig(
+            periods=np.geomspace(0.1, 5.0, 5), dampings=(0.05,)
+        )
+        spectrum = response_spectrum_nigam_jennings(acc, dt, config)
+        for arr in (spectrum.sa, spectrum.sv, spectrum.sd):
+            assert np.all(np.isfinite(arr))
+            assert np.all(arr >= 0)
+
+    @given(acc_arrays, periods, dampings)
+    @settings(max_examples=30, deadline=None)
+    def test_time_shift_invariance_of_peak(self, acc, T, z):
+        # Prepending silence must not change the peak response.  The
+        # first sample is zeroed so the piecewise-linear forcing is
+        # identical with and without the silent prefix (otherwise the
+        # prefix adds a one-step ramp from 0 to acc[0]).
+        acc = acc.copy()
+        acc[0] = 0.0
+        dt = 0.01
+        config = ResponseSpectrumConfig(periods=np.array([T]), dampings=(z,))
+        base = response_spectrum_nigam_jennings(acc, dt, config)
+        shifted = response_spectrum_nigam_jennings(
+            np.concatenate([np.zeros(50), acc]), dt, config
+        )
+        scale = max(base.sd[0, 0], 1e-9)
+        assert shifted.sd[0, 0] == pytest.approx(base.sd[0, 0], rel=1e-6, abs=1e-9 * scale)

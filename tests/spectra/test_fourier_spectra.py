@@ -1,0 +1,111 @@
+"""Unit tests for repro.spectra.fourier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.spectra.fourier import (
+    fourier_amplitude_spectrum,
+    motion_fourier_spectra,
+    smooth_log,
+)
+
+
+class TestFourierAmplitudeSpectrum:
+    def test_sinusoid_peak_location(self):
+        dt = 0.01
+        t = np.arange(4096) * dt
+        f0 = 5.0
+        x = np.sin(2 * np.pi * f0 * t)
+        freqs, amp = fourier_amplitude_spectrum(x, dt, taper=0.0)
+        assert freqs[np.argmax(amp)] == pytest.approx(f0, abs=freqs[1])
+
+    def test_sinusoid_amplitude_scaling(self):
+        # |X(f0)| ~ A * T / 2 for a full-length on-bin sinusoid
+        # (n = 4000 puts 5.0 Hz exactly on bin 200).
+        dt = 0.01
+        n = 4000
+        t = np.arange(n) * dt
+        a0 = 3.0
+        x = a0 * np.sin(2 * np.pi * 5.0 * t)
+        _, amp = fourier_amplitude_spectrum(x, dt, taper=0.0)
+        assert amp.max() == pytest.approx(a0 * n * dt / 2, rel=0.01)
+
+    def test_taper_reduces_leakage(self):
+        dt = 0.01
+        t = np.arange(4096) * dt  # 5.0123 Hz is far off-bin here
+        x = np.sin(2 * np.pi * 5.0123 * t)
+        freqs, amp_raw = fourier_amplitude_spectrum(x, dt, taper=0.0)
+        _, amp_tapered = fourier_amplitude_spectrum(x, dt, taper=0.1)
+        far = freqs > 15.0
+        assert amp_tapered[far].max() < amp_raw[far].max()
+
+    def test_pure_backend_agrees(self, rng):
+        x = rng.normal(size=500)
+        f1, a1 = fourier_amplitude_spectrum(x, 0.01)
+        f2, a2 = fourier_amplitude_spectrum(x, 0.01, pure=True)
+        assert np.allclose(f1, f2)
+        assert np.allclose(a1, a2, atol=1e-8)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            fourier_amplitude_spectrum(np.array([]), 0.01)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(SignalError):
+            fourier_amplitude_spectrum(np.ones(10), -1.0)
+
+
+class TestMotionSpectra:
+    def test_periods_ascending_and_clipped(self, rng):
+        dt = 0.01
+        acc = rng.normal(size=3000)
+        vel = rng.normal(size=3000)
+        disp = rng.normal(size=3000)
+        periods, fa, fv, fd = motion_fourier_spectra(acc, vel, disp, dt, max_period=20.0)
+        assert np.all(np.diff(periods) > 0)
+        assert periods[0] >= 2 * dt
+        assert periods[-1] <= 20.0
+        assert fa.shape == fv.shape == fd.shape == periods.shape
+
+    def test_custom_min_period(self, rng):
+        dt = 0.01
+        x = rng.normal(size=2000)
+        periods, *_ = motion_fourier_spectra(x, x, x, dt, min_period=0.5)
+        assert periods[0] >= 0.5
+
+    def test_no_zero_frequency(self, rng):
+        dt = 0.01
+        x = rng.normal(size=1000) + 100.0  # big DC offset
+        periods, fa, _, _ = motion_fourier_spectra(x, x, x, dt)
+        assert np.all(np.isfinite(periods))
+        assert np.all(np.isfinite(fa))
+
+
+class TestSmoothLog:
+    def test_preserves_constant(self):
+        x = np.full(50, 3.0)
+        assert np.allclose(smooth_log(x, 3), 3.0)
+
+    def test_reduces_variance(self, rng):
+        x = np.exp(rng.normal(size=200))
+        smoothed = smooth_log(x, 5)
+        assert np.std(np.log(smoothed)) < np.std(np.log(x))
+
+    def test_zero_half_width_is_identity(self, rng):
+        x = np.abs(rng.normal(size=30)) + 0.1
+        assert np.array_equal(smooth_log(x, 0), x)
+
+    def test_handles_zeros(self):
+        x = np.array([0.0, 1.0, 2.0, 0.0, 3.0])
+        out = smooth_log(x, 1)
+        assert np.all(np.isfinite(out))
+        assert np.all(out > 0)
+
+    def test_rejects_negative_width(self):
+        with pytest.raises(SignalError):
+            smooth_log(np.ones(10), -1)
+
+    def test_preserves_length(self, rng):
+        x = np.abs(rng.normal(size=77)) + 0.1
+        assert smooth_log(x, 4).shape == x.shape

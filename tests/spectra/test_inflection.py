@@ -1,0 +1,113 @@
+"""Unit tests for the FPL/FSL inflection search (process P10's core)."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fir import DEFAULT_BANDPASS
+from repro.errors import SignalError
+from repro.spectra.inflection import (
+    InflectionResult,
+    corners_from_inflection,
+    find_inflection_point,
+)
+
+
+def spectrum_with_corner(corner_period: float, n: int = 300) -> tuple[np.ndarray, np.ndarray]:
+    """A synthetic velocity spectrum decaying until corner_period, then
+    rising into a noise floor — the Fig. 3 shape."""
+    periods = np.geomspace(0.05, 30.0, n)
+    amp = np.where(
+        periods < corner_period,
+        (periods / corner_period) ** -1.5,  # decays toward long periods
+        (periods / corner_period) ** 2.0,  # noise rises past the corner
+    )
+    return periods, amp
+
+
+class TestFindInflection:
+    def test_finds_known_corner(self):
+        periods, amp = spectrum_with_corner(4.0)
+        result = find_inflection_point(periods, amp, smoothing_half_width=2)
+        assert result.found
+        assert result.period == pytest.approx(4.0, rel=0.25)
+
+    def test_fpl_fsl_relationship(self):
+        periods, amp = spectrum_with_corner(5.0)
+        result = find_inflection_point(periods, amp, fsl_ratio=0.5, smoothing_half_width=2)
+        assert result.fpl == pytest.approx(1.0 / result.period)
+        assert result.fsl == pytest.approx(0.5 * result.fpl)
+
+    def test_respects_min_period(self):
+        # Corner below min_period must be ignored.
+        periods, amp = spectrum_with_corner(0.5)
+        result = find_inflection_point(periods, amp, min_period=1.0, smoothing_half_width=2)
+        assert result.period >= 1.0
+
+    def test_early_termination_scans_few_points(self):
+        periods, amp = spectrum_with_corner(1.5)
+        result = find_inflection_point(periods, amp, smoothing_half_width=2)
+        # Early termination: far fewer points visited than exist beyond 1 s.
+        beyond = int(np.sum(periods > 1.0))
+        assert result.scanned < beyond
+
+    def test_monotone_decay_uses_fallback(self):
+        periods = np.geomspace(0.05, 30.0, 200)
+        amp = periods**-2.0  # never stops decaying
+        result = find_inflection_point(periods, amp, fallback_period=10.0,
+                                       smoothing_half_width=2)
+        assert not result.found
+        assert result.period == pytest.approx(10.0)
+
+    def test_fallback_clipped_to_range(self):
+        periods = np.geomspace(0.05, 5.0, 100)
+        amp = periods**-2.0
+        result = find_inflection_point(periods, amp, fallback_period=10.0,
+                                       smoothing_half_width=2)
+        assert result.period <= 5.0
+
+    def test_frequency_property(self):
+        result = InflectionResult(period=2.0, fpl=0.5, fsl=0.25, found=True, scanned=3)
+        assert result.frequency == pytest.approx(0.5)
+
+    def test_rejects_mismatched_inputs(self):
+        with pytest.raises(SignalError):
+            find_inflection_point(np.ones(5), np.ones(4))
+
+    def test_rejects_unsorted_periods(self):
+        with pytest.raises(SignalError):
+            find_inflection_point(np.array([2.0, 1.0, 3.0]), np.ones(3))
+
+    def test_rejects_bad_persistence(self):
+        periods, amp = spectrum_with_corner(4.0)
+        with pytest.raises(SignalError):
+            find_inflection_point(periods, amp, persistence=0)
+
+    def test_persistence_skips_single_blips(self):
+        periods = np.geomspace(0.05, 30.0, 400)
+        amp = periods**-1.5
+        # One isolated upward blip at ~2 s must not trigger with
+        # persistence=3 and no smoothing.
+        blip = int(np.searchsorted(periods, 2.0))
+        amp[blip] *= 1.5
+        result = find_inflection_point(
+            periods, amp, smoothing_half_width=0, persistence=3, fallback_period=10.0
+        )
+        assert not result.found
+
+
+class TestCornersFromInflection:
+    def test_corners_are_ordered(self):
+        result = InflectionResult(period=2.0, fpl=0.5, fsl=0.25, found=True, scanned=3)
+        spec = corners_from_inflection(result, DEFAULT_BANDPASS)
+        spec.validate(nyquist=50.0)
+        assert spec.f_pass_low == pytest.approx(0.5)
+        assert spec.f_stop_low == pytest.approx(0.25)
+        assert spec.f_pass_high == DEFAULT_BANDPASS.f_pass_high
+
+    def test_degenerate_corner_clamped(self):
+        # An absurd corner (FPL above the pass-band) gets clamped to a
+        # valid spec rather than exploding downstream.
+        result = InflectionResult(period=0.01, fpl=100.0, fsl=50.0, found=True, scanned=1)
+        spec = corners_from_inflection(result, DEFAULT_BANDPASS)
+        spec.validate(nyquist=1000.0)
+        assert spec.f_pass_low < spec.f_pass_high

@@ -1,0 +1,231 @@
+"""Unit tests for the response-spectrum solvers (process P16's core)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.spectra.response import (
+    DEFAULT_DAMPINGS,
+    ResponseSpectrumConfig,
+    default_periods,
+    paper_grid,
+    response_spectrum,
+    response_spectrum_duhamel,
+    response_spectrum_frequency_domain,
+    response_spectrum_nigam_jennings,
+    sdof_coefficients,
+    sdof_response_history,
+)
+
+
+@pytest.fixture(scope="module")
+def record():
+    rng = np.random.default_rng(7)
+    dt = 0.01
+    acc = rng.normal(size=3000)
+    acc *= np.hanning(3000)
+    return acc, dt
+
+
+def small_config(**kwargs):
+    # Periods start at 20*dt: solver agreement below ~10 samples per
+    # cycle is discretization-limited (each method treats the excitation
+    # between samples differently).
+    defaults = dict(periods=np.geomspace(0.2, 5.0, 8), dampings=(0.05,))
+    defaults.update(kwargs)
+    return ResponseSpectrumConfig(**defaults)
+
+
+class TestConfig:
+    def test_default_periods_span(self):
+        periods = default_periods()
+        assert periods[0] == pytest.approx(0.02)
+        assert periods[-1] == pytest.approx(20.0)
+        assert np.all(np.diff(periods) > 0)
+
+    def test_paper_grid_is_9000_oscillators(self):
+        config = paper_grid()
+        assert config.combos == 9000
+
+    def test_rejects_bad_periods(self):
+        with pytest.raises(SignalError):
+            ResponseSpectrumConfig(periods=np.array([-1.0, 2.0]))
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(SignalError):
+            ResponseSpectrumConfig(dampings=(1.5,))
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SignalError):
+            ResponseSpectrumConfig(method="magic")
+
+    def test_rejects_bad_period_count(self):
+        with pytest.raises(SignalError):
+            default_periods(1)
+
+
+class TestSdofCoefficients:
+    def test_matrix_exponential_identity_at_zero_dt(self):
+        # As dt -> 0, A -> I.
+        A, B0, B1 = sdof_coefficients(1.0, 0.05, 1e-7)
+        assert np.allclose(A, np.eye(2), atol=1e-5)
+
+    def test_undamped_energy_conservation(self):
+        # zeta = 0: A is a rotation, |det A| = 1.
+        A, _, _ = sdof_coefficients(0.5, 0.0, 0.01)
+        assert abs(np.linalg.det(A)) == pytest.approx(1.0, abs=1e-12)
+
+    def test_damped_contraction(self):
+        A, _, _ = sdof_coefficients(0.5, 0.1, 0.01)
+        assert abs(np.linalg.det(A)) < 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SignalError):
+            sdof_coefficients(-1.0, 0.05, 0.01)
+        with pytest.raises(SignalError):
+            sdof_coefficients(1.0, 1.0, 0.01)
+
+
+class TestResponseHistory:
+    def test_matches_explicit_recursion(self, record):
+        acc, dt = record
+        A, B0, B1 = sdof_coefficients(0.7, 0.05, dt)
+        p = -acc
+        state = np.zeros(2)
+        xs = np.zeros(len(acc))
+        vs = np.zeros(len(acc))
+        for k in range(len(acc) - 1):
+            state = A @ state + B0 * p[k] + B1 * p[k + 1]
+            xs[k + 1], vs[k + 1] = state
+        x, v, _ = sdof_response_history(acc, dt, 0.7, 0.05)
+        assert np.allclose(x, xs, atol=1e-10 * np.abs(xs).max())
+        assert np.allclose(v, vs, atol=1e-10 * np.abs(vs).max())
+
+    def test_starts_at_rest(self, record):
+        acc, dt = record
+        x, v, _ = sdof_response_history(acc, dt, 1.0, 0.05)
+        assert x[0] == pytest.approx(0.0, abs=1e-15)
+        assert v[0] == pytest.approx(0.0, abs=1e-15)
+
+    def test_at_rest_even_with_nonzero_first_sample(self):
+        dt = 0.01
+        acc = np.full(100, 2.0)  # jumps to 2 at t=0
+        x, v, _ = sdof_response_history(acc, dt, 1.0, 0.05)
+        assert x[0] == pytest.approx(0.0, abs=1e-15)
+
+    def test_static_limit(self):
+        # Constant acceleration: x -> -a/w^2 as the transient damps out.
+        dt = 0.01
+        T, z = 0.5, 0.5
+        w = 2 * np.pi / T
+        acc = np.full(5000, 3.0)
+        x, _, _ = sdof_response_history(acc, dt, T, z)
+        assert x[-1] == pytest.approx(-3.0 / w**2, rel=1e-3)
+
+    def test_total_acceleration_relation(self, record):
+        acc, dt = record
+        T, z = 0.8, 0.05
+        w = 2 * np.pi / T
+        x, v, ta = sdof_response_history(acc, dt, T, z)
+        assert np.allclose(ta, -2 * z * w * v - w * w * x)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            sdof_response_history(np.array([]), 0.01, 1.0, 0.05)
+
+
+class TestMethodAgreement:
+    def test_nj_vs_frequency_domain(self, record):
+        acc, dt = record
+        config = small_config()
+        nj = response_spectrum_nigam_jennings(acc, dt, config)
+        fd = response_spectrum_frequency_domain(acc, dt, config)
+        assert np.allclose(nj.sd, fd.sd, rtol=0.05)
+        assert np.allclose(nj.sv, fd.sv, rtol=0.05)
+        assert np.allclose(nj.sa, fd.sa, rtol=0.05)
+
+    def test_nj_vs_duhamel(self, record):
+        acc, dt = record
+        config = small_config()
+        nj = response_spectrum_nigam_jennings(acc, dt, config)
+        du = response_spectrum_duhamel(acc, dt, config)
+        assert np.allclose(nj.sd, du.sd, rtol=0.05)
+
+    def test_dispatcher_selects_method(self, record):
+        acc, dt = record
+        nj = response_spectrum(acc, dt, small_config(method="nigam_jennings"))
+        du = response_spectrum(acc, dt, small_config(method="duhamel"))
+        assert nj.sd.shape == du.sd.shape
+
+    def test_default_config(self, record):
+        acc, dt = record
+        spectrum = response_spectrum(acc[:500], dt)
+        assert spectrum.sa.shape == (len(DEFAULT_DAMPINGS), 100)
+
+
+class TestSpectralPhysics:
+    def test_short_period_sa_approaches_pga(self, record):
+        # A very stiff oscillator rides the ground: SA(T->0) -> PGA.
+        acc, dt = record
+        config = ResponseSpectrumConfig(periods=np.array([0.02]), dampings=(0.05,))
+        spectrum = response_spectrum_nigam_jennings(acc, dt, config)
+        pga = np.max(np.abs(acc))
+        assert spectrum.sa[0, 0] == pytest.approx(pga, rel=0.1)
+
+    def test_long_period_sd_approaches_pgd(self):
+        # A very soft oscillator stays put: SD(T->inf) -> peak ground
+        # displacement.
+        dt = 0.01
+        t = np.arange(6000) * dt
+        acc = np.sin(2 * np.pi * 2.0 * t) * np.hanning(6000)
+        from repro.dsp.integrate import acceleration_to_motion
+
+        _, _, disp = acceleration_to_motion(acc, dt, detrend=False)
+        pgd = np.max(np.abs(disp))
+        config = ResponseSpectrumConfig(periods=np.array([30.0]), dampings=(0.05,))
+        spectrum = response_spectrum_nigam_jennings(acc, dt, config)
+        assert spectrum.sd[0, 0] == pytest.approx(pgd, rel=0.15)
+
+    def test_damping_reduces_response(self, record):
+        acc, dt = record
+        config = ResponseSpectrumConfig(
+            periods=np.geomspace(0.2, 2.0, 5), dampings=(0.02, 0.05, 0.20)
+        )
+        spectrum = response_spectrum_nigam_jennings(acc, dt, config)
+        assert np.all(spectrum.sd[0] >= spectrum.sd[1])
+        assert np.all(spectrum.sd[1] >= spectrum.sd[2])
+
+    def test_resonance_amplification(self):
+        # Harmonic excitation at the oscillator's period: response grows
+        # far beyond the static response.
+        dt = 0.005
+        T = 0.5
+        t = np.arange(8000) * dt
+        acc = np.sin(2 * np.pi / T * t)
+        config = ResponseSpectrumConfig(periods=np.array([T]), dampings=(0.02,))
+        spectrum = response_spectrum_nigam_jennings(acc, dt, config)
+        w = 2 * np.pi / T
+        static = 1.0 / w**2
+        # Steady-state amplification at resonance = 1/(2 zeta) = 25.
+        assert spectrum.sd[0, 0] > 15 * static
+
+    def test_pseudo_quantities(self, record):
+        acc, dt = record
+        config = small_config(pseudo=True)
+        spectrum = response_spectrum_nigam_jennings(acc, dt, config)
+        w = 2 * np.pi / config.periods
+        assert np.allclose(spectrum.sv[0], w * spectrum.sd[0])
+        assert np.allclose(spectrum.sa[0], w**2 * spectrum.sd[0])
+
+    def test_zero_damping_supported(self, record):
+        acc, dt = record
+        config = small_config(dampings=(0.0,))
+        spectrum = response_spectrum_nigam_jennings(acc, dt, config)
+        assert np.all(np.isfinite(spectrum.sd))
+
+    def test_scaling_linearity(self, record):
+        acc, dt = record
+        config = small_config()
+        s1 = response_spectrum_nigam_jennings(acc, dt, config)
+        s2 = response_spectrum_nigam_jennings(3.0 * acc, dt, config)
+        assert np.allclose(s2.sd, 3.0 * s1.sd, rtol=1e-10)

@@ -1,0 +1,112 @@
+"""Tests for the combo-vectorized Nigam–Jennings solver."""
+
+import numpy as np
+import pytest
+
+from repro.spectra.response import (
+    ResponseSpectrumConfig,
+    response_spectrum,
+    response_spectrum_nigam_jennings,
+    response_spectrum_nigam_jennings_vectorized,
+)
+
+
+@pytest.fixture(scope="module")
+def record():
+    rng = np.random.default_rng(12)
+    return rng.normal(size=1500) * np.hanning(1500), 0.01
+
+
+class TestVectorizedEquivalence:
+    def test_matches_per_oscillator_path(self, record):
+        acc, dt = record
+        config = ResponseSpectrumConfig(
+            periods=np.geomspace(0.1, 10.0, 20), dampings=(0.0, 0.05, 0.2)
+        )
+        a = response_spectrum_nigam_jennings(acc, dt, config)
+        b = response_spectrum_nigam_jennings_vectorized(acc, dt, config)
+        for name in ("sd", "sv", "sa"):
+            ours = getattr(b, name)
+            ref = getattr(a, name)
+            assert np.allclose(ours, ref, rtol=1e-9), name
+
+    def test_pseudo_mode(self, record):
+        acc, dt = record
+        config = ResponseSpectrumConfig(
+            periods=np.geomspace(0.2, 5.0, 7), dampings=(0.05,), pseudo=True
+        )
+        spectrum = response_spectrum_nigam_jennings_vectorized(acc, dt, config)
+        w = 2 * np.pi / config.periods
+        assert np.allclose(spectrum.sv[0], w * spectrum.sd[0])
+        assert np.allclose(spectrum.sa[0], w**2 * spectrum.sd[0])
+
+    def test_dispatcher_accepts_method(self, record):
+        acc, dt = record
+        config = ResponseSpectrumConfig(
+            periods=np.geomspace(0.2, 5.0, 5),
+            dampings=(0.05,),
+            method="nigam_jennings_vectorized",
+        )
+        spectrum = response_spectrum(acc, dt, config)
+        assert spectrum.sd.shape == (1, 5)
+
+    def test_zero_damping_supported(self, record):
+        acc, dt = record
+        config = ResponseSpectrumConfig(periods=np.array([0.5]), dampings=(0.0,))
+        spectrum = response_spectrum_nigam_jennings_vectorized(acc, dt, config)
+        assert np.all(np.isfinite(spectrum.sd))
+
+    def test_wide_grid(self, record):
+        acc, dt = record
+        config = ResponseSpectrumConfig(
+            periods=np.geomspace(0.05, 20.0, 200), dampings=(0.02, 0.05)
+        )
+        spectrum = response_spectrum_nigam_jennings_vectorized(acc[:400], dt, config)
+        assert spectrum.sd.shape == (2, 200)
+        assert np.all(spectrum.sd >= 0)
+
+    def test_rejects_empty(self):
+        from repro.errors import SignalError
+
+        config = ResponseSpectrumConfig(periods=np.array([1.0]), dampings=(0.05,))
+        with pytest.raises(SignalError):
+            response_spectrum_nigam_jennings_vectorized(np.array([]), 0.01, config)
+
+
+class TestAutoMethod:
+    def test_auto_accepted_and_consistent(self, record):
+        acc, dt = record
+        auto = ResponseSpectrumConfig(
+            periods=np.geomspace(0.2, 5.0, 6), dampings=(0.05,), method="auto"
+        )
+        explicit = ResponseSpectrumConfig(
+            periods=np.geomspace(0.2, 5.0, 6), dampings=(0.05,)
+        )
+        a = response_spectrum(acc, dt, auto)
+        b = response_spectrum(acc, dt, explicit)
+        # Auto picks one NJ axis; both axes agree to 1e-9.
+        assert np.allclose(a.sd, b.sd, rtol=1e-8)
+
+    def test_auto_is_deterministic(self, record):
+        acc, dt = record
+        config = ResponseSpectrumConfig(
+            periods=np.geomspace(0.2, 5.0, 6), dampings=(0.05,), method="auto"
+        )
+        a = response_spectrum(acc, dt, config)
+        b = response_spectrum(acc, dt, config)
+        assert np.array_equal(a.sd, b.sd)
+
+    def test_wide_grid_short_record_uses_vectorized_path(self):
+        # combos (400) >= samples (300): the combo-vectorized path.
+        rng = np.random.default_rng(5)
+        acc = rng.normal(size=300)
+        config = ResponseSpectrumConfig(
+            periods=np.geomspace(0.1, 10, 200), dampings=(0.02, 0.05), method="auto"
+        )
+        spectrum = response_spectrum(acc, 0.01, config)
+        reference = response_spectrum_nigam_jennings_vectorized(
+            acc, 0.01, ResponseSpectrumConfig(
+                periods=np.geomspace(0.1, 10, 200), dampings=(0.02, 0.05)
+            )
+        )
+        assert np.array_equal(spectrum.sd, reference.sd)

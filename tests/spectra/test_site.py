@@ -1,0 +1,140 @@
+"""Unit tests for Konno–Ohmachi smoothing and the H/V ratio."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.spectra.site import (
+    hv_spectral_ratio,
+    konno_ohmachi_smooth,
+    konno_ohmachi_window,
+)
+
+
+class TestWindow:
+    def test_unity_at_center(self):
+        freqs = np.geomspace(0.1, 50, 200)
+        center = float(freqs[120])  # an exact grid frequency
+        w = konno_ohmachi_window(freqs, center)
+        assert w[120] == pytest.approx(1.0, abs=1e-9)
+
+    def test_decays_away_from_center(self):
+        freqs = np.geomspace(0.1, 50, 200)
+        w = konno_ohmachi_window(freqs, 5.0)
+        assert w[np.argmin(np.abs(freqs - 0.5))] < 0.01
+        assert w[np.argmin(np.abs(freqs - 50.0))] < 0.01
+
+    def test_bandwidth_controls_width(self):
+        freqs = np.geomspace(0.1, 50, 400)
+        narrow = konno_ohmachi_window(freqs, 5.0, bandwidth=80.0)
+        wide = konno_ohmachi_window(freqs, 5.0, bandwidth=20.0)
+        assert narrow.sum() < wide.sum()
+
+    def test_zero_frequency_weightless(self):
+        freqs = np.array([0.0, 1.0, 5.0])
+        w = konno_ohmachi_window(freqs, 5.0)
+        assert w[0] == 0.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SignalError):
+            konno_ohmachi_window(np.array([1.0]), -1.0)
+        with pytest.raises(SignalError):
+            konno_ohmachi_window(np.array([1.0]), 1.0, bandwidth=0.0)
+
+
+class TestSmooth:
+    def test_constant_preserved(self):
+        freqs = np.geomspace(0.1, 50, 100)
+        amp = np.full(100, 3.0)
+        assert np.allclose(konno_ohmachi_smooth(freqs, amp), 3.0, rtol=1e-6)
+
+    def test_reduces_jaggedness(self, rng):
+        freqs = np.geomspace(0.1, 50, 300)
+        amp = np.exp(rng.normal(size=300) * 0.5) * freqs**-1
+        smoothed = konno_ohmachi_smooth(freqs, amp)
+        assert np.std(np.diff(np.log(smoothed))) < np.std(np.diff(np.log(amp)))
+
+    def test_peak_survives_smoothing(self):
+        freqs = np.geomspace(0.1, 50, 300)
+        amp = np.ones(300)
+        peak_idx = np.argmin(np.abs(freqs - 3.0))
+        amp[peak_idx - 8 : peak_idx + 8] = 5.0
+        smoothed = konno_ohmachi_smooth(freqs, amp)
+        assert freqs[np.argmax(smoothed)] == pytest.approx(3.0, rel=0.2)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SignalError):
+            konno_ohmachi_smooth(np.ones(5), np.ones(4))
+
+    def test_too_long_rejected(self):
+        n = 5000
+        with pytest.raises(SignalError):
+            konno_ohmachi_smooth(np.geomspace(0.1, 50, n), np.ones(n))
+
+
+class TestHv:
+    def make_spectra(self, site_freq=2.0, amplification=4.0):
+        freqs = np.geomspace(0.1, 30, 300)
+        base = freqs**-0.5
+        # Horizontal components amplified around the site frequency.
+        bump = 1.0 + (amplification - 1.0) * np.exp(
+            -((np.log(freqs / site_freq)) ** 2) / 0.08
+        )
+        h1 = base * bump
+        h2 = base * bump * 1.1
+        v = base
+        return freqs, h1, h2, v
+
+    def test_recovers_site_frequency(self):
+        freqs, h1, h2, v = self.make_spectra(site_freq=2.0)
+        result = hv_spectral_ratio(freqs, h1, h2, v)
+        assert result.peak_frequency == pytest.approx(2.0, rel=0.2)
+        assert result.peak_amplitude > 2.0
+
+    def test_flat_site_has_no_strong_peak(self):
+        freqs = np.geomspace(0.1, 30, 300)
+        base = freqs**-0.5
+        result = hv_spectral_ratio(freqs, base, base, base)
+        assert result.peak_amplitude == pytest.approx(1.0, rel=0.1)
+
+    def test_band_respected(self):
+        freqs, h1, h2, v = self.make_spectra(site_freq=0.15)  # below the band
+        result = hv_spectral_ratio(freqs, h1, h2, v, band=(0.5, 20.0))
+        assert result.peak_frequency >= 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SignalError):
+            hv_spectral_ratio(np.ones(5), np.ones(5), np.ones(4), np.ones(5))
+
+    def test_negative_amplitudes_rejected(self):
+        freqs = np.geomspace(0.1, 30, 50)
+        with pytest.raises(SignalError):
+            hv_spectral_ratio(freqs, -np.ones(50), np.ones(50), np.ones(50))
+
+    def test_empty_band_rejected(self):
+        freqs, h1, h2, v = self.make_spectra()
+        with pytest.raises(SignalError):
+            hv_spectral_ratio(freqs, h1, h2, v, band=(100.0, 200.0))
+
+    def test_works_on_pipeline_spectra(self, rng):
+        """End-to-end: synthetic record -> Fourier spectra -> H/V."""
+        from repro.dsp.integrate import acceleration_to_motion
+        from repro.spectra.fourier import fourier_amplitude_spectrum
+        from repro.synth.source import BruneSource
+        from repro.synth.stochastic import StochasticSimulator
+
+        dt = 0.01
+        sim = StochasticSimulator(source=BruneSource(magnitude=5.5))
+        comps = {}
+        for i, comp in enumerate(("l", "t", "v")):
+            acc = sim.simulate(4096, dt, 20.0, np.random.default_rng(100 + i))
+            comps[comp] = acc * (0.6 if comp == "v" else 1.0)
+        freqs, fl = fourier_amplitude_spectrum(comps["l"], dt)
+        _, ft = fourier_amplitude_spectrum(comps["t"], dt)
+        _, fv = fourier_amplitude_spectrum(comps["v"], dt)
+        keep = (freqs > 0.1) & (freqs < 30.0)
+        # Thin the grid so the O(n^2) smoother stays fast in tests.
+        idx = np.nonzero(keep)[0][::4]
+        result = hv_spectral_ratio(freqs[idx], fl[idx], ft[idx], fv[idx])
+        assert np.all(np.isfinite(result.ratio))
+        assert result.peak_amplitude > 1.0

@@ -1,0 +1,130 @@
+"""Unit tests for the event catalog, station network and dataset writer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.formats.common import COMPONENTS
+from repro.formats.v1 import read_v1
+from repro.synth.dataset import generate_event_dataset, synthesize_station_record
+from repro.synth.events import (
+    MAX_FILE_POINTS,
+    MIN_FILE_POINTS,
+    PAPER_EVENTS,
+    EventSpec,
+    distribute_points,
+    paper_event,
+)
+from repro.synth.network import INSTRUMENT_DT, make_network
+
+
+class TestDistributePoints:
+    def test_exact_total(self):
+        parts = distribute_points(100_000, 7, 5_000, 30_000, seed=1)
+        assert sum(parts) == 100_000
+        assert len(parts) == 7
+
+    def test_bounds_respected(self):
+        parts = distribute_points(100_000, 7, 5_000, 30_000, seed=2)
+        assert all(5_000 <= p <= 30_000 for p in parts)
+
+    def test_deterministic(self):
+        a = distribute_points(50_000, 4, 5_000, 30_000, seed=3)
+        b = distribute_points(50_000, 4, 5_000, 30_000, seed=3)
+        assert a == b
+
+    def test_tight_totals(self):
+        assert distribute_points(15_000, 3, 5_000, 5_000, seed=1) == [5_000] * 3
+
+    def test_impossible_split_rejected(self):
+        with pytest.raises(SignalError):
+            distribute_points(1_000, 3, 5_000, 30_000, seed=1)
+
+
+class TestCatalog:
+    def test_matches_table1_structure(self):
+        structure = [(e.n_files, e.total_points) for e in PAPER_EVENTS]
+        assert structure == [
+            (5, 56_000),
+            (5, 115_000),
+            (9, 145_000),
+            (15, 309_000),
+            (18, 361_000),
+            (19, 384_000),
+        ]
+
+    def test_file_points_within_paper_bounds(self):
+        for event in PAPER_EVENTS:
+            points = event.file_points()
+            assert sum(points) == event.total_points
+            assert all(MIN_FILE_POINTS <= p <= MAX_FILE_POINTS for p in points)
+
+    def test_lookup(self):
+        assert paper_event("EV-MAY19").n_files == 18
+        with pytest.raises(SignalError):
+            paper_event("EV-NOPE")
+
+    def test_invalid_event_rejected(self):
+        with pytest.raises(SignalError):
+            EventSpec("BAD", "2020-01-01", 5.0, 2, 1_000, seed=1)
+
+
+class TestNetwork:
+    def test_deterministic(self):
+        assert make_network(5, seed=9) == make_network(5, seed=9)
+
+    def test_codes_and_sorting(self):
+        stations = make_network(4, seed=9)
+        assert [s.code for s in stations] == ["ST01", "ST02", "ST03", "ST04"]
+        distances = [s.distance_km for s in stations]
+        assert distances == sorted(distances)
+
+    def test_instrument_rates(self):
+        stations = make_network(30, seed=9)
+        assert {s.dt for s in stations} <= set(INSTRUMENT_DT)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SignalError):
+            make_network(0, seed=1)
+
+
+class TestDataset:
+    def test_station_record_components(self):
+        event = EventSpec("T", "2020-01-01", 5.2, 1, 8_000, seed=5)
+        station = make_network(1, seed=5)[0]
+        record = synthesize_station_record(event, station, 1_000)
+        assert set(record.components) == set(COMPONENTS)
+        assert record.npts == 1_000
+        # Vertical weaker than horizontals (0.6 scaling).
+        assert np.abs(record.components["v"]).max() < np.abs(record.components["l"]).max()
+
+    def test_generate_writes_expected_files(self, tmp_path):
+        event = EventSpec("T", "2020-01-01", 5.2, 3, 24_000, seed=5)
+        manifest = generate_event_dataset(event, tmp_path)
+        assert manifest.n_files == 3
+        assert manifest.total_points == 24_000
+        for path in manifest.paths:
+            record = read_v1(path)
+            assert record.header.event_id == "T"
+
+    def test_points_override(self, tmp_path):
+        event = EventSpec("T", "2020-01-01", 5.2, 3, 24_000, seed=5)
+        manifest = generate_event_dataset(event, tmp_path, points_override=[100, 200, 300])
+        assert manifest.total_points == 600
+        record = read_v1(manifest.paths[2])
+        assert record.npts == 300
+
+    def test_regeneration_is_bit_identical(self, tmp_path):
+        event = EventSpec("T", "2020-01-01", 5.2, 2, 16_000, seed=5)
+        m1 = generate_event_dataset(event, tmp_path / "a")
+        m2 = generate_event_dataset(event, tmp_path / "b")
+        for p1, p2 in zip(m1.paths, m2.paths):
+            assert open(p1, "rb").read() == open(p2, "rb").read()
+
+    def test_header_carries_provenance(self, tmp_path):
+        event = EventSpec("T", "2020-03-04", 5.7, 1, 8_000, seed=6)
+        manifest = generate_event_dataset(event, tmp_path)
+        record = read_v1(manifest.paths[0])
+        assert record.header.origin_time == "2020-03-04"
+        assert record.header.magnitude == pytest.approx(5.7)
+        assert "DIST-KM" in record.header.extra

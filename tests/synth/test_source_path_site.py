@@ -1,0 +1,111 @@
+"""Unit tests for the stochastic simulator's physical models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.synth.path import PathModel
+from repro.synth.site import SiteModel
+from repro.synth.source import BruneSource, corner_frequency, moment_from_magnitude
+
+
+class TestSource:
+    def test_moment_scaling(self):
+        # +1 magnitude unit = x10^1.5 moment (Hanks & Kanamori).
+        ratio = moment_from_magnitude(6.0) / moment_from_magnitude(5.0)
+        assert ratio == pytest.approx(10**1.5)
+
+    def test_known_moment_value(self):
+        # M 6.0 -> 1.26e25 dyne-cm (classic benchmark value).
+        assert moment_from_magnitude(6.0) == pytest.approx(1.122e25, rel=0.01)
+
+    def test_corner_frequency_decreases_with_magnitude(self):
+        small = BruneSource(magnitude=4.0)
+        large = BruneSource(magnitude=7.0)
+        assert small.corner_frequency > large.corner_frequency
+
+    def test_corner_frequency_increases_with_stress_drop(self):
+        low = BruneSource(magnitude=5.5, stress_drop_bars=30.0)
+        high = BruneSource(magnitude=5.5, stress_drop_bars=300.0)
+        assert high.corner_frequency > low.corner_frequency
+
+    def test_spectrum_shape(self):
+        source = BruneSource(magnitude=5.5)
+        fc = source.corner_frequency
+        freqs = np.array([0.01 * fc, fc, 100 * fc])
+        spec = source.acceleration_spectrum(freqs)
+        # omega^2 growth below the corner, flat far above it.
+        assert spec[1] / spec[0] == pytest.approx((fc / (0.01 * fc)) ** 2 / 2, rel=0.1)
+        assert spec[2] / spec[1] == pytest.approx(2.0, rel=0.1)
+
+    def test_duration_inverse_of_corner(self):
+        source = BruneSource(magnitude=5.0)
+        assert source.duration_s() == pytest.approx(1.0 / source.corner_frequency)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(SignalError):
+            corner_frequency(-1.0)
+
+
+class TestPath:
+    def test_body_wave_spreading(self):
+        path = PathModel()
+        assert path.geometric_spreading(10.0) == pytest.approx(0.1)
+
+    def test_surface_wave_transition(self):
+        path = PathModel(spreading_crossover_km=70.0)
+        # Continuous at the crossover, slower decay beyond.
+        at = path.geometric_spreading(70.0)
+        beyond = path.geometric_spreading(280.0)
+        assert at == pytest.approx(1 / 70.0)
+        assert beyond == pytest.approx(at * np.sqrt(70.0 / 280.0))
+
+    def test_anelastic_attenuation_monotone_in_distance(self):
+        path = PathModel()
+        freqs = np.array([1.0, 10.0])
+        near = path.anelastic(freqs, 10.0)
+        far = path.anelastic(freqs, 80.0)
+        assert np.all(far < near)
+
+    def test_anelastic_attenuates_high_frequencies_more(self):
+        path = PathModel()
+        att = path.anelastic(np.array([0.5, 20.0]), 50.0)
+        assert att[1] < att[0]
+
+    def test_path_duration_rule(self):
+        assert PathModel().path_duration_s(40.0) == pytest.approx(2.0)
+
+    def test_rejects_non_positive_distance(self):
+        with pytest.raises(SignalError):
+            PathModel().geometric_spreading(0.0)
+        with pytest.raises(SignalError):
+            PathModel().path_duration_s(-5.0)
+
+
+class TestSite:
+    def test_kappa_filter_at_zero_is_unity(self):
+        site = SiteModel(kappa_s=0.04)
+        assert site.kappa_filter(np.array([0.0]))[0] == pytest.approx(1.0)
+
+    def test_kappa_kills_high_frequencies(self):
+        site = SiteModel(kappa_s=0.04)
+        out = site.kappa_filter(np.array([1.0, 10.0, 50.0]))
+        assert out[0] > out[1] > out[2]
+        assert out[2] < 0.01
+
+    def test_amplification_interpolates(self):
+        site = SiteModel()
+        amp = site.amplification(np.array([0.01, 1.0, 50.0]))
+        assert amp[0] == pytest.approx(1.0)
+        assert 1.0 < amp[1] < amp[2]
+
+    def test_rejects_negative_kappa(self):
+        with pytest.raises(SignalError):
+            SiteModel(kappa_s=-0.01)
+
+    def test_combined_factor(self):
+        site = SiteModel(kappa_s=0.02)
+        freqs = np.array([0.5, 5.0])
+        assert np.allclose(
+            site.apply(freqs), site.amplification(freqs) * site.kappa_filter(freqs)
+        )

@@ -1,0 +1,94 @@
+"""Unit tests for the stochastic ground-motion simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SignalError
+from repro.synth.source import BruneSource
+from repro.synth.stochastic import StochasticSimulator, saragoni_hart_window
+
+
+class TestSaragoniHart:
+    def test_unit_peak(self):
+        w = saragoni_hart_window(500)
+        assert w.max() == pytest.approx(1.0)
+
+    def test_starts_at_zero(self):
+        assert saragoni_hart_window(100)[0] == 0.0
+
+    def test_peak_near_eps_fraction(self):
+        w = saragoni_hart_window(1000, eps=0.2)
+        assert np.argmax(w) == pytest.approx(200, abs=20)
+
+    def test_tail_amplitude(self):
+        w = saragoni_hart_window(1000, eps=0.2, eta=0.05)
+        assert w[-1] == pytest.approx(0.05, rel=0.05)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SignalError):
+            saragoni_hart_window(0)
+        with pytest.raises(SignalError):
+            saragoni_hart_window(100, eps=1.5)
+
+
+class TestSimulator:
+    def make(self, magnitude=5.5):
+        return StochasticSimulator(source=BruneSource(magnitude=magnitude))
+
+    def test_deterministic_given_seed(self):
+        sim = self.make()
+        a = sim.simulate(2000, 0.01, 20.0, np.random.default_rng(5))
+        b = sim.simulate(2000, 0.01, 20.0, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        sim = self.make()
+        a = sim.simulate(2000, 0.01, 20.0, np.random.default_rng(5))
+        b = sim.simulate(2000, 0.01, 20.0, np.random.default_rng(6))
+        assert not np.array_equal(a, b)
+
+    def test_length_and_finiteness(self):
+        sim = self.make()
+        acc = sim.simulate(3333, 0.005, 15.0, np.random.default_rng(1))
+        assert acc.shape == (3333,)
+        assert np.all(np.isfinite(acc))
+
+    def test_closer_station_shakes_harder(self):
+        sim = self.make()
+        near = sim.simulate(4000, 0.01, 10.0, np.random.default_rng(2))
+        far = sim.simulate(4000, 0.01, 80.0, np.random.default_rng(2))
+        assert np.abs(near).max() > np.abs(far).max()
+
+    def test_bigger_event_shakes_harder(self):
+        near = self.make(6.5).simulate(4000, 0.01, 30.0, np.random.default_rng(3))
+        small = self.make(4.5).simulate(4000, 0.01, 30.0, np.random.default_rng(3))
+        assert np.abs(near).max() > np.abs(small).max()
+
+    def test_plausible_pga_range(self):
+        # A M5.5 at 20 km should produce tens of gal, not thousands.
+        sim = self.make()
+        acc = sim.simulate(6000, 0.01, 20.0, np.random.default_rng(4))
+        pga = np.abs(acc).max()
+        assert 1.0 < pga < 2000.0
+
+    def test_pre_event_noise_floor(self):
+        sim = self.make()
+        acc = sim.simulate(8000, 0.01, 20.0, np.random.default_rng(7),
+                           pre_event_fraction=0.1, noise_floor_gal=0.02)
+        lead = acc[:400]  # well inside the pre-event window
+        assert np.abs(lead).max() < 1.0
+        assert np.std(lead) == pytest.approx(0.02, rel=0.5)
+
+    def test_target_spectrum_positive(self):
+        sim = self.make()
+        freqs = np.geomspace(0.1, 50.0, 100)
+        spec = sim.target_spectrum(freqs, 25.0)
+        assert np.all(spec > 0)
+
+    def test_rejects_tiny_records(self):
+        with pytest.raises(SignalError):
+            self.make().simulate(8, 0.01, 10.0, np.random.default_rng(0))
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(SignalError):
+            self.make().simulate(100, 0.0, 10.0, np.random.default_rng(0))

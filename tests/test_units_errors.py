@@ -1,0 +1,89 @@
+"""Tests for the units and errors foundation modules."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.units import (
+    G_GAL,
+    G_SI,
+    angular_frequency,
+    frequency_to_period,
+    g_to_gal,
+    gal_to_g,
+    gal_to_si,
+    period_to_frequency,
+    si_to_gal,
+)
+
+
+class TestUnits:
+    def test_gravity_constants_consistent(self):
+        assert G_GAL == pytest.approx(G_SI * 100.0)
+
+    def test_gal_g_roundtrip_scalar(self):
+        assert g_to_gal(gal_to_g(123.4)) == pytest.approx(123.4)
+
+    def test_gal_g_roundtrip_array(self):
+        acc = np.array([1.0, -50.0, 981.0])
+        assert np.allclose(g_to_gal(gal_to_g(acc)), acc)
+
+    def test_one_g_in_gal(self):
+        assert g_to_gal(1.0) == pytest.approx(980.665)
+
+    def test_si_conversions(self):
+        assert gal_to_si(100.0) == pytest.approx(1.0)
+        assert si_to_gal(9.80665) == pytest.approx(G_GAL)
+
+    def test_period_frequency_inverse(self):
+        assert period_to_frequency(frequency_to_period(2.5)) == pytest.approx(2.5)
+        periods = np.array([0.1, 1.0, 10.0])
+        assert np.allclose(frequency_to_period(period_to_frequency(periods)), periods)
+
+    def test_angular_frequency(self):
+        assert angular_frequency(1.0) == pytest.approx(2 * np.pi)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.FormatError,
+            errors.HeaderError,
+            errors.DataBlockError,
+            errors.PipelineError,
+            errors.MissingArtifactError,
+            errors.DependencyError,
+            errors.StageOrderError,
+            errors.ParallelError,
+            errors.BackendError,
+            errors.SchedulerError,
+            errors.SignalError,
+            errors.FilterDesignError,
+            errors.CalibrationError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_header_error_is_format_error(self):
+        assert issubclass(errors.HeaderError, errors.FormatError)
+        assert issubclass(errors.DataBlockError, errors.FormatError)
+
+    def test_stage_order_is_dependency_error(self):
+        assert issubclass(errors.StageOrderError, errors.DependencyError)
+
+    def test_missing_artifact_message(self):
+        err = errors.MissingArtifactError("/ws/work/x.v2", process="P16")
+        assert "/ws/work/x.v2" in str(err)
+        assert "P16" in str(err)
+        assert err.path == "/ws/work/x.v2"
+        assert err.process == "P16"
+
+    def test_missing_artifact_without_process(self):
+        err = errors.MissingArtifactError("file.dat")
+        assert "file.dat" in str(err)
+
+    def test_catching_the_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.FilterDesignError("bad corners")
