@@ -2,9 +2,10 @@
 """Quickstart: generate a synthetic event and process it end-to-end.
 
 Creates a three-station event, runs the fully-parallelized pipeline on
-it, and prints the headline engineering quantities: per-station peak
-ground motion and the 5%-damped spectral acceleration at a few
-building periods.
+it through the one-call :func:`repro.run` facade (recording a span
+trace on the way), and prints the headline engineering quantities:
+per-station peak ground motion and the 5%-damped spectral acceleration
+at a few building periods.
 
 Run:  python examples/quickstart.py [output_dir]
 """
@@ -13,10 +14,12 @@ from __future__ import annotations
 
 import sys
 import tempfile
+from pathlib import Path
 
 import numpy as np
 
-from repro import EventSpec, FullyParallel, RunContext, generate_event_dataset
+import repro
+from repro import EventSpec
 from repro.formats.response import read_response
 from repro.formats.v2 import read_v2
 
@@ -24,18 +27,19 @@ from repro.formats.v2 import read_v2
 def main() -> int:
     out_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="repro-quickstart-")
 
-    # 1. A synthetic M5.6 event recorded by three stations (~30k points).
+    # 1+2. A synthetic M5.6 event recorded by three stations (~30k
+    # points), processed by the fully-parallelized pipeline — one call.
     event = EventSpec("QUICKSTART", "2024-03-15", 5.6, 3, 30_000, seed=20240315)
-    ctx = RunContext.for_directory(out_dir)
-    manifest = generate_event_dataset(event, ctx.workspace.input_dir)
-    print(f"Generated {manifest.n_files} V1 files ({manifest.total_points:,} data points)")
+    trace_path = Path(out_dir) / "quickstart.trace.json"
+    result = repro.run(event, "full-parallel", workspace=out_dir, trace=trace_path)
+    ctx = repro.RunContext.for_directory(out_dir)
     print(f"Workspace: {out_dir}\n")
-
-    # 2. Run the fully-parallelized pipeline.
-    result = FullyParallel().run(ctx)
     print(f"Pipeline finished in {result.total_s:.2f} s")
     for line in result.summary_lines()[1:]:
         print(line)
+    n_spans = len(result.trace.spans) if result.trace else 0
+    print(f"\nSpan trace ({n_spans} spans) written to {trace_path}")
+    print("  -> open it in chrome://tracing or https://ui.perfetto.dev")
 
     # 3. Read back the engineering products.
     print("\nPeak ground motion (definitive corrected records):")

@@ -14,17 +14,22 @@ Figures 11–13.
 
 Quick start::
 
-    from repro import RunContext, FullyParallel, generate_event_dataset
+    import repro
     from repro.synth import EventSpec
 
     event = EventSpec("DEMO", "2024-01-01", 5.5, 3, 30_000, seed=1)
-    ctx = RunContext.for_directory("run")
-    generate_event_dataset(event, ctx.workspace.input_dir)
-    result = FullyParallel().run(ctx)
+    result = repro.run(event, workspace="run", trace=True)
     print(result.summary_lines())
+
+:func:`repro.run` is the one-call facade: it accepts a workspace
+directory, a synthetic :class:`EventSpec`, or a prepared
+:class:`RunContext`; picks the implementation by name; applies one
+backend uniformly; and (with ``trace=``) records a span trace of the
+whole run, exportable as Chrome Trace Event JSON.
 """
 
 from repro._version import __version__
+from repro.api import run
 from repro.core import (
     ALL_IMPLEMENTATIONS,
     FullyParallel,
@@ -39,10 +44,14 @@ from repro.core import (
     Workspace,
     implementation_by_name,
 )
+from repro.observability import Trace, Tracer
 from repro.synth import EventSpec, PAPER_EVENTS, generate_event_dataset
 
 __all__ = [
     "__version__",
+    "run",
+    "Trace",
+    "Tracer",
     "RunContext",
     "ParallelSettings",
     "Workspace",

@@ -1,0 +1,123 @@
+"""The one-call public API.
+
+:func:`run` is the library's front door: point it at a workspace
+directory (or hand it a synthetic :class:`~repro.synth.events.EventSpec`
+to generate first), pick an implementation and a backend, and get a
+:class:`~repro.core.runner.PipelineResult` back — optionally with the
+full span trace attached and exported as Chrome Trace Event JSON.
+
+    import repro
+
+    result = repro.run("my-workspace")                       # existing V1 files
+    result = repro.run(event, workspace="out", trace=True)   # synthetic event
+    result = repro.run("ws", implementation="wavefront-parallel",
+                       backend="process", workers=8,
+                       trace="run.trace.json")
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import RunContext, Workspace, implementation_by_name
+from repro.core.context import ParallelSettings
+from repro.core.runner import PipelineImplementation, PipelineResult
+from repro.observability.tracer import Tracer
+from repro.parallel.backend import Backend
+from repro.synth.events import EventSpec
+
+
+def _resolve_implementation(
+    implementation: str | PipelineImplementation | type[PipelineImplementation],
+) -> PipelineImplementation:
+    """Accept a short name, an implementation class, or an instance."""
+    if isinstance(implementation, PipelineImplementation):
+        return implementation
+    if isinstance(implementation, type) and issubclass(implementation, PipelineImplementation):
+        return implementation()
+    return implementation_by_name(str(implementation))()
+
+
+def run(
+    source: str | Path | Workspace | RunContext | EventSpec,
+    implementation: str | PipelineImplementation | type[PipelineImplementation] = "full-parallel",
+    *,
+    backend: Backend | str | None = None,
+    workers: int | None = None,
+    trace: bool | str | Path | None = None,
+    workspace: str | Path | None = None,
+    response_periods: int | None = None,
+    settings: ParallelSettings | None = None,
+) -> PipelineResult:
+    """Run one pipeline implementation end-to-end, in one call.
+
+    ``source`` selects the input:
+
+    - a directory path (or :class:`Workspace`) whose ``input/`` holds
+      the V1 records to process;
+    - an :class:`EventSpec` — its synthetic dataset is generated first,
+      into ``workspace`` (a temporary directory by default);
+    - a fully-configured :class:`RunContext`, used as-is (``backend``,
+      ``workers``, ``response_periods`` and ``settings`` must then be
+      left unset).
+
+    ``backend`` applies one backend to loops, tasks and tools alike
+    (``ParallelSettings.uniform``); pass ``settings`` instead for
+    per-strategy control.  ``trace=True`` attaches the run's span
+    :class:`~repro.observability.tracer.Trace` to the returned result;
+    a path additionally writes it as Chrome Trace Event JSON.
+
+    Returns the implementation's :class:`PipelineResult` (with
+    ``result.trace`` set when tracing was requested).
+    """
+    impl = _resolve_implementation(implementation)
+
+    if isinstance(source, RunContext):
+        if backend is not None or workers is not None or settings is not None \
+                or response_periods is not None:
+            raise ValueError(
+                "run(): a RunContext source carries its own settings; "
+                "backend/workers/settings/response_periods must be unset"
+            )
+        ctx = source
+    else:
+        if settings is None:
+            if backend is not None:
+                settings = ParallelSettings.uniform(backend, num_workers=workers)
+            else:
+                settings = ParallelSettings(num_workers=workers)
+        kwargs: dict = {"parallel": settings}
+        if response_periods is not None:
+            from repro.spectra.response import ResponseSpectrumConfig, default_periods
+
+            kwargs["response_config"] = ResponseSpectrumConfig(
+                periods=default_periods(response_periods)
+            )
+        if isinstance(source, EventSpec):
+            root = Path(
+                workspace
+                if workspace is not None
+                else tempfile.mkdtemp(prefix=f"repro-run-{source.event_id}-")
+            )
+            ctx = RunContext.for_directory(root, **kwargs)
+            if not ctx.workspace.input_stations():
+                from repro.synth.dataset import generate_event_dataset
+
+                generate_event_dataset(source, ctx.workspace.input_dir)
+        elif isinstance(source, Workspace):
+            ctx = RunContext(workspace=source.create(), **kwargs)
+        else:
+            ctx = RunContext.for_directory(Path(source), **kwargs)
+
+    if trace:
+        ctx.tracer = Tracer()
+
+    result = impl.run(ctx)
+
+    if trace and not isinstance(trace, bool):
+        from repro.observability.export import write_chrome_trace
+
+        if result.trace is not None:
+            write_chrome_trace(trace, result.trace)
+    return result

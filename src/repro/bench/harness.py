@@ -52,6 +52,7 @@ def measure_implementations(
     response_config: ResponseSpectrumConfig | None = None,
     keep_dir: Path | None = None,
     include_extensions: bool = False,
+    trace_dir: Path | None = None,
 ) -> MeasuredRow:
     """Time all four implementations on one scaled-down event.
 
@@ -59,7 +60,9 @@ def measure_implementations(
     dataset (same seed), so times are comparable and outputs can be
     diffed.  ``keep_dir`` preserves the workspaces for inspection;
     ``include_extensions`` additionally times the wavefront and
-    cluster extensions.
+    cluster extensions; ``trace_dir`` records a span trace per
+    implementation and writes ``<name>.trace.json`` Chrome traces
+    there (the timings then come from the same spans the traces show).
     """
     workload = scaled_workload(event, scale)
     times: dict[str, float] = {}
@@ -78,10 +81,20 @@ def measure_implementations(
                 response_config=response_config or small_response_config(),
                 parallel=parallel or ParallelSettings(),
             )
+            if trace_dir is not None:
+                from repro.observability.tracer import Tracer
+
+                ctx.tracer = Tracer()
             materialize(event, workload, ctx.workspace.input_dir)
             result = impl_cls().run(ctx)
             times[impl_cls.name] = result.total_s
             results[impl_cls.name] = result
+            if trace_dir is not None and result.trace is not None:
+                from repro.observability.export import write_chrome_trace
+
+                out = Path(trace_dir)
+                out.mkdir(parents=True, exist_ok=True)
+                write_chrome_trace(out / f"{impl_cls.name}.trace.json", result.trace)
     finally:
         if keep_dir is None:
             shutil.rmtree(base, ignore_errors=True)

@@ -18,6 +18,7 @@ from pathlib import Path
 
 from repro.core import ALL_IMPLEMENTATIONS, RunContext, implementation_by_name
 from repro.core.context import ParallelSettings
+from repro.parallel.backend import Backend
 from repro.spectra.response import ResponseSpectrumConfig, default_periods
 
 
@@ -45,8 +46,8 @@ def _build_process_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=None, help="parallel worker count")
     parser.add_argument(
         "--backend",
-        default="thread",
-        choices=("serial", "thread", "process"),
+        default=Backend.THREAD.value,
+        choices=[backend.value for backend in Backend],
         help="backend for the parallel implementations",
     )
     parser.add_argument(
@@ -56,6 +57,12 @@ def _build_process_parser() -> argparse.ArgumentParser:
         "--config",
         metavar="FILE.JSON",
         help="run-configuration file (overrides --periods/--backend/--workers)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE.JSON",
+        help="record a span trace of the run and write it as Chrome Trace "
+        "Event JSON (open in chrome://tracing or ui.perfetto.dev)",
     )
     return parser
 
@@ -71,13 +78,12 @@ def main_process(argv: list[str] | None = None) -> int:
         ctx = RunContext.for_directory(
             args.workspace,
             response_config=ResponseSpectrumConfig(periods=default_periods(args.periods)),
-            parallel=ParallelSettings(
-                loop_backend=args.backend,
-                task_backend=args.backend,
-                tool_backend=args.backend,
-                num_workers=args.workers,
-            ),
+            parallel=ParallelSettings.uniform(args.backend, num_workers=args.workers),
         )
+    if args.trace:
+        from repro.observability.tracer import Tracer
+
+        ctx.tracer = Tracer()
     if args.generate_event:
         from repro.bench.workloads import materialize, scaled_workload
         from repro.synth.events import paper_event
@@ -94,6 +100,11 @@ def main_process(argv: list[str] | None = None) -> int:
     result = impl.run(ctx)
     for line in result.summary_lines():
         print(line)
+    if args.trace and result.trace is not None:
+        from repro.observability.export import write_chrome_trace
+
+        write_chrome_trace(args.trace, result.trace)
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -268,6 +279,11 @@ def _build_bulletin_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=None, help="parallel workers")
     parser.add_argument("--out", help="also write the bulletin to this file")
     parser.add_argument("--title", default="Seismic activity bulletin", help="bulletin title")
+    parser.add_argument(
+        "--trace",
+        metavar="FILE.JSON",
+        help="record one span trace across all events (Chrome Trace Event JSON)",
+    )
     return parser
 
 
@@ -278,18 +294,29 @@ def main_bulletin(argv: list[str] | None = None) -> int:
     from repro.synth.events import PAPER_EVENTS, read_catalog
 
     events = list(PAPER_EVENTS) if args.catalog == "paper" else read_catalog(args.catalog)
+    tracer = None
+    if args.trace:
+        from repro.observability.tracer import Tracer
+
+        tracer = Tracer()
     runner = BatchRunner(
         implementation=implementation_by_name(args.implementation)(),
         root=Path(args.root),
         scale=args.scale,
         response_config=ResponseSpectrumConfig(periods=default_periods(args.periods)),
         parallel=ParallelSettings(num_workers=args.workers),
+        tracer=tracer,
     )
     bulletin = runner.run(events, title=args.title)
     print(bulletin.render())
     if args.out:
         bulletin.write(args.out)
         print(f"\nbulletin written to {args.out}")
+    if tracer is not None:
+        from repro.observability.export import write_chrome_trace
+
+        write_chrome_trace(args.trace, tracer.trace())
+        print(f"trace written to {args.trace}")
     return 0
 
 

@@ -24,6 +24,7 @@ from repro.errors import PipelineError
 from repro.formats.common import COMPONENTS
 from repro.formats.response import read_response
 from repro.formats.v2 import read_v2
+from repro.observability.tracer import Tracer, maybe_span
 from repro.spectra.response import ResponseSpectrumConfig
 from repro.synth.events import EventSpec
 
@@ -147,15 +148,27 @@ class BatchRunner:
     response_config: ResponseSpectrumConfig | None = None
     parallel: ParallelSettings | None = None
     verify: bool = True
+    #: Shared tracer: one trace spanning every event's run, with a
+    #: ``batch`` root span over the per-event ``run`` spans.
+    tracer: Tracer | None = None
 
     def run(self, events: list[EventSpec], *, title: str = "Seismic activity bulletin") -> Bulletin:
         """Generate, process and summarize every event."""
         if not events:
             raise PipelineError("batch runner needs at least one event")
         bulletin = Bulletin(title=title)
+        with maybe_span(
+            self.tracer, title, kind="batch",
+            events=len(events), implementation=self.implementation.name,
+        ):
+            self._run_events(events, bulletin)
+        return bulletin
+
+    def _run_events(self, events: list[EventSpec], bulletin: Bulletin) -> None:
         for event in events:
             ctx = RunContext.for_directory(
                 Path(self.root) / event.event_id,
+                tracer=self.tracer,
                 **(
                     {"response_config": self.response_config}
                     if self.response_config is not None
@@ -182,4 +195,3 @@ class BatchRunner:
                         + report.render()
                     )
             bulletin.events.append(summarize_event_run(ctx, event, result))
-        return bulletin

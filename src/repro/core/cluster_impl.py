@@ -29,6 +29,7 @@ from repro.core.processes.p17_response_meta import run_p17
 from repro.core.runner import PipelineImplementation, PipelineResult, ProcessTiming
 from repro.core.wavefront import _merge_suffixed, process_station_wavefront
 from repro.formats.params import FilterParams, write_filter_params
+from repro.observability.tracer import maybe_span
 from repro.parallel.cluster import Communicator, run_cluster
 
 
@@ -65,37 +66,59 @@ class ClusterParallel(PipelineImplementation):
         self.n_ranks = n_ranks
 
     def execute(self, ctx: RunContext, result: PipelineResult) -> None:
-        start = time.perf_counter()
+        tracer = ctx.tracer
         # Coordinator prologue (stages I, II, VII), sequential: these
         # are milliseconds and must complete before ranks start.
-        run_p00(ctx)
-        run_p01(ctx)
-        run_p02(ctx)
-        run_p05(ctx)
-        run_p08(ctx)
-        run_p17(ctx)
-        run_p11(ctx)
-        result.stage_durations["prologue"] = time.perf_counter() - start
+        with maybe_span(
+            tracer, "prologue", kind="stage", stage="prologue",
+            strategy="seq", implementation=self.name,
+        ) as prologue_span:
+            start = time.perf_counter()
+            run_p00(ctx)
+            run_p01(ctx)
+            run_p02(ctx)
+            run_p05(ctx)
+            run_p08(ctx)
+            run_p17(ctx)
+            run_p11(ctx)
+            elapsed = time.perf_counter() - start
+        result.stage_durations["prologue"] = (
+            prologue_span.duration_s if prologue_span is not None else elapsed
+        )
 
-        start = time.perf_counter()
-        stations = stations_from_list(ctx.workspace)
-        ranks = self.n_ranks if self.n_ranks is not None else ctx.parallel.workers
-        ranks = max(1, min(ranks, len(stations)))
-        per_rank = run_cluster(_cluster_rank_body, ranks, ctx)
-        all_specs = per_rank[0]
-        result.stage_durations["ranks"] = time.perf_counter() - start
+        with maybe_span(
+            tracer, "ranks", kind="stage", stage="ranks",
+            strategy="cluster", implementation=self.name,
+        ) as ranks_span:
+            start = time.perf_counter()
+            stations = stations_from_list(ctx.workspace)
+            ranks = self.n_ranks if self.n_ranks is not None else ctx.parallel.workers
+            ranks = max(1, min(ranks, len(stations)))
+            per_rank = run_cluster(_cluster_rank_body, ranks, ctx, tracer=tracer)
+            all_specs = per_rank[0]
+            elapsed = time.perf_counter() - start
+        result.stage_durations["ranks"] = (
+            ranks_span.duration_s if ranks_span is not None else elapsed
+        )
 
-        start = time.perf_counter()
-        params = FilterParams(default=ctx.default_filter)
-        for station, comp, spec in all_specs:
-            params.set_override(station, comp, spec)
-        write_filter_params(ctx.workspace.work(FILTER_CORRECTED), params)
-        _merge_suffixed(ctx.workspace, "max1", MAXVALS)
-        _merge_suffixed(ctx.workspace, "max2", MAXVALS2)
-        tmp = ctx.workspace.tmp_dir
-        if tmp.exists() and not any(tmp.iterdir()):
-            tmp.rmdir()
-        result.stage_durations["epilogue"] = time.perf_counter() - start
+        with maybe_span(
+            tracer, "epilogue", kind="stage", stage="epilogue",
+            strategy="seq", implementation=self.name,
+        ) as epilogue_span:
+            start = time.perf_counter()
+            params = FilterParams(default=ctx.default_filter)
+            for station, comp, spec in all_specs:
+                params.set_override(station, comp, spec)
+            write_filter_params(ctx.workspace.work(FILTER_CORRECTED), params)
+            _merge_suffixed(ctx.workspace, "max1", MAXVALS)
+            _merge_suffixed(ctx.workspace, "max2", MAXVALS2)
+            tmp = ctx.workspace.tmp_dir
+            if tmp.exists() and not any(tmp.iterdir()):
+                tmp.rmdir()
+            elapsed = time.perf_counter() - start
+        result.stage_durations["epilogue"] = (
+            epilogue_span.duration_s if epilogue_span is not None else elapsed
+        )
         result.processes.append(
             ProcessTiming(
                 pid=-1,

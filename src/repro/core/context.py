@@ -13,11 +13,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.artifacts import Workspace
 from repro.dsp.fir import DEFAULT_BANDPASS, BandPassSpec
 from repro.parallel.backend import Backend, resolve_workers
 from repro.spectra.response import ResponseSpectrumConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observability.tracer import Tracer
 
 
 @dataclass
@@ -40,6 +44,21 @@ class ParallelSettings:
         self.loop_backend = Backend.coerce(self.loop_backend)
         self.task_backend = Backend.coerce(self.task_backend)
         self.tool_backend = Backend.coerce(self.tool_backend)
+
+    @classmethod
+    def uniform(cls, backend: Backend | str, num_workers: int | None = None) -> "ParallelSettings":
+        """Settings with all three backends set to ``backend``.
+
+        The single coercion point for "give me one backend everywhere"
+        callers (the CLI's ``--backend``, the :func:`repro.run` facade).
+        """
+        backend = Backend.coerce(backend)
+        return cls(
+            loop_backend=backend,
+            task_backend=backend,
+            tool_backend=backend,
+            num_workers=num_workers,
+        )
 
     @property
     def workers(self) -> int:
@@ -71,6 +90,9 @@ class RunContext:
     fourier_max_period: float = 20.0
     #: Taper fraction applied before spectral analysis.
     taper_fraction: float = 0.05
+    #: Optional span tracer; every execution layer records into it.
+    #: Excluded from equality — tracing never changes artifacts.
+    tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
 
     @classmethod
     def for_directory(cls, root: Path | str, **kwargs: object) -> "RunContext":

@@ -72,6 +72,8 @@ def run_p10(ctx: RunContext, *, parallel_inner: bool = False) -> None:
                 f_names,
                 backend=ctx.parallel.loop_backend,
                 num_workers=min(ctx.parallel.workers, len(f_names)),
+                tracer=ctx.tracer,
+                span="analyze_component",
             )
         else:
             results = [

@@ -6,9 +6,11 @@ import logging
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.context import RunContext
 from repro.core.registry import PROCESSES
+from repro.observability.tracer import Trace, maybe_span
 
 logger = logging.getLogger("repro.core")
 
@@ -33,10 +35,56 @@ class PipelineResult:
     #: Elapsed wall-clock per stage (stage label -> seconds).  For the
     #: sequential implementations each process is its own "stage".
     stage_durations: dict[str, float] = field(default_factory=dict)
+    #: The run's span trace, when the context carried an enabled tracer.
+    trace: Trace | None = field(default=None, repr=False, compare=False)
 
     def process_duration(self, pid: int) -> float:
         """Total time attributed to one process (0.0 if it never ran)."""
         return sum(p.duration_s for p in self.processes if p.pid == pid)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Stable JSON-ready representation (the shared result schema).
+
+        Traces, benches and bulletins all serialize runs through this
+        one shape; :meth:`from_dict` round-trips it exactly.
+        """
+        return {
+            "implementation": self.implementation,
+            "total_s": self.total_s,
+            "processes": [
+                {
+                    "pid": p.pid,
+                    "name": p.name,
+                    "stage": p.stage,
+                    "duration_s": p.duration_s,
+                }
+                for p in self.processes
+            ],
+            "stage_durations": dict(self.stage_durations),
+            "trace": self.trace.to_dict() if self.trace is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PipelineResult":
+        """Inverse of :meth:`to_dict`."""
+        trace_data = data.get("trace")
+        return cls(
+            implementation=str(data["implementation"]),
+            total_s=float(data["total_s"]),
+            processes=[
+                ProcessTiming(
+                    pid=int(p["pid"]),
+                    name=str(p["name"]),
+                    stage=str(p["stage"]),
+                    duration_s=float(p["duration_s"]),
+                )
+                for p in data.get("processes") or []
+            ],
+            stage_durations={
+                str(k): float(v) for k, v in (data.get("stage_durations") or {}).items()
+            },
+            trace=Trace.from_dict(trace_data) if trace_data is not None else None,
+        )
 
     def summary_lines(self) -> list[str]:
         """Human-readable per-stage summary."""
@@ -72,14 +120,31 @@ class PipelineImplementation(ABC):
             len(stations),
         )
         result = PipelineResult(implementation=self.name, total_s=0.0)
-        start = time.perf_counter()
-        try:
-            self.execute(ctx, result)
-        except Exception:
-            logger.exception("%s: run failed after %.3f s", self.name,
-                             time.perf_counter() - start)
-            raise
-        result.total_s = time.perf_counter() - start
+        tracer = ctx.tracer
+        with maybe_span(
+            tracer,
+            self.name,
+            kind="run",
+            implementation=self.name,
+            workspace=str(ctx.workspace.root),
+            stations=len(stations),
+            workers=ctx.parallel.workers,
+            loop_backend=ctx.parallel.loop_backend.value,
+            task_backend=ctx.parallel.task_backend.value,
+            tool_backend=ctx.parallel.tool_backend.value,
+        ) as run_span:
+            start = time.perf_counter()
+            try:
+                with maybe_span(tracer, self.name, kind="implementation",
+                                implementation=self.name):
+                    self.execute(ctx, result)
+            except Exception:
+                logger.exception("%s: run failed after %.3f s", self.name,
+                                 time.perf_counter() - start)
+                raise
+            result.total_s = time.perf_counter() - start
+        if run_span is not None and tracer is not None:
+            result.trace = tracer.subtree(run_span)
         logger.info("%s: finished in %.3f s", self.name, result.total_s)
         return result
 

@@ -16,6 +16,7 @@ import time
 from repro.core.context import RunContext
 from repro.core.registry import OPTIMIZED_ORDER, ORIGINAL_ORDER, PROCESSES
 from repro.core.runner import PipelineImplementation, PipelineResult, ProcessTiming
+from repro.observability.tracer import maybe_span
 
 logger = logging.getLogger("repro.core")
 
@@ -26,16 +27,28 @@ class _SequentialBase(PipelineImplementation):
     order: tuple[int, ...] = ()
 
     def execute(self, ctx: RunContext, result: PipelineResult) -> None:
+        tracer = ctx.tracer
         for pid in self.order:
             spec = PROCESSES[pid]
-            start = time.perf_counter()
-            spec.run(ctx)
-            elapsed = time.perf_counter() - start
+            # Each process is its own stage here, so the trace keeps the
+            # same run -> stage -> process shape as the staged plans.
+            with maybe_span(
+                tracer, spec.label, kind="stage", stage=spec.label,
+                strategy="seq", implementation=self.name,
+            ) as stage_span:
+                with maybe_span(
+                    tracer, spec.name, kind="process", pid=pid, stage=spec.label,
+                ):
+                    start = time.perf_counter()
+                    spec.run(ctx)
+                    elapsed = time.perf_counter() - start
             logger.debug("%s (%s) finished in %.4f s", spec.label, spec.name, elapsed)
             result.processes.append(
                 ProcessTiming(pid=pid, name=spec.name, stage=spec.label, duration_s=elapsed)
             )
-            result.stage_durations[spec.label] = elapsed
+            result.stage_durations[spec.label] = (
+                stage_span.duration_s if stage_span is not None else elapsed
+            )
 
 
 class SequentialOriginal(_SequentialBase):

@@ -47,6 +47,7 @@ from repro.core.stages import (
 )
 from repro.core.tempfolders import StagedInstance, run_staged_instance
 from repro.errors import PipelineError
+from repro.observability.tracer import maybe_span
 from repro.formats.common import COMPONENTS
 from repro.formats.v1 import component_v1_name
 from repro.formats.v2 import component_v2_name
@@ -83,9 +84,18 @@ class StagedImplementationBase(PipelineImplementation):
             }
             for stage in STAGES:
                 strategy = self.strategies.get(stage.name, SEQ)
-                start = time.perf_counter()
-                self._run_stage(ctx, result, stage, strategy)
-                result.stage_durations[stage.name] = time.perf_counter() - start
+                with maybe_span(
+                    ctx.tracer, stage.name, kind="stage", stage=stage.name,
+                    strategy=strategy, implementation=self.name,
+                ) as stage_span:
+                    start = time.perf_counter()
+                    self._run_stage(ctx, result, stage, strategy)
+                    elapsed = time.perf_counter() - start
+                # When tracing, the stage clock *is* the stage span, so
+                # the trace and the result cannot disagree.
+                result.stage_durations[stage.name] = (
+                    stage_span.duration_s if stage_span is not None else elapsed
+                )
                 logger.debug(
                     "stage %s (%s) finished in %.4f s",
                     stage.name,
@@ -126,7 +136,11 @@ class StagedImplementationBase(PipelineImplementation):
 
     def _stage_seq(self, ctx: RunContext, result: PipelineResult, stage: StageSpec) -> None:
         for pid in stage.processes:
-            _, elapsed = _timed(pid, ctx)
+            with maybe_span(
+                ctx.tracer, PROCESSES[pid].name, kind="process",
+                pid=pid, stage=stage.name,
+            ):
+                _, elapsed = _timed(pid, ctx)
             self._record(result, stage, pid, elapsed)
 
     # -- tasks (stages I, II, XI) -------------------------------------------
@@ -135,9 +149,11 @@ class StagedImplementationBase(PipelineImplementation):
         # The paper binds 2-4 processors for the lightweight task
         # stages; we cap at the number of member processes.
         workers = min(ctx.parallel.workers, len(stage.processes))
-        with TaskGroup(backend=ctx.parallel.task_backend, num_workers=workers) as tg:
+        with TaskGroup(
+            backend=ctx.parallel.task_backend, num_workers=workers, tracer=ctx.tracer
+        ) as tg:
             for pid in stage.processes:
-                tg.task(_timed, pid, ctx)
+                tg.task(_timed, pid, ctx, span_name=PROCESSES[pid].name)
         for pid, elapsed in tg.results:
             self._record(result, stage, pid, elapsed)
 
@@ -146,39 +162,48 @@ class StagedImplementationBase(PipelineImplementation):
     def _stage_loop(self, ctx: RunContext, result: PipelineResult, stage: StageSpec) -> None:
         (pid,) = stage.processes
         start = time.perf_counter()
-        if pid == 3:
-            stations = stations_from_list(ctx.workspace)
-            parallel_for(
-                partial(separate_station, str(ctx.workspace.root)),
-                stations,
-                backend=ctx.parallel.loop_backend,
-                num_workers=ctx.parallel.workers,
-                executor=self._pools.get(ctx.parallel.loop_backend),
-            )
-        elif pid == 10:
-            PROCESSES[10].run(ctx, parallel_inner=True)  # type: ignore[call-arg]
-        elif pid == 16:
-            pairs = trace_pairs(ctx)
-            body = partial(_response_unit, str(ctx.workspace.root), ctx.response_config)
-            parallel_for(
-                body,
-                pairs,
-                backend=ctx.parallel.loop_backend,
-                num_workers=ctx.parallel.workers,
-                executor=self._pools.get(ctx.parallel.loop_backend),
-            )
-        elif pid == 19:
-            files = interleaved_files(ctx)
-            body = partial(_gem_unit, str(ctx.workspace.root))
-            parallel_for(
-                body,
-                files,
-                backend=ctx.parallel.loop_backend,
-                num_workers=ctx.parallel.workers,
-                executor=self._pools.get(ctx.parallel.loop_backend),
-            )
-        else:
-            raise PipelineError(f"no loop strategy defined for P{pid}")
+        with maybe_span(
+            ctx.tracer, PROCESSES[pid].name, kind="process", pid=pid, stage=stage.name,
+        ):
+            if pid == 3:
+                stations = stations_from_list(ctx.workspace)
+                parallel_for(
+                    partial(separate_station, str(ctx.workspace.root)),
+                    stations,
+                    backend=ctx.parallel.loop_backend,
+                    num_workers=ctx.parallel.workers,
+                    executor=self._pools.get(ctx.parallel.loop_backend),
+                    tracer=ctx.tracer,
+                    span="separate_station",
+                )
+            elif pid == 10:
+                PROCESSES[10].run(ctx, parallel_inner=True)  # type: ignore[call-arg]
+            elif pid == 16:
+                pairs = trace_pairs(ctx)
+                body = partial(_response_unit, str(ctx.workspace.root), ctx.response_config)
+                parallel_for(
+                    body,
+                    pairs,
+                    backend=ctx.parallel.loop_backend,
+                    num_workers=ctx.parallel.workers,
+                    executor=self._pools.get(ctx.parallel.loop_backend),
+                    tracer=ctx.tracer,
+                    span="response_trace",
+                )
+            elif pid == 19:
+                files = interleaved_files(ctx)
+                body = partial(_gem_unit, str(ctx.workspace.root))
+                parallel_for(
+                    body,
+                    files,
+                    backend=ctx.parallel.loop_backend,
+                    num_workers=ctx.parallel.workers,
+                    executor=self._pools.get(ctx.parallel.loop_backend),
+                    tracer=ctx.tracer,
+                    span="gem_export",
+                )
+            else:
+                raise PipelineError(f"no loop strategy defined for P{pid}")
         self._record(result, stage, pid, time.perf_counter() - start)
 
     # -- temp folders (stages IV, V, VIII) ------------------------------------
@@ -204,15 +229,20 @@ class StagedImplementationBase(PipelineImplementation):
             maxvals_name = None
         else:
             raise PipelineError(f"no temp-folder strategy defined for P{pid}")
-        parallel_for(
-            partial(run_staged_instance, str(ctx.workspace.root)),
-            instances,
-            backend=ctx.parallel.tool_backend,
-            num_workers=ctx.parallel.workers,
-            executor=self._pools.get(ctx.parallel.tool_backend),
-        )
-        if maxvals_name is not None:
-            merge_max_files(ctx.workspace.work_dir, maxvals_name)
+        with maybe_span(
+            ctx.tracer, PROCESSES[pid].name, kind="process", pid=pid, stage=stage.name,
+        ):
+            parallel_for(
+                partial(run_staged_instance, str(ctx.workspace.root)),
+                instances,
+                backend=ctx.parallel.tool_backend,
+                num_workers=ctx.parallel.workers,
+                executor=self._pools.get(ctx.parallel.tool_backend),
+                tracer=ctx.tracer,
+                span="staged_instance",
+            )
+            if maxvals_name is not None:
+                merge_max_files(ctx.workspace.work_dir, maxvals_name)
         self._record(result, stage, pid, time.perf_counter() - start)
 
 

@@ -56,6 +56,7 @@ from repro.formats.fourier import component_f_name, read_fourier
 from repro.formats.params import FilterParams, write_filter_params
 from repro.formats.response import component_r_name, read_response
 from repro.formats.v2 import component_v2_name, read_v2
+from repro.observability.tracer import maybe_span
 from repro.parallel.omp import TaskGroup, parallel_for
 from repro.plotting.seismo import (
     plot_accelerograph,
@@ -178,50 +179,77 @@ class WavefrontParallel(PipelineImplementation):
     description = "Wavefront: per-station pipelines, no stage barriers (§VIII)"
 
     def execute(self, ctx: RunContext, result: PipelineResult) -> None:
+        tracer = ctx.tracer
         # Prologue: stages I, II and VII exactly as before (they build
         # the global lists/metadata every station unit relies on).
-        start = time.perf_counter()
-        with TaskGroup(
-            backend=ctx.parallel.task_backend,
-            num_workers=min(ctx.parallel.workers, 2),
-        ) as tg:
-            tg.task(run_p00, ctx)
-            tg.task(run_p01, ctx)
-        with TaskGroup(
-            backend=ctx.parallel.task_backend,
-            num_workers=min(ctx.parallel.workers, 4),
-        ) as tg:
-            tg.task(run_p02, ctx)
-            tg.task(run_p05, ctx)
-            tg.task(run_p08, ctx)
-            tg.task(run_p17, ctx)
-        run_p11(ctx)
-        result.stage_durations["prologue"] = time.perf_counter() - start
+        with maybe_span(
+            tracer, "prologue", kind="stage", stage="prologue",
+            strategy="tasks", implementation=self.name,
+        ) as prologue_span:
+            start = time.perf_counter()
+            with TaskGroup(
+                backend=ctx.parallel.task_backend,
+                num_workers=min(ctx.parallel.workers, 2),
+                tracer=tracer,
+            ) as tg:
+                tg.task(run_p00, ctx)
+                tg.task(run_p01, ctx)
+            with TaskGroup(
+                backend=ctx.parallel.task_backend,
+                num_workers=min(ctx.parallel.workers, 4),
+                tracer=tracer,
+            ) as tg:
+                tg.task(run_p02, ctx)
+                tg.task(run_p05, ctx)
+                tg.task(run_p08, ctx)
+                tg.task(run_p17, ctx)
+            with maybe_span(tracer, "run_p11", kind="process", pid=11, stage="prologue"):
+                run_p11(ctx)
+            elapsed = time.perf_counter() - start
+        result.stage_durations["prologue"] = (
+            prologue_span.duration_s if prologue_span is not None else elapsed
+        )
 
         # The wavefront: stations flow through their chains concurrently.
-        start = time.perf_counter()
-        stations = stations_from_list(ctx.workspace)
-        all_specs = parallel_for(
-            partial(process_station_wavefront, ctx),
-            list(enumerate(stations)),
-            backend=ctx.parallel.loop_backend,
-            num_workers=ctx.parallel.workers,
+        with maybe_span(
+            tracer, "wavefront", kind="stage", stage="wavefront",
+            strategy="loop", implementation=self.name,
+        ) as wavefront_span:
+            start = time.perf_counter()
+            stations = stations_from_list(ctx.workspace)
+            all_specs = parallel_for(
+                partial(process_station_wavefront, ctx),
+                list(enumerate(stations)),
+                backend=ctx.parallel.loop_backend,
+                num_workers=ctx.parallel.workers,
+                tracer=tracer,
+                span="station_pipeline",
+            )
+            elapsed = time.perf_counter() - start
+        result.stage_durations["wavefront"] = (
+            wavefront_span.duration_s if wavefront_span is not None else elapsed
         )
-        result.stage_durations["wavefront"] = time.perf_counter() - start
 
         # Epilogue: assemble the global artifacts deterministically.
-        start = time.perf_counter()
-        params = FilterParams(default=ctx.default_filter)
-        for specs in all_specs:
-            for station, comp, spec in specs:
-                params.set_override(station, comp, spec)
-        write_filter_params(ctx.workspace.work(FILTER_CORRECTED), params)
-        _merge_suffixed(ctx.workspace, "max1", MAXVALS)
-        _merge_suffixed(ctx.workspace, "max2", MAXVALS2)
-        tmp = ctx.workspace.tmp_dir
-        if tmp.exists() and not any(tmp.iterdir()):
-            tmp.rmdir()
-        result.stage_durations["epilogue"] = time.perf_counter() - start
+        with maybe_span(
+            tracer, "epilogue", kind="stage", stage="epilogue",
+            strategy="seq", implementation=self.name,
+        ) as epilogue_span:
+            start = time.perf_counter()
+            params = FilterParams(default=ctx.default_filter)
+            for specs in all_specs:
+                for station, comp, spec in specs:
+                    params.set_override(station, comp, spec)
+            write_filter_params(ctx.workspace.work(FILTER_CORRECTED), params)
+            _merge_suffixed(ctx.workspace, "max1", MAXVALS)
+            _merge_suffixed(ctx.workspace, "max2", MAXVALS2)
+            tmp = ctx.workspace.tmp_dir
+            if tmp.exists() and not any(tmp.iterdir()):
+                tmp.rmdir()
+            elapsed = time.perf_counter() - start
+        result.stage_durations["epilogue"] = (
+            epilogue_span.duration_s if epilogue_span is not None else elapsed
+        )
         result.processes.append(
             ProcessTiming(
                 pid=-1,

@@ -1,0 +1,38 @@
+"""Structured run telemetry: span tracing across the pipeline.
+
+Every execution layer — the implementation drivers, the OpenMP-shaped
+runtime, the MPI-style cluster layer — can open :class:`Span`\\ s on a
+:class:`Tracer` attached to the :class:`~repro.core.context.RunContext`.
+A finished run yields a :class:`Trace`: a tree
+
+    run -> implementation -> stage -> process -> chunk/task/rank
+
+whose per-stage durations *are* the numbers the paper's Table I and
+Figures 11-13 aggregate.  :mod:`repro.observability.export` renders a
+trace as Chrome Trace Event JSON (``chrome://tracing`` / Perfetto), a
+Prometheus-style metrics text dump, Gantt placements for
+:func:`repro.plotting.gantt.plot_trace_gantt`, or a reconstructed
+:class:`~repro.core.runner.PipelineResult` view.
+"""
+
+from repro.observability.tracer import Span, Trace, Tracer, maybe_span, worker_label
+from repro.observability.export import (
+    pipeline_result_view,
+    to_chrome_trace,
+    to_prometheus_text,
+    trace_placements,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "maybe_span",
+    "worker_label",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_prometheus_text",
+    "trace_placements",
+    "pipeline_result_view",
+]

@@ -24,11 +24,17 @@ through the workspace, exactly as the pipeline's processes already do.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
+import threading
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.errors import ParallelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observability.tracer import Tracer
 
 #: Default tag, mirroring MPI's wildcard-free common case.
 DEFAULT_TAG = 0
@@ -126,6 +132,15 @@ class Communicator:
         self.allgather(None)
 
 
+def _rank_record(rank: int, epoch: float, start_wall: float, t0: float) -> dict[str, Any]:
+    """Self-measured span record of one rank's lifetime."""
+    return {
+        "start_s": start_wall - epoch,
+        "duration_s": time.perf_counter() - t0,
+        "worker": f"{os.getpid()}:rank-{rank}:{threading.current_thread().name}",
+    }
+
+
 def _rank_main(
     fn: Callable[..., Any],
     rank: int,
@@ -133,13 +148,16 @@ def _rank_main(
     mailboxes: Sequence[Any],
     result_queue: Any,
     args: tuple,
+    epoch: float,
 ) -> None:
     comm = Communicator(rank=rank, size=size, mailboxes=mailboxes)
+    start_wall = time.time()
+    t0 = time.perf_counter()
     try:
         result = fn(comm, *args)
-        result_queue.put((rank, result))
+        result_queue.put((rank, result, _rank_record(rank, epoch, start_wall, t0)))
     except BaseException as exc:  # surface worker failures to the launcher
-        result_queue.put((rank, (_SENTINEL_ERROR, repr(exc))))
+        result_queue.put((rank, (_SENTINEL_ERROR, repr(exc)), None))
 
 
 def run_cluster(
@@ -147,6 +165,7 @@ def run_cluster(
     size: int,
     *args: Any,
     timeout: float = 300.0,
+    tracer: "Tracer | None" = None,
 ) -> list[Any]:
     """Run ``fn(comm, *args)`` as an SPMD program on ``size`` ranks.
 
@@ -154,12 +173,27 @@ def run_cluster(
     communicator as its first argument.  Returns the per-rank return
     values in rank order.  ``size == 1`` runs inline (no subprocess),
     like an MPI job with one rank.
+
+    With a ``tracer``, each rank's lifetime becomes a ``rank`` span
+    (self-measured inside the rank process, ingested at the barrier).
     """
     if size < 1:
         raise ParallelError(f"cluster size must be >= 1, got {size}")
+    if tracer is not None and not tracer.enabled:
+        tracer = None
+    parent = tracer.current() if tracer is not None else None
+    epoch = tracer.epoch if tracer is not None else time.time()
     if size == 1:
         comm = Communicator(rank=0, size=1, mailboxes=[mp.Queue()])
-        return [fn(comm, *args)]
+        start_wall = time.time()
+        t0 = time.perf_counter()
+        value = fn(comm, *args)
+        if tracer is not None:
+            tracer.record(
+                "rank 0", kind="rank", parent=parent, rank=0, size=1,
+                **_rank_record(0, epoch, start_wall, t0),
+            )
+        return [value]
 
     ctx = mp.get_context()
     mailboxes = [ctx.Queue() for _ in range(size)]
@@ -167,7 +201,7 @@ def run_cluster(
     workers = [
         ctx.Process(
             target=_rank_main,
-            args=(fn, rank, size, mailboxes, result_queue, args),
+            args=(fn, rank, size, mailboxes, result_queue, args, epoch),
         )
         for rank in range(size)
     ]
@@ -178,13 +212,18 @@ def run_cluster(
     try:
         for _ in range(size):
             try:
-                rank, value = result_queue.get(timeout=timeout)
+                rank, value, record = result_queue.get(timeout=timeout)
             except queue_mod.Empty as exc:
                 raise ParallelError("cluster ranks did not all report back") from exc
             if isinstance(value, tuple) and len(value) == 2 and value[0] == _SENTINEL_ERROR:
                 failures.append(f"rank {rank}: {value[1]}")
             else:
                 results[rank] = value
+                if tracer is not None and record is not None:
+                    tracer.record(
+                        f"rank {rank}", kind="rank", parent=parent,
+                        rank=rank, size=size, **record,
+                    )
     finally:
         for worker in workers:
             worker.join(timeout=10.0)
@@ -207,6 +246,7 @@ def cluster_map(
     size: int,
     *,
     timeout: float = 300.0,
+    tracer: "Tracer | None" = None,
 ) -> list[Any]:
     """Map ``fn`` over ``items`` across ``size`` ranks, order-preserving.
 
@@ -218,7 +258,7 @@ def cluster_map(
     if not items:
         return []
     size = min(size, len(items))
-    per_rank = run_cluster(_map_worker, size, fn, items, timeout=timeout)
+    per_rank = run_cluster(_map_worker, size, fn, items, timeout=timeout, tracer=tracer)
     out: list[Any] = [None] * len(items)
     for rank_results in per_rank:
         for index, value in rank_results:

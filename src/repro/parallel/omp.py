@@ -16,6 +16,9 @@ level functions operating on paths, which pickle fine.
 
 from __future__ import annotations
 
+import os
+import threading
+import time
 from concurrent.futures import (
     FIRST_EXCEPTION,
     Executor,
@@ -24,11 +27,20 @@ from concurrent.futures import (
     wait,
 )
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.errors import ParallelError
 from repro.parallel.backend import Backend, resolve_workers
 from repro.parallel.chunks import Schedule, chunk_indices
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observability.tracer import Span, Tracer
+
+
+def _worker_label() -> str:
+    """Executing worker's identity (duplicated from the tracer module
+    so worker shims stay importable without the observability layer)."""
+    return f"{os.getpid()}:{threading.current_thread().name}"
 
 
 @contextmanager
@@ -61,10 +73,55 @@ def _run_chunk(func: Callable[[Any], Any], items: Sequence[Any], indices: range)
     return [func(items[i]) for i in indices]
 
 
+def _run_chunk_traced(
+    func: Callable[[Any], Any], items: Sequence[Any], indices: range, epoch: float
+) -> tuple[list[Any], dict[str, Any]]:
+    """:func:`_run_chunk` plus a self-measured span record.
+
+    Runs inside the worker — possibly in another process, where the
+    tracer object does not exist — so the measurement travels back with
+    the results and the caller ingests it via ``Tracer.record``.
+    """
+    start_wall = time.time()
+    t0 = time.perf_counter()
+    values = [func(items[i]) for i in indices]
+    return values, {
+        "start_s": start_wall - epoch,
+        "duration_s": time.perf_counter() - t0,
+        "worker": _worker_label(),
+    }
+
+
+def _run_task_traced(
+    func: Callable[..., Any], epoch: float, args: tuple, kwargs: dict
+) -> tuple[Any, dict[str, Any]]:
+    """Run one task in a worker, returning its self-measured span record."""
+    start_wall = time.time()
+    t0 = time.perf_counter()
+    value = func(*args, **kwargs)
+    return value, {
+        "start_s": start_wall - epoch,
+        "duration_s": time.perf_counter() - t0,
+        "worker": _worker_label(),
+    }
+
+
 def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[range],
-           results: list[Any]) -> None:
-    """Submit all chunks, wait, propagate the first failure."""
-    futures = {pool.submit(_run_chunk, func, items, chunk): chunk for chunk in chunks}
+           results: list[Any], trace: tuple | None = None) -> None:
+    """Submit all chunks, wait, propagate the first failure.
+
+    ``trace`` is ``(tracer, span_name, parent_span, epoch)`` when chunk
+    spans should be collected; the traced shim returns ``(values,
+    record)`` pairs and the records are ingested after the barrier.
+    """
+    if trace is None:
+        futures = {pool.submit(_run_chunk, func, items, chunk): chunk for chunk in chunks}
+    else:
+        _, _, _, epoch = trace
+        futures = {
+            pool.submit(_run_chunk_traced, func, items, chunk, epoch): chunk
+            for chunk in chunks
+        }
     done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
     failed = next((f for f in done if f.exception() is not None), None)
     if failed is not None:
@@ -72,7 +129,19 @@ def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[ra
             f.cancel()
         raise failed.exception()
     for future, chunk in futures.items():
-        for i, value in zip(chunk, future.result()):
+        values = future.result()
+        if trace is not None:
+            tracer, span_name, parent, _ = trace
+            values, record = values
+            tracer.record(
+                span_name,
+                kind="chunk",
+                parent=parent,
+                chunk_start=chunk.start,
+                size=len(chunk),
+                **record,
+            )
+        for i, value in zip(chunk, values):
             results[i] = value
 
 
@@ -85,6 +154,8 @@ def parallel_for(
     schedule: Schedule | str = Schedule.DYNAMIC,
     chunk_size: int | None = None,
     executor: Executor | None = None,
+    tracer: "Tracer | None" = None,
+    span: str | None = None,
 ) -> list[Any]:
     """Map ``func`` over ``items`` in parallel, preserving order.
 
@@ -93,6 +164,11 @@ def parallel_for(
     to the caller after outstanding chunks are cancelled.  Pass an
     ``executor`` (see :func:`shared_executor`) to reuse a pool across
     loops; it is left open for the caller to manage.
+
+    With a ``tracer``, every chunk becomes a ``chunk`` span named
+    ``span`` (default: the function's name), parented to whatever span
+    is open on the calling thread — workers measure themselves, so this
+    works identically on the thread and process backends.
     """
     backend = Backend.coerce(backend)
     items = list(items)
@@ -102,22 +178,36 @@ def parallel_for(
     workers = resolve_workers(num_workers)
     chunks = chunk_indices(n, workers, schedule, chunk_size)
 
+    trace: tuple | None = None
+    if tracer is not None and tracer.enabled:
+        name = span or getattr(func, "__name__", "parallel_for")
+        trace = (tracer, name, tracer.current(), tracer.epoch)
+
     if executor is not None:
         results: list[Any] = [None] * n
-        _drain(executor, func, items, chunks, results)
+        _drain(executor, func, items, chunks, results, trace=trace)
         return results
 
     if backend is Backend.SERIAL or workers == 1 or n == 1:
         results = [None] * n
         for chunk in chunks:
-            for i, value in zip(chunk, _run_chunk(func, items, chunk)):
+            if trace is not None:
+                tracer_, name, parent, _ = trace
+                with tracer_.span(
+                    name, kind="chunk", parent=parent,
+                    chunk_start=chunk.start, size=len(chunk),
+                ):
+                    values = _run_chunk(func, items, chunk)
+            else:
+                values = _run_chunk(func, items, chunk)
+            for i, value in zip(chunk, values):
                 results[i] = value
         return results
 
     pool_cls = ThreadPoolExecutor if backend is Backend.THREAD else ProcessPoolExecutor
     results = [None] * n
     with pool_cls(max_workers=min(workers, len(chunks))) as pool:
-        _drain(pool, func, items, chunks, results)
+        _drain(pool, func, items, chunks, results, trace=trace)
     return results
 
 
@@ -187,6 +277,10 @@ class TaskGroup:
 
     A failing task propagates its exception at the barrier (and on
     :meth:`taskwait`).
+
+    With a ``tracer``, every task becomes a ``task`` span (named by the
+    ``span_name=`` keyword of :meth:`task`, default the function name)
+    parented to whatever span was open when the group was created.
     """
 
     def __init__(
@@ -194,13 +288,18 @@ class TaskGroup:
         *,
         backend: Backend | str = Backend.THREAD,
         num_workers: int | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.backend = Backend.coerce(backend)
         self.num_workers = resolve_workers(num_workers)
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
-        self._futures: list[Any] = []
+        self._futures: list[tuple[Any, str | None]] = []
         self._serial_results: list[Any] = []
         self.results: list[Any] = []
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
+        self._parent: "Span | None" = (
+            self._tracer.current() if self._tracer is not None else None
+        )
 
     def __enter__(self) -> "TaskGroup":
         if self.backend is not Backend.SERIAL and self.num_workers > 1:
@@ -208,12 +307,28 @@ class TaskGroup:
             self._pool = pool_cls(max_workers=self.num_workers)
         return self
 
-    def task(self, func: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
+    def task(
+        self,
+        func: Callable[..., Any],
+        *args: Any,
+        span_name: str | None = None,
+        **kwargs: Any,
+    ) -> None:
         """Submit one task (``#pragma omp task``)."""
+        name = span_name or getattr(func, "__name__", "task")
         if self._pool is None:
-            self._serial_results.append(func(*args, **kwargs))
+            if self._tracer is not None:
+                with self._tracer.span(name, kind="task", parent=self._parent):
+                    self._serial_results.append(func(*args, **kwargs))
+            else:
+                self._serial_results.append(func(*args, **kwargs))
+        elif self._tracer is not None:
+            future = self._pool.submit(
+                _run_task_traced, func, self._tracer.epoch, args, kwargs
+            )
+            self._futures.append((future, name))
         else:
-            self._futures.append(self._pool.submit(func, *args, **kwargs))
+            self._futures.append((self._pool.submit(func, *args, **kwargs), None))
 
     def taskwait(self) -> list[Any]:
         """Barrier: wait for all submitted tasks, collect their results."""
@@ -221,12 +336,21 @@ class TaskGroup:
             batch = self._serial_results
             self._serial_results = []
         else:
-            done, _ = wait(self._futures)
-            failed = next((f for f in self._futures if f.exception() is not None), None)
+            futures = [f for f, _ in self._futures]
+            done, _ = wait(futures)
+            failed = next((f for f in futures if f.exception() is not None), None)
             if failed is not None:
                 self._futures = []
                 raise failed.exception()
-            batch = [f.result() for f in self._futures]
+            batch = []
+            for future, name in self._futures:
+                value = future.result()
+                if self._tracer is not None:
+                    value, record = value
+                    self._tracer.record(
+                        name or "task", kind="task", parent=self._parent, **record
+                    )
+                batch.append(value)
             self._futures = []
         self.results.extend(batch)
         return batch

@@ -1,17 +1,24 @@
-"""Gantt rendering of simulated schedules.
+"""Gantt rendering of simulated schedules and measured traces.
 
 One row per logical processor, one shaded rectangle per task placement,
 stage-keyed gray levels and a time axis — the picture that explains
-*why* stage IX speeds up 5x while stage X saturates at 1.5x.
+*why* stage IX speeds up 5x while stage X saturates at 1.5x.  The same
+renderer draws both sources: a :class:`SimulationResult` from the
+machine simulator, or (via :func:`plot_trace_gantt`) a real run's span
+trace.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import ReproError
 from repro.parallel.simulate import SimulationResult
 from repro.plotting.ps import PAGE_HEIGHT, PAGE_WIDTH, PostScriptCanvas
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observability.tracer import Trace
 
 _MARGIN = 54.0
 
@@ -81,3 +88,25 @@ def plot_schedule_gantt(
             legend_x = x0
             legend_y -= 11
     canvas.save(path)
+
+
+def plot_trace_gantt(
+    path: Path | str,
+    trace: "Trace",
+    *,
+    title: str = "measured trace",
+    kinds: tuple[str, ...] | None = None,
+) -> None:
+    """Render a measured span trace as a Gantt chart.
+
+    Rows are the workers that actually executed spans (threads, pool
+    processes, cluster ranks); bars are the trace's work spans, picked
+    by ``kinds`` or auto-selected at the most granular level present
+    (chunk/task/rank, then process, then stage).
+    """
+    from repro.observability.export import to_simulation_result
+
+    result = to_simulation_result(trace, kinds=kinds)
+    if not result.placements:
+        raise ReproError("trace has no work spans to render")
+    plot_schedule_gantt(path, result, title=title)

@@ -48,6 +48,38 @@ class TestProcessCli:
         with pytest.raises(SystemExit):
             main_process([str(tmp_path), "-i", "warp-speed"])
 
+    def test_trace_flag_writes_chrome_trace(self, tmp_path, tiny_dataset_dir, capsys):
+        import json
+
+        ws = tmp_path / "ws"
+        (ws / "input").mkdir(parents=True)
+        for src in tiny_dataset_dir.glob("*.v1"):
+            shutil.copy2(src, ws / "input" / src.name)
+        trace_path = tmp_path / "run.trace.json"
+        rc = main_process(
+            [
+                str(ws), "-i", "full-parallel", "--periods", "8",
+                "--workers", "2", "--trace", str(trace_path),
+            ]
+        )
+        assert rc == 0
+        assert "trace written to" in capsys.readouterr().out
+        doc = json.loads(trace_path.read_text())
+        stage_events = [
+            e for e in doc["traceEvents"]
+            if e.get("ph") == "X" and e.get("cat") == "stage"
+        ]
+        assert len(stage_events) == 11
+
+    def test_backend_choices_follow_enum(self):
+        from repro.cli import _build_process_parser
+        from repro.parallel.backend import Backend
+
+        action = next(
+            a for a in _build_process_parser()._actions if a.dest == "backend"
+        )
+        assert list(action.choices) == [b.value for b in Backend]
+
 
 class TestBenchCli:
     def test_table1(self, capsys):

@@ -1,0 +1,186 @@
+"""Unit tests of the span tracer itself — no pipeline involved."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.observability.tracer import Span, Trace, Tracer, maybe_span, worker_label
+
+
+class TestSpanNesting:
+    def test_with_block_nests_via_thread_stack(self) -> None:
+        tracer = Tracer()
+        with tracer.span("outer", kind="stage") as outer:
+            with tracer.span("inner", kind="process") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+        trace = tracer.trace()
+        assert [s.name for s in trace.spans] == ["inner", "outer"]  # close order
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_sibling_spans_share_parent(self) -> None:
+        tracer = Tracer()
+        with tracer.span("root", kind="run") as root:
+            with tracer.span("a", kind="stage"):
+                pass
+            with tracer.span("b", kind="stage"):
+                pass
+        trace = tracer.trace()
+        kids = trace.children(root)
+        assert [s.name for s in kids] == ["a", "b"]
+        assert all(s.parent_id == root.span_id for s in kids)
+
+    def test_explicit_parent_overrides_stack(self) -> None:
+        tracer = Tracer()
+        with tracer.span("root", kind="run") as root:
+            with tracer.span("stage", kind="stage"):
+                with tracer.span("detached", kind="task", parent=root) as det:
+                    pass
+        assert det.parent_id == root.span_id
+
+    def test_parent_none_makes_root(self) -> None:
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("free", parent=None) as free:
+                pass
+        assert free.parent_id is None
+
+    def test_duration_and_ordering(self) -> None:
+        tracer = Tracer()
+        with tracer.span("timed") as sp:
+            time.sleep(0.01)
+        assert sp.duration_s >= 0.009
+        assert sp.end_s == pytest.approx(sp.start_s + sp.duration_s)
+
+    def test_attributes_and_worker(self) -> None:
+        tracer = Tracer()
+        with tracer.span("s", kind="stage", strategy="loop", pid=7) as sp:
+            pass
+        assert sp.attributes == {"strategy": "loop", "pid": 7}
+        assert sp.worker == worker_label()
+        assert ":" in sp.worker
+
+    def test_threads_get_independent_stacks(self) -> None:
+        tracer = Tracer()
+        seen: dict[str, int | None] = {}
+
+        def body() -> None:
+            with tracer.span("in-thread", kind="task") as sp:
+                seen["parent"] = sp.parent_id
+
+        with tracer.span("main-root", kind="run"):
+            t = threading.Thread(target=body)
+            t.start()
+            t.join()
+        # The worker thread's stack is empty: its span is a root, not a
+        # child of the main thread's open span.
+        assert seen["parent"] is None
+
+
+class TestRecord:
+    def test_record_ingests_external_measurement(self) -> None:
+        tracer = Tracer()
+        with tracer.span("root", kind="run") as root:
+            sp = tracer.record(
+                "remote", kind="chunk", start_s=0.5, duration_s=0.25,
+                worker="1234:MainThread", parent=root, size=3,
+            )
+        assert sp is not None
+        assert sp.parent_id == root.span_id
+        assert sp.start_s == 0.5
+        assert sp.duration_s == 0.25
+        assert sp.worker == "1234:MainThread"
+        assert sp.attributes == {"size": 3}
+        assert sp in tracer.trace().spans
+
+    def test_disabled_tracer_records_nothing(self) -> None:
+        tracer = Tracer(enabled=False)
+        with tracer.span("s") as sp:
+            assert sp is None
+        assert tracer.record("r", kind="chunk", start_s=0, duration_s=0, worker="w") is None
+        assert tracer.trace().spans == []
+
+
+class TestPickle:
+    def test_tracer_pickles_as_disabled(self) -> None:
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        clone = pickle.loads(pickle.dumps(tracer))
+        assert clone.enabled is False
+        assert clone.epoch == tracer.epoch
+        with clone.span("after") as sp:
+            assert sp is None
+        assert clone.trace().spans == []
+        # The original is unaffected.
+        assert tracer.enabled is True
+        assert len(tracer.trace().spans) == 1
+
+
+class TestMaybeSpan:
+    def test_none_tracer_yields_none(self) -> None:
+        with maybe_span(None, "x", kind="stage") as sp:
+            assert sp is None
+
+    def test_enabled_tracer_delegates(self) -> None:
+        tracer = Tracer()
+        with maybe_span(tracer, "x", kind="stage", strategy="seq") as sp:
+            assert sp is not None
+        assert tracer.trace().spans[0].attributes["strategy"] == "seq"
+
+
+class TestTrace:
+    def _sample(self) -> Trace:
+        tracer = Tracer()
+        with tracer.span("run", kind="run"):
+            with tracer.span("I", kind="stage"):
+                pass
+            with tracer.span("II", kind="stage"):
+                pass
+            with tracer.span("II", kind="stage"):  # repeat accumulates
+                pass
+        return tracer.trace()
+
+    def test_by_kind_and_roots(self) -> None:
+        trace = self._sample()
+        assert [s.name for s in trace.by_kind("stage")] == ["I", "II", "II"]
+        assert [s.name for s in trace.roots()] == ["run"]
+
+    def test_stage_durations_accumulate_repeats(self) -> None:
+        trace = self._sample()
+        durations = trace.stage_durations()
+        stages = trace.by_kind("stage")
+        assert durations["I"] == stages[0].duration_s
+        assert durations["II"] == pytest.approx(stages[1].duration_s + stages[2].duration_s)
+
+    def test_dict_round_trip(self) -> None:
+        trace = self._sample()
+        clone = Trace.from_dict(trace.to_dict())
+        assert clone.epoch == trace.epoch
+        assert clone.spans == trace.spans
+
+    def test_subtree_keeps_descendants_only(self) -> None:
+        tracer = Tracer()
+        with tracer.span("first", kind="run") as first:
+            with tracer.span("child", kind="stage"):
+                pass
+        with tracer.span("second", kind="run") as second:
+            pass
+        sub = tracer.subtree(first)
+        assert {s.name for s in sub.spans} == {"first", "child"}
+        assert {s.name for s in tracer.subtree(second).spans} == {"second"}
+
+
+def test_span_dict_round_trip() -> None:
+    sp = Span(
+        span_id=3, parent_id=1, name="x", kind="chunk",
+        start_s=1.5, duration_s=0.5, worker="9:T", attributes={"a": 1},
+    )
+    assert Span.from_dict(sp.to_dict()) == sp
