@@ -1,0 +1,41 @@
+"""Static and runtime analyses of the pipeline's data-flow claims.
+
+The dependency analysis in :mod:`repro.core.dependencies` is only as
+good as the registry declarations it consumes.  This package makes
+those declarations *checkable* from three independent directions:
+
+- :mod:`repro.analysis.static_conformance` — AST extraction of every
+  workspace access in the process modules, diffed against the registry;
+- :mod:`repro.analysis.schedule_check` — re-derivation of the §IV
+  redundancy elimination and the Fig. 9 stage plan from declarations;
+- :mod:`repro.analysis.races` — symbolic proof that each parallel
+  stage's per-unit write sets are pairwise disjoint;
+- :mod:`repro.analysis.audit` — cross-check of recorded runtime access
+  logs (see :mod:`repro.core.auditing`) against all of the above;
+- :mod:`repro.analysis.lint` — the ``repro-lint`` CLI combining them.
+"""
+
+from repro.analysis.model import ERROR, INFO, WARNING, Finding, Report
+from repro.analysis.audit import audit_findings, classify_path, observed_access
+from repro.analysis.races import race_findings
+from repro.analysis.schedule_check import derive_redundant, schedule_findings
+from repro.analysis.static_conformance import analyze_processes, conformance_findings
+from repro.analysis.lint import main_lint, run_lint
+
+__all__ = [
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "Finding",
+    "Report",
+    "analyze_processes",
+    "audit_findings",
+    "classify_path",
+    "conformance_findings",
+    "derive_redundant",
+    "main_lint",
+    "observed_access",
+    "race_findings",
+    "run_lint",
+    "schedule_findings",
+]

@@ -1,0 +1,238 @@
+"""Runtime audit analysis: check recorded accesses against the rules.
+
+:mod:`repro.core.auditing` records what a run *actually* opened; this
+module turns those event logs into findings:
+
+- **conformance** — each process's observed reads/writes, classified
+  back to registry identities, must be a subset of its declarations
+  (a process may skip work, e.g. a guard that only stats a file, but
+  may never touch something undeclared);
+- **conflicts** — two different concurrency units of the same process
+  (two stations, two traces, two temp-folder instances) must never
+  touch the same file with at least one write/delete between them;
+  likewise two processes that run concurrently in the same stage.
+
+Unit ``"-"`` is a process's top-level (driver) scope: driver-side
+accesses are barrier-ordered against the loop units by construction
+(merges happen after ``parallel_for`` returns), so only unit-vs-unit
+pairs where both units are real loop units count as concurrent.
+Scratch files (temp folders, ``*.max`` parts, ``tool.cfg``, wavefront
+``_wf_*.par`` handoffs) are excluded from conformance but still
+participate in conflict detection.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.model import ERROR, INFO, WARNING, Finding
+from repro.core.auditing import AuditEvent, iter_events
+from repro.core.registry import PROCESSES
+from repro.core.stages import STAGES
+
+#: Simple work/ file name -> identity.
+_SIMPLE = {
+    "flags.dat": "flags",
+    "flags2.dat": "flags2",
+    "v1files.lst": "v1_list",
+    "filter.par": "filter_params",
+    "filter_corrected.par": "filter_corrected",
+    "maxvals.dat": "maxvals",
+    "maxvals2.dat": "maxvals2",
+    "accgraph.meta": "acc_meta",
+    "fourier.meta": "fourier_meta",
+    "response.meta": "response_meta",
+    "fouriergraph.meta": "fouriergraph_meta",
+    "responsegraph.meta": "responsegraph_meta",
+}
+
+_TRANSIENT_SUFFIXES = (".max", ".max1", ".max2")
+
+#: Pipeline process label -> index of its stage in the Fig. 9 plan
+#: (absent for the redundant processes, which never run concurrently).
+_STAGE_INDEX: dict[str, int] = {
+    f"P{pid}": index for index, stage in enumerate(STAGES) for pid in stage.processes
+}
+
+
+def classify_path(rel_path: str, stations: list[str] | None = None) -> tuple[str, str | None]:
+    """Map a root-relative path to ``(kind, identity)``.
+
+    Kinds: ``artifact`` (identity set), ``transient`` (process-private
+    scratch), ``unknown``.
+    """
+    if rel_path.startswith("input/"):
+        if rel_path.endswith(".v1"):
+            return "artifact", "raw_v1"
+        return "unknown", None
+    if not rel_path.startswith("work/"):
+        return "unknown", None
+    name = rel_path[len("work/"):]
+    if name.startswith("tmp/"):
+        return "transient", None
+    if name in _SIMPLE:
+        return "artifact", _SIMPLE[name]
+    if name == "tool.cfg" or name.endswith(_TRANSIENT_SUFFIXES):
+        return "transient", None
+    if name.startswith("_wf_") and name.endswith(".par"):
+        return "transient", None
+    if name.endswith(".v1"):
+        return "artifact", "comp_v1"
+    if name.endswith(".v2"):
+        return "artifact", "comp_v2"
+    if name.endswith(".f"):
+        return "artifact", "comp_f"
+    if name.endswith(".r"):
+        return "artifact", "comp_r"
+    if name.endswith(".gem"):
+        return "artifact", "gem"
+    if name.endswith(".ps"):
+        stem = name[: -len(".ps")]
+        if stations is not None:
+            if stem in stations:
+                return "artifact", "plot_acc"
+            if stem.endswith("f") and stem[:-1] in stations:
+                return "artifact", "plot_fourier"
+            if stem.endswith("r") and stem[:-1] in stations:
+                return "artifact", "plot_response"
+            return "unknown", None
+        if stem.endswith("f"):
+            return "artifact", "plot_fourier"
+        if stem.endswith("r"):
+            return "artifact", "plot_response"
+        return "artifact", "plot_acc"
+    return "unknown", None
+
+
+@dataclass
+class ObservedAccess:
+    """Identity-level access sets one process exhibited at runtime."""
+
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+
+
+def observed_access(
+    root: Path | str, stations: list[str] | None = None
+) -> dict[str, ObservedAccess]:
+    """Per-process observed identity sets from a recorded run."""
+    out: dict[str, ObservedAccess] = defaultdict(ObservedAccess)
+    for event in iter_events(root):
+        if event.process is None:
+            continue
+        kind, identity = classify_path(event.path, stations)
+        if kind != "artifact" or identity is None:
+            continue
+        access = out[event.process]
+        if event.op == "read":
+            access.reads.add(identity)
+        else:  # write or delete
+            access.writes.add(identity)
+    return dict(out)
+
+
+def _conflict_pairs(events: list[AuditEvent]) -> list[tuple[AuditEvent, AuditEvent]]:
+    """Concurrent-access conflicts among one path's events."""
+    conflicts = []
+    for i, a in enumerate(events):
+        for b in events[i + 1:]:
+            if a.op == "read" and b.op == "read":
+                continue
+            if a.process is None or b.process is None:
+                continue
+            if a.process == b.process:
+                # Two units of the same process; "-" is the barrier-
+                # ordered driver scope.
+                if a.unit != b.unit and a.unit != "-" and b.unit != "-":
+                    conflicts.append((a, b))
+            else:
+                # Two member processes of the same TASKS stage run
+                # concurrently; everything else is barrier-ordered.
+                sa = _STAGE_INDEX.get(a.process)
+                sb = _STAGE_INDEX.get(b.process)
+                if sa is not None and sa == sb:
+                    conflicts.append((a, b))
+    return conflicts
+
+
+def conflict_findings(root: Path | str) -> list[Finding]:
+    """Conflicting concurrent accesses recorded in one run."""
+    by_path: dict[str, list[AuditEvent]] = defaultdict(list)
+    for event in iter_events(root):
+        by_path[event.path].append(event)
+    findings = []
+    for path, events in sorted(by_path.items()):
+        seen = set()
+        for a, b in _conflict_pairs(events):
+            key = (a.process, a.unit, b.process, b.unit, a.op, b.op)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                "audit", ERROR,
+                f"conflicting concurrent access on {path}: "
+                f"{a.process}[{a.unit}] {a.op} vs {b.process}[{b.unit}] {b.op}",
+            ))
+    return findings
+
+
+def audit_findings(
+    root: Path | str, stations: list[str] | None = None
+) -> list[Finding]:
+    """Full audit report for one recorded run."""
+    findings: list[Finding] = []
+    root = Path(root)
+    events = list(iter_events(root))
+    if not events:
+        findings.append(Finding("audit", WARNING, f"no audit events recorded under {root}"))
+        return findings
+
+    unattributed = sum(1 for e in events if e.process is None)
+    if unattributed:
+        findings.append(Finding(
+            "audit", INFO,
+            f"{unattributed} access(es) outside any process scope "
+            "(orchestrator/verification reads; not conformance-checked)",
+        ))
+    unknown_paths = sorted({
+        e.path for e in events
+        if e.process is not None and classify_path(e.path, stations)[0] == "unknown"
+    })
+    for path in unknown_paths:
+        findings.append(Finding("audit", WARNING, f"unclassifiable path accessed: {path}"))
+
+    observed = observed_access(root, stations)
+    for label in sorted(observed, key=lambda l: int(l[1:]) if l[1:].isdigit() else 99):
+        pid_text = label[1:]
+        if not pid_text.isdigit() or int(pid_text) not in PROCESSES:
+            findings.append(Finding("audit", WARNING, f"events from unknown process {label!r}"))
+            continue
+        spec = PROCESSES[int(pid_text)]
+        declared_reads = {ref.identity for ref in spec.reads}
+        declared_writes = {ref.identity for ref in spec.writes}
+        access = observed[label]
+        for identity in sorted(access.reads - declared_reads):
+            findings.append(Finding(
+                "audit", ERROR,
+                f"observed read of {identity!r} is not declared", process=label,
+            ))
+        for identity in sorted(access.writes - declared_writes):
+            findings.append(Finding(
+                "audit", ERROR,
+                f"observed write of {identity!r} is not declared", process=label,
+            ))
+        for identity in sorted(declared_reads - access.reads):
+            findings.append(Finding(
+                "audit", INFO,
+                f"declared read of {identity!r} not observed in this run", process=label,
+            ))
+        for identity in sorted(declared_writes - access.writes):
+            findings.append(Finding(
+                "audit", INFO,
+                f"declared write of {identity!r} not observed in this run", process=label,
+            ))
+
+    findings.extend(conflict_findings(root))
+    return findings

@@ -1,0 +1,105 @@
+"""The ``repro-lint`` driver: run every static analysis, report, gate.
+
+Composes the three analyses into one report:
+
+1. static conformance (:mod:`repro.analysis.static_conformance`),
+2. schedule re-derivation (:mod:`repro.analysis.schedule_check`),
+3. schedule race proof (:mod:`repro.analysis.races`),
+
+and optionally the runtime audit cross-check of a recorded workspace
+(:mod:`repro.analysis.audit`).  Exit status: 0 when the report is
+clean, 1 when it failed (errors always; warnings too under
+``--strict``).  Info findings never fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.analysis.model import Report
+from repro.analysis.audit import audit_findings
+from repro.analysis.races import race_findings
+from repro.analysis.schedule_check import schedule_findings
+from repro.analysis.static_conformance import conformance_findings
+
+
+def run_lint(
+    processes_dir: Path | None = None,
+    audit_root: Path | None = None,
+    stations: list[str] | None = None,
+) -> Report:
+    """Run all analyses and return the combined report."""
+    report = Report()
+    report.extend(conformance_findings(processes_dir))
+    report.extend(schedule_findings())
+    report.extend(race_findings())
+    if audit_root is not None:
+        report.extend(audit_findings(audit_root, stations))
+    return report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static conformance, schedule and race analysis of the pipeline.",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too (errors always fail)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit findings as JSON instead of text",
+    )
+    parser.add_argument(
+        "--processes-dir",
+        metavar="DIR",
+        help="analyze this directory of p*.py modules instead of the "
+        "installed repro.core.processes package",
+    )
+    parser.add_argument(
+        "--audit",
+        metavar="WORKSPACE",
+        help="additionally cross-check the audit logs recorded in this "
+        "workspace (a run made with 'repro-process --audit')",
+    )
+    return parser
+
+
+def main_lint(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-lint``."""
+    args = _build_parser().parse_args(argv)
+    processes_dir = Path(args.processes_dir) if args.processes_dir else None
+    audit_root = Path(args.audit) if args.audit else None
+    stations = None
+    if audit_root is not None:
+        input_dir = audit_root / "input"
+        if input_dir.is_dir():
+            stations = sorted(p.stem for p in input_dir.glob("*.v1"))
+    report = run_lint(
+        processes_dir=processes_dir, audit_root=audit_root, stations=stations
+    )
+    if args.as_json:
+        print(json.dumps(
+            [
+                {
+                    "check": f.check,
+                    "severity": f.severity,
+                    "process": f.process,
+                    "message": f.message,
+                }
+                for f in report.findings
+            ],
+            indent=2,
+        ))
+    else:
+        print(report.render())
+    return 1 if report.failed(strict=args.strict) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation helper
+    import sys
+
+    sys.exit(main_lint())

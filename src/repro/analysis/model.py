@@ -1,0 +1,75 @@
+"""Shared result model of the static/runtime analyses.
+
+Every check reports :class:`Finding` records; the lint driver and the
+CI gate only need to agree on severities:
+
+- ``error``   — a conformance violation or a provable race; always
+  fails the lint.
+- ``warning`` — suspicious but not provably wrong (e.g. a declared
+  read the static pass cannot see); fails only under ``--strict``.
+- ``info``    — advisory output (e.g. stage-merge opportunities);
+  never fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITIES = (ERROR, WARNING, INFO)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by an analysis pass."""
+
+    check: str  # "conformance" | "schedule" | "races" | "audit"
+    severity: str
+    message: str
+    process: str | None = None  # "P4" etc. when attributable
+
+    def __post_init__(self) -> None:
+        if self.severity not in _SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def render(self) -> str:
+        subject = f" [{self.process}]" if self.process else ""
+        return f"{self.severity:<7} {self.check}{subject}: {self.message}"
+
+
+@dataclass
+class Report:
+    """Accumulated findings of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def counts(self) -> dict[str, int]:
+        out = {severity: 0 for severity in _SEVERITIES}
+        for finding in self.findings:
+            out[finding.severity] += 1
+        return out
+
+    def failed(self, strict: bool = False) -> bool:
+        """Whether the lint should exit non-zero."""
+        counts = self.counts()
+        if counts[ERROR]:
+            return True
+        return strict and counts[WARNING] > 0
+
+    def render(self) -> str:
+        counts = self.counts()
+        lines = [finding.render() for finding in sorted(
+            self.findings,
+            key=lambda f: (_SEVERITIES.index(f.severity), f.check, f.process or "", f.message),
+        )]
+        lines.append(
+            f"{counts[ERROR]} error(s), {counts[WARNING]} warning(s), "
+            f"{counts[INFO]} info"
+        )
+        return "\n".join(lines)

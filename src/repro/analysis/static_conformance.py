@@ -1,0 +1,450 @@
+"""Static conformance: do the process bodies match their declarations?
+
+The registry (:mod:`repro.core.registry`) declares every process's
+reads and writes, and the whole dependency analysis — the stage plan,
+the redundancy elimination, the race-freedom argument — rests on those
+declarations being *true*.  This pass closes the loop: it parses each
+``core/processes/p*.py`` module (AST only, nothing is imported or
+executed), extracts every workspace access the code can perform, and
+diffs the observed identity sets against the declared ones.
+
+Extraction walks each ``run_pXX`` root through the intra-package call
+graph (``run_p12`` → ``run_p03``, ``run_p13`` →
+``run_correction_sequential``, …), substituting artifact-name
+parameters at call sites, so a helper shared by two processes is
+charged to each caller with the names *that caller* passes.  I/O
+enters through a closed vocabulary:
+
+- format readers/writers (``read_v2``, ``write_fourier``, …), each
+  with a direction and, where the format implies one, an intrinsic
+  artifact identity;
+- workspace accessors (``.work(NAME)``, ``.component_v2(...)``,
+  ``.raw_v1(...)``, ``.plot_fourier(...)``, …);
+- path methods (``.write_text``, ``.unlink``, ``.glob``);
+- the legacy tools (``correction_tool``, ``fourier_tool``), modeled by
+  their documented directory contracts.
+
+Scratch files (``tool.cfg``, ``*.max`` parts) are recognized and
+excluded — they are private to a process and never part of the
+declared interface.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.model import ERROR, WARNING, Finding
+from repro.core.registry import PROCESSES
+
+#: Artifact-name constant (as imported from repro.core.artifacts) ->
+#: registry identity.
+CONSTANT_IDENTITY: dict[str, str] = {
+    "FLAGS": "flags",
+    "FLAGS2": "flags2",
+    "V1_LIST": "v1_list",
+    "FILTER_PARAMS": "filter_params",
+    "FILTER_CORRECTED": "filter_corrected",
+    "MAXVALS": "maxvals",
+    "MAXVALS2": "maxvals2",
+    "ACCGRAPH_META": "acc_meta",
+    "FOURIER_META": "fourier_meta",
+    "RESPONSE_META": "response_meta",
+    "FOURIERGRAPH_META": "fouriergraph_meta",
+    "RESPONSEGRAPH_META": "responsegraph_meta",
+}
+
+#: Literal file name -> registry identity (for string-constant access).
+NAME_IDENTITY: dict[str, str] = {
+    "flags.dat": "flags",
+    "flags2.dat": "flags2",
+    "v1files.lst": "v1_list",
+    "filter.par": "filter_params",
+    "filter_corrected.par": "filter_corrected",
+    "maxvals.dat": "maxvals",
+    "maxvals2.dat": "maxvals2",
+    "accgraph.meta": "acc_meta",
+    "fourier.meta": "fourier_meta",
+    "response.meta": "response_meta",
+    "fouriergraph.meta": "fouriergraph_meta",
+    "responsegraph.meta": "responsegraph_meta",
+}
+
+#: Workspace accessor method -> identity of the path it names.
+ACCESSOR_IDENTITY: dict[str, str] = {
+    "raw_v1": "raw_v1",
+    "component_v1": "comp_v1",
+    "component_v2": "comp_v2",
+    "component_f": "comp_f",
+    "component_r": "comp_r",
+    "gem": "gem",
+    "plot_accelerograph": "plot_acc",
+    "plot_fourier": "plot_fourier",
+    "plot_response": "plot_response",
+}
+
+#: I/O function -> (direction, intrinsic identity or None).  The
+#: intrinsic identity applies when the path argument is dynamic: a
+#: ``read_v2`` of *any* path consumes a comp_v2-format artifact.
+IO_FUNCS: dict[str, tuple[str, str | None]] = {
+    "read_v1": ("read", None),
+    "read_component_v1": ("read", "comp_v1"),
+    "write_component_v1": ("write", "comp_v1"),
+    "read_v2": ("read", "comp_v2"),
+    "write_v2": ("write", "comp_v2"),
+    "read_fourier": ("read", "comp_f"),
+    "write_fourier": ("write", "comp_f"),
+    "read_response": ("read", "comp_r"),
+    "write_response": ("write", "comp_r"),
+    "write_gem": ("write", "gem"),
+    "read_filelist": ("read", None),
+    "write_filelist": ("write", None),
+    "read_metadata": ("read", None),
+    "write_metadata": ("write", None),
+    "read_filter_params": ("read", None),
+    "write_filter_params": ("write", None),
+    "require": ("read", None),
+    "plot_accelerograph": ("write", "plot_acc"),
+    "plot_fourier_spectrum": ("write", "plot_fourier"),
+    "plot_response_spectrum": ("write", "plot_response"),
+}
+
+#: The legacy tools' directory contracts (their code is out of scope
+#: for the AST pass, exactly as the original binaries were for the
+#: paper): what each instance reads and writes inside its folder.
+#: The parameter-file read of the correction tool is charged through
+#: the explicit ``require(...)`` guard its callers perform.
+TOOL_EFFECTS: dict[str, list[tuple[str, str]]] = {
+    "correction_tool": [("read", "comp_v1"), ("write", "comp_v2")],
+    "fourier_tool": [("read", "comp_v2"), ("write", "comp_f")],
+}
+
+#: Names that denote process-private scratch files, never declared.
+TRANSIENT_CONSTANTS = {"TOOL_CONFIG"}
+TRANSIENT_SUFFIXES = (".max", ".max1", ".max2")
+TRANSIENT_NAMES = {"tool.cfg"}
+
+_MODULE_RE = re.compile(r"^p(\d\d)_.*\.py$")
+
+# Resolution results: ("id", identity) | ("param", name) |
+# ("unknown", description) | None meaning "scratch file, not tracked".
+_Resolved = tuple[str, str] | None
+
+
+@dataclass
+class FunctionInfo:
+    """One top-level function: its AST, parameters and home module."""
+
+    name: str
+    pid: int
+    node: ast.FunctionDef
+    params: list[str]
+
+
+@dataclass
+class AccessSummary:
+    """Accesses attributable to one process root."""
+
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+    unknowns: list[str] = field(default_factory=list)
+
+
+def default_processes_dir() -> Path:
+    """The in-tree ``core/processes`` package directory."""
+    import repro.core.processes as pkg
+
+    return Path(pkg.__file__).parent
+
+
+def _function_params(node: ast.FunctionDef) -> list[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    return names
+
+
+class _PackageIndex:
+    """All analyzable functions of a processes directory, by name."""
+
+    def __init__(self, processes_dir: Path) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.module_constants: dict[int, dict[str, str]] = {}
+        self.pids: list[int] = []
+        for path in sorted(processes_dir.iterdir()):
+            match = _MODULE_RE.match(path.name)
+            if not match:
+                continue
+            pid = int(match.group(1))
+            self.pids.append(pid)
+            tree = ast.parse(path.read_text(), filename=str(path))
+            constants: dict[str, str] = {}
+            for node in tree.body:
+                if isinstance(node, ast.ImportFrom):
+                    for alias in node.names:
+                        name = alias.asname or alias.name
+                        if alias.name in CONSTANT_IDENTITY:
+                            constants[name] = CONSTANT_IDENTITY[alias.name]
+                elif isinstance(node, ast.FunctionDef):
+                    self.functions[node.name] = FunctionInfo(
+                        name=node.name,
+                        pid=pid,
+                        node=node,
+                        params=_function_params(node),
+                    )
+            self.module_constants[pid] = constants
+
+
+class _Extractor:
+    """Summarizes accesses per function and propagates over calls."""
+
+    def __init__(self, index: _PackageIndex) -> None:
+        self.index = index
+        self._memo: dict[str, list[tuple[str, _Resolved]]] = {}
+        self._in_progress: set[str] = set()
+
+    # -- name / path resolution ---------------------------------------
+
+    def _resolve_name(self, node: ast.expr | None, info: FunctionInfo) -> _Resolved:
+        """Resolve an expression holding an artifact *file name*."""
+        if node is None:
+            return ("unknown", "missing name argument")
+        if isinstance(node, ast.Name):
+            constants = self.index.module_constants.get(info.pid, {})
+            if node.id in constants:
+                return ("id", constants[node.id])
+            if node.id in TRANSIENT_CONSTANTS:
+                return None
+            if node.id in info.params:
+                return ("param", node.id)
+            return ("unknown", f"name bound to {node.id!r}")
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value in NAME_IDENTITY:
+                return ("id", NAME_IDENTITY[node.value])
+            if node.value in TRANSIENT_NAMES or node.value.endswith(TRANSIENT_SUFFIXES):
+                return None
+            return ("unknown", f"literal {node.value!r}")
+        if isinstance(node, ast.JoinedStr):
+            # f-strings name per-unit scratch files (e.g. _wf parts).
+            return ("unknown", "f-string file name")
+        return ("unknown", ast.dump(node)[:60])
+
+    def _resolve_path(self, node: ast.expr | None, info: FunctionInfo) -> _Resolved:
+        """Resolve an expression holding an artifact *path*."""
+        if node is None:
+            return ("unknown", "missing path argument")
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr == "work":
+                return self._resolve_name(node.args[0] if node.args else None, info)
+            if attr in ACCESSOR_IDENTITY:
+                return ("id", ACCESSOR_IDENTITY[attr])
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return self._resolve_name(node.right, info)
+        if isinstance(node, ast.Name) and node.id in info.params:
+            return ("param", node.id)
+        return ("unknown", "dynamic path expression")
+
+    # -- call-site substitution ---------------------------------------
+
+    def _substitution(
+        self, call: ast.Call, callee: FunctionInfo, caller: FunctionInfo, skip: int = 0
+    ) -> dict[str, _Resolved]:
+        """Map the callee's parameters to caller-side name resolutions."""
+        mapping: dict[str, _Resolved] = {}
+        for position, arg in enumerate(call.args[skip:], start=skip):
+            if position < len(callee.params):
+                mapping[callee.params[position]] = self._resolve_name(arg, caller)
+        for keyword in call.keywords:
+            if keyword.arg is not None:
+                mapping[keyword.arg] = self._resolve_name(keyword.value, caller)
+        return mapping
+
+    # -- summaries ------------------------------------------------------
+
+    def summary(self, name: str) -> list[tuple[str, _Resolved]]:
+        """Accesses of one package function, with parameters symbolic."""
+        if name in self._memo:
+            return self._memo[name]
+        if name in self._in_progress:
+            return []  # recursion guard; the package has no cycles
+        self._in_progress.add(name)
+        info = self.index.functions[name]
+        entries: list[tuple[str, _Resolved]] = []
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                entries.extend(self._call_entries(node, info))
+        self._in_progress.discard(name)
+        self._memo[name] = entries
+        return entries
+
+    def _call_entries(
+        self, call: ast.Call, info: FunctionInfo
+    ) -> list[tuple[str, _Resolved]]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._name_call_entries(call, func.id, info)
+        if isinstance(func, ast.Attribute):
+            return self._method_call_entries(call, func, info)
+        return []
+
+    def _name_call_entries(
+        self, call: ast.Call, name: str, info: FunctionInfo
+    ) -> list[tuple[str, _Resolved]]:
+        if name in IO_FUNCS:
+            direction, intrinsic = IO_FUNCS[name]
+            resolved = self._resolve_path(call.args[0] if call.args else None, info)
+            if resolved is None:
+                return []
+            if resolved[0] == "id":
+                return [(direction, resolved)]
+            if intrinsic is not None:
+                return [(direction, ("id", intrinsic))]
+            return [(direction, resolved)]
+        if name in TOOL_EFFECTS:
+            return [(direction, ("id", identity)) for direction, identity in TOOL_EFFECTS[name]]
+        if name == "merge_max_files":
+            out_name = call.args[1] if len(call.args) > 1 else None
+            resolved = self._resolve_name(out_name, info)
+            return [("write", resolved)] if resolved is not None else []
+        if name in ("write_tool_config", "read_tool_config"):
+            return []  # scratch tool.cfg only
+        if name == "partial" and call.args and isinstance(call.args[0], ast.Name):
+            return self._inlined(call, call.args[0].id, info, skip=1)
+        if name in self.index.functions:
+            return self._inlined(call, name, info, skip=0)
+        return []
+
+    def _inlined(
+        self, call: ast.Call, callee_name: str, info: FunctionInfo, skip: int
+    ) -> list[tuple[str, _Resolved]]:
+        if callee_name not in self.index.functions:
+            return []
+        callee = self.index.functions[callee_name]
+        substitution = self._substitution(call, callee, info, skip=skip)
+        entries: list[tuple[str, _Resolved]] = []
+        for direction, resolved in self.summary(callee_name):
+            if resolved is not None and resolved[0] == "param":
+                resolved = substitution.get(
+                    resolved[1], ("unknown", f"unbound parameter {resolved[1]!r}")
+                )
+            if resolved is not None:
+                entries.append((direction, resolved))
+        return entries
+
+    def _method_call_entries(
+        self, call: ast.Call, func: ast.Attribute, info: FunctionInfo
+    ) -> list[tuple[str, _Resolved]]:
+        attr = func.attr
+        if attr == "require_input":
+            return [("read", ("id", "raw_v1"))]
+        if attr == "glob":
+            pattern = ""
+            if call.args and isinstance(call.args[0], ast.Constant):
+                pattern = str(call.args[0].value)
+            receiver = func.value
+            if (
+                isinstance(receiver, ast.Attribute)
+                and receiver.attr == "input_dir"
+                and pattern.endswith(".v1")
+            ):
+                return [("read", ("id", "raw_v1"))]
+            if pattern.endswith(TRANSIENT_SUFFIXES):
+                return []
+            return [("read", ("unknown", f"glob({pattern!r})"))]
+        if attr in ("write_text", "write_bytes", "touch"):
+            resolved = self._resolve_path(func.value, info)
+            return [("write", resolved)] if resolved is not None else []
+        if attr in ("read_text", "read_bytes"):
+            resolved = self._resolve_path(func.value, info)
+            return [("read", resolved)] if resolved is not None else []
+        if attr in ("unlink", "rename"):
+            resolved = self._resolve_path(func.value, info)
+            return [("write", resolved)] if resolved is not None else []
+        return []
+
+
+def analyze_processes(processes_dir: Path | None = None) -> dict[int, AccessSummary]:
+    """Observed per-process identity access, rooted at each ``run_pXX``."""
+    directory = processes_dir or default_processes_dir()
+    index = _PackageIndex(directory)
+    extractor = _Extractor(index)
+    out: dict[int, AccessSummary] = {}
+    for pid in index.pids:
+        root = f"run_p{pid:02d}"
+        summary = AccessSummary()
+        if root not in index.functions:
+            summary.unknowns.append(f"module has no {root}() entry point")
+            out[pid] = summary
+            continue
+        for direction, resolved in extractor.summary(root):
+            if resolved is None:
+                continue
+            kind, value = resolved
+            if kind == "id":
+                (summary.reads if direction == "read" else summary.writes).add(value)
+            else:
+                summary.unknowns.append(f"{direction} of unresolved target ({value})")
+        out[pid] = summary
+    return out
+
+
+def conformance_findings(processes_dir: Path | None = None) -> list[Finding]:
+    """Diff observed access against the registry declarations."""
+    findings: list[Finding] = []
+    observed = analyze_processes(processes_dir)
+    for pid, summary in sorted(observed.items()):
+        if pid not in PROCESSES:
+            findings.append(
+                Finding("conformance", ERROR, f"module p{pid:02d} has no registry entry")
+            )
+            continue
+        spec = PROCESSES[pid]
+        declared_reads = {ref.identity for ref in spec.reads}
+        declared_writes = {ref.identity for ref in spec.writes}
+        label = spec.label
+        for identity in sorted(summary.reads - declared_reads):
+            findings.append(
+                Finding(
+                    "conformance", ERROR,
+                    f"reads {identity!r} but the registry does not declare it",
+                    process=label,
+                )
+            )
+        for identity in sorted(summary.writes - declared_writes):
+            findings.append(
+                Finding(
+                    "conformance", ERROR,
+                    f"writes {identity!r} but the registry does not declare it",
+                    process=label,
+                )
+            )
+        for identity in sorted(declared_reads - summary.reads):
+            findings.append(
+                Finding(
+                    "conformance", WARNING,
+                    f"declares a read of {identity!r} the code never performs",
+                    process=label,
+                )
+            )
+        for identity in sorted(declared_writes - summary.writes):
+            findings.append(
+                Finding(
+                    "conformance", WARNING,
+                    f"declares a write of {identity!r} the code never performs",
+                    process=label,
+                )
+            )
+        for unknown in summary.unknowns:
+            findings.append(
+                Finding("conformance", WARNING, f"unresolvable access: {unknown}", process=label)
+            )
+    for pid in sorted(set(PROCESSES) - set(observed)):
+        findings.append(
+            Finding(
+                "conformance", ERROR,
+                f"registry declares P{pid} but no p{pid:02d}_*.py module exists",
+            )
+        )
+    return findings

@@ -64,6 +64,13 @@ def _build_process_parser() -> argparse.ArgumentParser:
         help="record a span trace of the run and write it as Chrome Trace "
         "Event JSON (open in chrome://tracing or ui.perfetto.dev)",
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="record every artifact access during the run and cross-check "
+        "the logs against the registry declarations afterwards "
+        "(exit 1 on undeclared or conflicting accesses)",
+    )
     return parser
 
 
@@ -96,6 +103,8 @@ def main_process(argv: list[str] | None = None) -> int:
             generate_event_dataset(event, ctx.workspace.input_dir)
         else:
             materialize(event, workload, ctx.workspace.input_dir)
+    if args.audit:
+        ctx.audit = True
     impl = implementation_by_name(args.implementation)()
     result = impl.run(ctx)
     for line in result.summary_lines():
@@ -105,6 +114,17 @@ def main_process(argv: list[str] | None = None) -> int:
 
         write_chrome_trace(args.trace, result.trace)
         print(f"trace written to {args.trace}")
+    if args.audit:
+        from repro.analysis.audit import audit_findings
+        from repro.analysis.model import ERROR, Report
+
+        root = ctx.workspace.root
+        stations = sorted(p.stem for p in ctx.workspace.input_dir.glob("*.v1"))
+        report = Report()
+        report.extend(audit_findings(root, stations))
+        print(report.render())
+        if any(f.severity == ERROR for f in report.findings):
+            return 1
     return 0
 
 

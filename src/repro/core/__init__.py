@@ -38,8 +38,10 @@ from repro.core.registry import PROCESSES, ProcessSpec
 from repro.core.stages import STAGES, StageSpec
 from repro.core.dependencies import (
     build_process_graph,
-    validate_stage_plan,
+    critical_path,
     parallelizable_sets,
+    validate_sequential_order,
+    validate_stage_plan,
 )
 
 #: The paper's four implementations, in presentation order.
@@ -96,6 +98,8 @@ __all__ = [
     "STAGES",
     "StageSpec",
     "build_process_graph",
+    "critical_path",
+    "validate_sequential_order",
     "validate_stage_plan",
     "parallelizable_sets",
     "IMPLEMENTATIONS",

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.auditing import AuditedPath, maybe_activate
 from repro.errors import PipelineError
 from repro.formats.common import COMPONENTS
 from repro.formats.gem import GEM_QUANTITIES, GEM_SOURCES, gem_name
@@ -48,16 +49,23 @@ class Workspace:
 
     def __init__(self, root: Path | str) -> None:
         object.__setattr__(self, "root", Path(root))
+        # Runs with a .audit/ marker record every file access; workers
+        # rebuilding Workspace(root) re-detect the marker, so auditing
+        # survives the process backend without any argument plumbing.
+        object.__setattr__(self, "_audited", maybe_activate(self.root))
+
+    def _wrap(self, path: Path) -> Path:
+        return AuditedPath(path) if self._audited else path
 
     @property
     def input_dir(self) -> Path:
         """Directory holding the raw ``<station>.v1`` inputs."""
-        return self.root / "input"
+        return self._wrap(self.root / "input")
 
     @property
     def work_dir(self) -> Path:
         """Directory holding every produced artifact."""
-        return self.root / "work"
+        return self._wrap(self.root / "work")
 
     @property
     def tmp_dir(self) -> Path:

@@ -1,0 +1,260 @@
+"""Runtime artifact-access auditing hooks.
+
+The registry's read/write declarations are *claims* about what the
+process code does; this module is the machinery that observes what it
+actually does.  When auditing is enabled for a workspace (a
+``<root>/.audit/`` marker directory exists), every
+:class:`~repro.core.artifacts.Workspace` accessor returns an
+:class:`AuditedPath` whose file opens append one JSON line per access
+to a per-(pid, thread) event log inside the marker directory.  Worker
+processes need no coordination: they rebuild ``Workspace(root)``, see
+the marker, and log to their own files — so the audit works identically
+under the serial, thread and process backends.
+
+Attribution: :func:`unit_scope` tags accesses with the pipeline process
+(``P16``) and the concurrency unit (a station, a trace, a temp-folder
+instance) that performed them.  Scopes do not override an enclosing
+scope, so a driver-level scope (``P4`` around a whole stage) survives
+into helper calls, while worker threads/processes — which start with an
+empty context — get the fine-grained unit set by the loop body itself.
+
+The cross-checking of these logs against the registry lives in
+:mod:`repro.analysis.audit`; this module stays a leaf so every layer of
+the pipeline can import it.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import shutil
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from pathlib import Path, PosixPath, WindowsPath
+from typing import Any, Callable, Iterator
+
+#: Marker directory (under the workspace root) that opts a run in.
+AUDIT_DIR = ".audit"
+
+#: Active audited roots: str(root) -> Path(root).
+_ACTIVE: dict[str, Path] = {}
+
+#: Open event-log writers keyed by (root, pid, thread id).
+_writers: dict[tuple[str, int, int], Any] = {}
+_writers_lock = threading.Lock()
+
+#: The (process label, unit label, origin pid) performing the current
+#: accesses.  The pid guards against fork inheritance: a process pool
+#: forks its workers lazily at the first submit, which may happen while
+#: the driver thread holds a scope, and the forked worker would carry
+#: that scope forever.  A scope whose pid is not ours is stale.
+_SCOPE: ContextVar[tuple[str, str, int] | None] = ContextVar(
+    "repro_audit_scope", default=None
+)
+
+
+def _live_scope() -> tuple[str, str] | None:
+    """The current scope, unless it was inherited across a fork."""
+    scope = _SCOPE.get()
+    if scope is None or scope[2] != os.getpid():
+        return None
+    return scope[0], scope[1]
+
+
+def enable_auditing(root: Path | str) -> Path:
+    """Create the marker directory and activate auditing for ``root``."""
+    root = Path(root)
+    marker = root / AUDIT_DIR
+    marker.mkdir(parents=True, exist_ok=True)
+    _ACTIVE[str(root)] = root
+    return marker
+
+
+def disable_auditing(root: Path | str) -> None:
+    """Deactivate auditing for ``root`` and remove the marker directory."""
+    root = Path(root)
+    key = str(root)
+    _ACTIVE.pop(key, None)
+    with _writers_lock:
+        for wkey in [k for k in _writers if k[0] == key]:
+            try:
+                _writers.pop(wkey).close()
+            except OSError:  # pragma: no cover - close failures are harmless
+                pass
+    shutil.rmtree(root / AUDIT_DIR, ignore_errors=True)
+
+
+def maybe_activate(root: Path) -> bool:
+    """Activate auditing for ``root`` if its marker exists (Workspace init)."""
+    if (root / AUDIT_DIR).is_dir():
+        _ACTIVE[str(root)] = root
+        return True
+    return False
+
+
+def is_active(root: Path | str) -> bool:
+    """Whether accesses under ``root`` are currently recorded."""
+    return str(root) in _ACTIVE
+
+
+@contextmanager
+def unit_scope(process: str, unit: str = "-") -> Iterator[None]:
+    """Attribute accesses inside the block to (process, unit).
+
+    A scope never overrides an enclosing one: the outermost attribution
+    wins, so a driver's coarse scope is not clobbered by the helpers it
+    calls, while fresh worker threads (empty context) take the loop
+    body's fine-grained unit.  A scope inherited across a fork (lazily
+    spawned process-pool workers copy the submitting thread's context)
+    carries a foreign pid and counts as absent.
+    """
+    if _live_scope() is not None:
+        yield
+        return
+    token = _SCOPE.set((process, unit, os.getpid()))
+    try:
+        yield
+    finally:
+        _SCOPE.reset(token)
+
+
+def current_scope() -> tuple[str, str] | None:
+    """The active (process, unit) attribution, if any."""
+    return _live_scope()
+
+
+def process_unit(process: str, unit_arg: int | None = None) -> Callable:
+    """Decorator form of :func:`unit_scope` for process/loop-body functions.
+
+    ``unit_arg`` names the positional argument whose value identifies
+    the concurrency unit (the station of ``separate_station``, the
+    trace of ``response_for_trace``); without it the unit is ``"-"``,
+    the process's own top-level scope.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            unit = "-"
+            if unit_arg is not None and len(args) > unit_arg:
+                unit = str(args[unit_arg])
+            with unit_scope(process, unit):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def _writer(root: str):
+    key = (root, os.getpid(), threading.get_ident())
+    writer = _writers.get(key)
+    if writer is None:
+        with _writers_lock:
+            writer = _writers.get(key)
+            if writer is None:
+                log_dir = Path(root) / AUDIT_DIR
+                name = f"events-{key[1]}-{key[2]}.jsonl"
+                writer = open(log_dir / name, "a", buffering=1, encoding="utf-8")
+                _writers[key] = writer
+    return writer
+
+
+def record(root: Path | str, rel_path: str, op: str) -> None:
+    """Append one access event (no-op unless ``root`` is audited)."""
+    key = str(root)
+    if key not in _ACTIVE:
+        return
+    if rel_path.startswith(AUDIT_DIR):
+        return
+    scope = _live_scope()
+    event = {
+        "path": rel_path,
+        "op": op,
+        "process": scope[0] if scope else None,
+        "unit": scope[1] if scope else None,
+        "worker": f"{os.getpid()}:{threading.get_ident()}",
+        "t": time.time(),
+    }
+    try:
+        _writer(key).write(json.dumps(event) + "\n")
+    except OSError:  # pragma: no cover - a dead log never fails the run
+        pass
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One recorded file access."""
+
+    path: str
+    op: str  # "read" | "write" | "delete"
+    process: str | None
+    unit: str | None
+    worker: str
+    t: float
+
+
+def iter_events(root: Path | str) -> Iterator[AuditEvent]:
+    """Parse every event recorded for ``root`` (any worker, any order)."""
+    log_dir = Path(root) / AUDIT_DIR
+    for log in sorted(log_dir.glob("events-*.jsonl")):
+        for line in log.read_text().splitlines():
+            if not line.strip():
+                continue
+            data = json.loads(line)
+            yield AuditEvent(
+                path=data["path"],
+                op=data["op"],
+                process=data.get("process"),
+                unit=data.get("unit"),
+                worker=data.get("worker", "?"),
+                t=float(data.get("t", 0.0)),
+            )
+
+
+_BASE = WindowsPath if os.name == "nt" else PosixPath
+
+
+class AuditedPath(_BASE):
+    """A path whose opens/unlinks are recorded against its workspace.
+
+    Derived paths (``parent``, ``/``, ``glob`` results) stay audited:
+    the owning root is recovered by prefix against the active-root
+    registry, so no per-instance state needs to survive ``pathlib``'s
+    internal reconstruction (or pickling into worker processes).
+    """
+
+    __slots__ = ()
+
+    def _audit(self, op: str) -> None:
+        text = str(self)
+        for root in _ACTIVE:
+            if text.startswith(root + os.sep):
+                record(root, text[len(root) + 1 :].replace(os.sep, "/"), op)
+                return
+
+    def open(self, mode: str = "r", buffering: int = -1, encoding: str | None = None,
+             errors: str | None = None, newline: str | None = None):
+        if "+" in mode:
+            self._audit("read")
+            self._audit("write")
+        elif any(flag in mode for flag in "wax"):
+            self._audit("write")
+        else:
+            self._audit("read")
+        return super().open(mode, buffering, encoding, errors, newline)
+
+    def unlink(self, missing_ok: bool = False) -> None:
+        self._audit("delete")
+        super().unlink(missing_ok)
+
+    def rename(self, target):
+        self._audit("delete")
+        result = super().rename(target)
+        renamed = AuditedPath(target)
+        renamed._audit("write")
+        return result

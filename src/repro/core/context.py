@@ -93,6 +93,11 @@ class RunContext:
     #: Optional span tracer; every execution layer records into it.
     #: Excluded from equality — tracing never changes artifacts.
     tracer: "Tracer | None" = field(default=None, repr=False, compare=False)
+    #: Record every artifact file access of the run (see
+    #: :mod:`repro.core.auditing`); cross-check the logs against the
+    #: registry with :func:`repro.analysis.audit.audit_findings`.
+    #: Excluded from equality — auditing never changes artifacts.
+    audit: bool = field(default=False, compare=False)
 
     @classmethod
     def for_directory(cls, root: Path | str, **kwargs: object) -> "RunContext":

@@ -34,7 +34,11 @@ def _resolve_reads(
 
     LATEST resolves to the newest written version; reads of inputs no
     process writes (the raw V1 files) resolve to version 0, i.e. the
-    pre-existing external input.
+    pre-existing external input.  A declared version *newer* than any
+    the subset writes means the writer was optimized away, so the read
+    falls back to the newest available; a declared version *older* than
+    one the subset writes has no such reading — the dependency cannot
+    be satisfied and :class:`DependencyError` is raised.
     """
     resolved = []
     for ref in spec.reads:
@@ -43,12 +47,19 @@ def _resolve_reads(
             resolved.append((ref.identity, max(versions) if versions else 0))
         elif ref.version in versions:
             resolved.append((ref.identity, ref.version))
-        elif versions and ref.version > max(versions):
+        elif not versions:
+            # Nothing in the subset writes this identity: an external
+            # input, kept at the declared version.
+            resolved.append((ref.identity, ref.version))
+        elif ref.version > max(versions):
             # Declared version absent from this subset (its writer was
             # optimized away); fall back to the newest available.
             resolved.append((ref.identity, max(versions)))
         else:
-            resolved.append((ref.identity, ref.version if not versions else min(versions)))
+            raise DependencyError(
+                f"{spec.label} reads {ref.identity}#{ref.version} but this "
+                f"subset only writes versions {sorted(versions)}"
+            )
     return resolved
 
 

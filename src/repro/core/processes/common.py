@@ -17,8 +17,10 @@ def merge_max_files(work_dir: Path, out_name: str) -> None:
     mechanism that keeps parallel and sequential maxvals files equal.
     """
     parts = sorted(work_dir.glob("*.max"))
+    if not parts:
+        return
     lines = [p.read_text().rstrip("\n") for p in parts]
-    (work_dir / out_name).write_text("\n".join(lines) + ("\n" if lines else ""))
+    (work_dir / out_name).write_text("\n".join(lines) + "\n")
     for p in parts:
         p.unlink()
 

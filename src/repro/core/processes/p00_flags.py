@@ -9,6 +9,7 @@ verbose logs) on them.
 from __future__ import annotations
 
 from repro.core.artifacts import FLAGS
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 
 #: The ten flag names of the legacy driver.
@@ -31,6 +32,7 @@ def flags_content() -> str:
     return "\n".join(f"{name} 1" for name in FLAG_NAMES) + "\n"
 
 
+@process_unit("P0")
 def run_p00(ctx: RunContext) -> None:
     """Write ``flags.dat``."""
     ctx.workspace.work(FLAGS).write_text(flags_content())

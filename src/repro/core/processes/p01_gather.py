@@ -9,11 +9,13 @@ derived from it), never by globbing — matching the legacy design.
 from __future__ import annotations
 
 from repro.core.artifacts import V1_LIST
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.errors import PipelineError
 from repro.formats.filelist import write_filelist
 
 
+@process_unit("P1")
 def run_p01(ctx: RunContext) -> None:
     """Write ``v1files.lst`` from the input directory."""
     ctx.workspace.require_input()

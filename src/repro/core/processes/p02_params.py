@@ -8,10 +8,12 @@ known.
 from __future__ import annotations
 
 from repro.core.artifacts import FILTER_PARAMS
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.formats.params import FilterParams, write_filter_params
 
 
+@process_unit("P2")
 def run_p02(ctx: RunContext) -> None:
     """Write the default ``filter.par``."""
     write_filter_params(

@@ -10,6 +10,7 @@ consume.  The fully-parallel implementation maps
 from __future__ import annotations
 
 from repro.core.artifacts import V1_LIST, Workspace
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.formats.common import COMPONENTS
 from repro.formats.filelist import read_filelist
@@ -22,6 +23,7 @@ def stations_from_list(workspace: Workspace) -> list[str]:
     return [name[: -len(".v1")] for name in names]
 
 
+@process_unit("P3", unit_arg=1)
 def separate_station(workspace_root: str, station: str) -> str:
     """Unit of P3's loop: split one raw record into component files."""
     workspace = Workspace(workspace_root)
@@ -31,6 +33,7 @@ def separate_station(workspace_root: str, station: str) -> str:
     return station
 
 
+@process_unit("P3")
 def run_p03(ctx: RunContext) -> None:
     """Separate every station's record, sequentially."""
     for station in stations_from_list(ctx.workspace):

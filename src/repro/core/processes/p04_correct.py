@@ -12,6 +12,7 @@ directory.
 from __future__ import annotations
 
 from repro.core.artifacts import FILTER_PARAMS, MAXVALS
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.core.processes.common import merge_max_files, require
 from repro.core.tools import TOOL_CONFIG, correction_tool, write_tool_config
@@ -27,6 +28,7 @@ def run_correction_sequential(ctx: RunContext, params_name: str, maxvals_name: s
     merge_max_files(work, maxvals_name)
 
 
+@process_unit("P4")
 def run_p04(ctx: RunContext) -> None:
     """Default-corner correction pass over all component files."""
     run_correction_sequential(ctx, FILTER_PARAMS, MAXVALS)

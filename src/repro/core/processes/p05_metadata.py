@@ -13,6 +13,7 @@ Derives three metadata files from ``v1files.lst``:
 from __future__ import annotations
 
 from repro.core.artifacts import ACCGRAPH_META, FOURIER_META, RESPONSE_META, Workspace
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.core.processes.p03_separate import stations_from_list
 from repro.formats.common import COMPONENTS
@@ -70,6 +71,7 @@ def write_p05_outputs(workspace: Workspace) -> None:
     write_metadata(workspace.work(RESPONSE_META), build_response_meta(stations))
 
 
+@process_unit("P5")
 def run_p05(ctx: RunContext) -> None:
     """Write accgraph/fourier/response metadata."""
     write_p05_outputs(ctx.workspace)

@@ -10,12 +10,14 @@ because nothing reads its output before the overwrite.
 from __future__ import annotations
 
 from repro.core.artifacts import ACCGRAPH_META
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.formats.filelist import read_metadata
 from repro.formats.v2 import read_v2
 from repro.plotting.seismo import plot_accelerograph
 
 
+@process_unit("P6")
 def run_p06(ctx: RunContext) -> None:
     """Plot the (about-to-be-overwritten) default-corrected records."""
     meta = read_metadata(ctx.workspace.work(ACCGRAPH_META), process="P6")

@@ -9,11 +9,13 @@ concurrent tool instances in temporary folders (stage V).
 from __future__ import annotations
 
 from repro.core.artifacts import FOURIER_META
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.core.processes.common import require
 from repro.core.tools import TOOL_CONFIG, fourier_tool, write_tool_config
 
 
+@process_unit("P7")
 def run_p07(ctx: RunContext) -> None:
     """Fourier-transform every corrected component, sequentially."""
     work = ctx.workspace.work_dir

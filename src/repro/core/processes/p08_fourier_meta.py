@@ -7,6 +7,7 @@ Fourier-spectrum plot (P9) and the FPL/FSL search (P10) visit.
 from __future__ import annotations
 
 from repro.core.artifacts import FOURIERGRAPH_META
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.core.processes.p03_separate import stations_from_list
 from repro.formats.common import COMPONENTS
@@ -22,6 +23,7 @@ def build_fouriergraph_meta(stations: list[str]) -> MetadataFile:
     )
 
 
+@process_unit("P8")
 def run_p08(ctx: RunContext) -> None:
     """Write ``fouriergraph.meta``."""
     stations = stations_from_list(ctx.workspace)

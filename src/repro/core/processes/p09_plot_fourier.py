@@ -8,12 +8,14 @@ files, driven by ``fouriergraph.meta``.  Parallelized as a whole task
 from __future__ import annotations
 
 from repro.core.artifacts import FOURIERGRAPH_META
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.formats.filelist import read_metadata
 from repro.formats.fourier import read_fourier
 from repro.plotting.seismo import plot_fourier_spectrum
 
 
+@process_unit("P9")
 def run_p09(ctx: RunContext) -> None:
     """Plot every station's Fourier spectra."""
     meta = read_metadata(ctx.workspace.work(FOURIERGRAPH_META), process="P9")

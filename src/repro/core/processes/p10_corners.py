@@ -13,16 +13,23 @@ from __future__ import annotations
 
 from functools import partial
 
-from repro.core.artifacts import FILTER_CORRECTED, FOURIERGRAPH_META, Workspace
+from repro.core.artifacts import (
+    FILTER_CORRECTED,
+    FILTER_PARAMS,
+    FOURIERGRAPH_META,
+    Workspace,
+)
+from repro.core.auditing import process_unit
 from repro.core.context import InflectionSettings, RunContext
 from repro.dsp.fir import BandPassSpec
 from repro.formats.filelist import read_metadata
 from repro.formats.fourier import read_fourier
-from repro.formats.params import FilterParams, write_filter_params
+from repro.formats.params import FilterParams, read_filter_params, write_filter_params
 from repro.parallel.omp import parallel_for
 from repro.spectra.inflection import corners_from_inflection, find_inflection_point
 
 
+@process_unit("P10", unit_arg=1)
 def analyze_component(
     workspace_root: str,
     f_name: str,
@@ -45,6 +52,7 @@ def analyze_component(
     return record.header.station, record.header.component, spec
 
 
+@process_unit("P10")
 def run_p10(ctx: RunContext, *, parallel_inner: bool = False) -> None:
     """Search every trace's inflection; write ``filter_corrected.par``.
 
@@ -54,7 +62,11 @@ def run_p10(ctx: RunContext, *, parallel_inner: bool = False) -> None:
     output file is identical either way.
     """
     meta = read_metadata(ctx.workspace.work(FOURIERGRAPH_META), process="P10")
-    params = FilterParams(default=ctx.default_filter)
+    # The base corners come from P2's filter.par — the dependency the
+    # registry declares — not from the in-memory context, so every
+    # implementation derives corners from the same on-disk state.
+    base = read_filter_params(ctx.workspace.work(FILTER_PARAMS), process="P10").default
+    params = FilterParams(default=base)
     root = str(ctx.workspace.root)
     for entry in meta.entries:
         _station, *f_names = entry
@@ -64,7 +76,7 @@ def run_p10(ctx: RunContext, *, parallel_inner: bool = False) -> None:
             body = partial(
                 analyze_component,
                 root,
-                base=ctx.default_filter,
+                base=base,
                 settings=ctx.inflection,
             )
             results = parallel_for(
@@ -77,7 +89,7 @@ def run_p10(ctx: RunContext, *, parallel_inner: bool = False) -> None:
             )
         else:
             results = [
-                analyze_component(root, name, ctx.default_filter, ctx.inflection)
+                analyze_component(root, name, base, ctx.inflection)
                 for name in f_names
             ]
         for station, comp, spec in results:

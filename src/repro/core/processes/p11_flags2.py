@@ -9,10 +9,12 @@ implementation (§VI).
 from __future__ import annotations
 
 from repro.core.artifacts import FLAGS2
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.core.processes.p00_flags import flags_content
 
 
+@process_unit("P11")
 def run_p11(ctx: RunContext) -> None:
     """Write ``flags2.dat``."""
     ctx.workspace.work(FLAGS2).write_text(flags_content())

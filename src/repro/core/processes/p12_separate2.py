@@ -8,10 +8,12 @@ redundancy the optimization analysis removes (paper §IV, point 2).
 
 from __future__ import annotations
 
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.core.processes.p03_separate import run_p03
 
 
+@process_unit("P12")
 def run_p12(ctx: RunContext) -> None:
     """Re-run the component separation (identical output to P3)."""
     run_p03(ctx)

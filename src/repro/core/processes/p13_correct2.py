@@ -11,10 +11,12 @@ instances in temp folders, exactly like stage IV.
 from __future__ import annotations
 
 from repro.core.artifacts import FILTER_CORRECTED, MAXVALS2
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.core.processes.p04_correct import run_correction_sequential
 
 
+@process_unit("P13")
 def run_p13(ctx: RunContext) -> None:
     """Definitive correction pass over all component files."""
     run_correction_sequential(ctx, FILTER_CORRECTED, MAXVALS2)

@@ -7,10 +7,12 @@ list did not change (paper §IV, point 3).
 
 from __future__ import annotations
 
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.core.processes.p05_metadata import write_p05_outputs
 
 
+@process_unit("P14")
 def run_p14(ctx: RunContext) -> None:
     """Rewrite the metadata files (identical output to P5)."""
     write_p05_outputs(ctx.workspace)

@@ -9,12 +9,14 @@ Parallelized as a whole task in stage XI.
 from __future__ import annotations
 
 from repro.core.artifacts import ACCGRAPH_META
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.formats.filelist import read_metadata
 from repro.formats.v2 import read_v2
 from repro.plotting.seismo import plot_accelerograph
 
 
+@process_unit("P15")
 def run_p15(ctx: RunContext) -> None:
     """Plot every station's definitive corrected motion."""
     meta = read_metadata(ctx.workspace.work(ACCGRAPH_META), process="P15")

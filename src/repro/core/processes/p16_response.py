@@ -12,6 +12,7 @@ with the highest speedup (5.14x, Fig. 11).
 from __future__ import annotations
 
 from repro.core.artifacts import RESPONSE_META, Workspace
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.formats.filelist import read_metadata
 from repro.formats.response import ResponseRecord, write_response
@@ -19,6 +20,7 @@ from repro.formats.v2 import read_v2
 from repro.spectra.response import ResponseSpectrumConfig, response_spectrum
 
 
+@process_unit("P16", unit_arg=2)
 def response_for_trace(
     workspace_root: str, v2_name: str, r_name: str, config: ResponseSpectrumConfig
 ) -> str:
@@ -49,6 +51,7 @@ def trace_pairs(ctx: RunContext) -> list[tuple[str, str]]:
     return pairs
 
 
+@process_unit("P16")
 def run_p16(ctx: RunContext) -> None:
     """Compute response spectra for every trace, sequentially."""
     root = str(ctx.workspace.root)

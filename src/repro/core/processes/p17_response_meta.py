@@ -7,6 +7,7 @@ response-spectrum plot (P18) visits.
 from __future__ import annotations
 
 from repro.core.artifacts import RESPONSEGRAPH_META
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.core.processes.p03_separate import stations_from_list
 from repro.formats.common import COMPONENTS
@@ -22,6 +23,7 @@ def build_responsegraph_meta(stations: list[str]) -> MetadataFile:
     )
 
 
+@process_unit("P17")
 def run_p17(ctx: RunContext) -> None:
     """Write ``responsegraph.meta``."""
     stations = stations_from_list(ctx.workspace)

@@ -8,12 +8,14 @@ stage XI.
 from __future__ import annotations
 
 from repro.core.artifacts import RESPONSEGRAPH_META
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.formats.filelist import read_metadata
 from repro.formats.response import read_response
 from repro.plotting.seismo import plot_response_spectrum
 
 
+@process_unit("P18")
 def run_p18(ctx: RunContext) -> None:
     """Plot every station's response spectra."""
     meta = read_metadata(ctx.workspace.work(RESPONSEGRAPH_META), process="P18")

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.artifacts import RESPONSE_META, Workspace
+from repro.core.auditing import process_unit
 from repro.core.context import RunContext
 from repro.formats.filelist import read_metadata
 from repro.formats.gem import GemSeries, write_gem
@@ -26,6 +27,7 @@ from repro.formats.v2 import read_v2
 GEM_DAMPING: float = 0.05
 
 
+@process_unit("P19", unit_arg=1)
 def set_data_apart(workspace_root: str, file_name: str, is_response: bool) -> list[str]:
     """Unit of P19's loop: split one V2 or R file into three GEM series.
 
@@ -95,6 +97,7 @@ def interleaved_files(ctx: RunContext) -> list[tuple[str, bool]]:
     return out
 
 
+@process_unit("P19")
 def run_p19(ctx: RunContext) -> None:
     """Generate all GEM files, sequentially."""
     root = str(ctx.workspace.root)

@@ -110,6 +110,14 @@ class PipelineImplementation(ABC):
 
     def run(self, ctx: RunContext) -> PipelineResult:
         """Run end-to-end against the context's workspace."""
+        if ctx.audit:
+            from repro.core.artifacts import Workspace
+            from repro.core.auditing import enable_auditing
+
+            enable_auditing(ctx.workspace.root)
+            # Rebuild so the workspace picks up the fresh marker (its
+            # audited flag is fixed at construction time).
+            ctx.workspace = Workspace(ctx.workspace.root)
         ctx.workspace.create()
         ctx.workspace.require_input()
         stations = ctx.stations()

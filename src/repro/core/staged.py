@@ -30,6 +30,7 @@ from repro.core.artifacts import (
     MAXVALS,
     MAXVALS2,
 )
+from repro.core.auditing import unit_scope
 from repro.core.context import RunContext
 from repro.core.processes.common import merge_max_files
 from repro.core.processes.p03_separate import separate_station, stations_from_list
@@ -162,9 +163,12 @@ class StagedImplementationBase(PipelineImplementation):
     def _stage_loop(self, ctx: RunContext, result: PipelineResult, stage: StageSpec) -> None:
         (pid,) = stage.processes
         start = time.perf_counter()
+        # The driver-side reads (work lists, metadata) belong to the
+        # stage's process too; worker threads start scope-free and take
+        # the loop body's per-unit attribution instead.
         with maybe_span(
             ctx.tracer, PROCESSES[pid].name, kind="process", pid=pid, stage=stage.name,
-        ):
+        ), unit_scope(f"P{pid}"):
             if pid == 3:
                 stations = stations_from_list(ctx.workspace)
                 parallel_for(
@@ -213,6 +217,8 @@ class StagedImplementationBase(PipelineImplementation):
     ) -> None:
         (pid,) = stage.processes
         start = time.perf_counter()
+        # Deliberately unscoped: the work-list read is orchestration (it
+        # sizes the loop), not part of P4/P7/P13's declared access sets.
         stations = stations_from_list(ctx.workspace)
         if pid in (4, 13):
             params_name = FILTER_PARAMS if pid == 4 else FILTER_CORRECTED
@@ -231,7 +237,7 @@ class StagedImplementationBase(PipelineImplementation):
             raise PipelineError(f"no temp-folder strategy defined for P{pid}")
         with maybe_span(
             ctx.tracer, PROCESSES[pid].name, kind="process", pid=pid, stage=stage.name,
-        ):
+        ), unit_scope(f"P{pid}"):
             parallel_for(
                 partial(run_staged_instance, str(ctx.workspace.root)),
                 instances,

@@ -27,6 +27,7 @@ import shutil
 from dataclasses import dataclass, field
 
 from repro.core.artifacts import Workspace
+from repro.core.auditing import record, unit_scope
 from repro.core.tools import correction_tool, fourier_tool, write_tool_config
 from repro.errors import MissingArtifactError, PipelineError
 
@@ -34,6 +35,13 @@ from repro.errors import MissingArtifactError, PipelineError
 TOOLS = {
     "correction": correction_tool,
     "fourier": fourier_tool,
+}
+
+#: Which pipeline process each temp-folder stage executes (Fig. 9).
+STAGE_PROCESS = {
+    "IV": "P4",
+    "V": "P7",
+    "VIII": "P13",
 }
 
 
@@ -65,24 +73,30 @@ def run_staged_instance(workspace_root: str, instance: StagedInstance) -> str:
     workspace = Workspace(workspace_root)
     work = workspace.work_dir
     folder = workspace.tmp_dir / instance.folder_name
-    folder.mkdir(parents=True, exist_ok=True)
-    try:
-        for name in instance.inputs:
-            src = work / name
-            if not src.exists():
-                raise MissingArtifactError(str(src), f"stage {instance.stage}")
-            shutil.copy2(src, folder / name)
-        if instance.config:
-            write_tool_config(folder, **dict(instance.config))
-        TOOLS[instance.tool](folder)
-        for name in instance.outputs:
-            produced = folder / name
-            if not produced.exists():
-                raise PipelineError(
-                    f"stage {instance.stage} instance {instance.index}: "
-                    f"tool {instance.tool!r} did not produce {name}"
-                )
-            shutil.move(str(produced), work / name)
-    finally:
-        shutil.rmtree(folder, ignore_errors=True)
+    process = STAGE_PROCESS.get(instance.stage.upper(), f"stage-{instance.stage}")
+    with unit_scope(process, instance.folder_name):
+        folder.mkdir(parents=True, exist_ok=True)
+        try:
+            for name in instance.inputs:
+                src = work / name
+                if not src.exists():
+                    raise MissingArtifactError(str(src), f"stage {instance.stage}")
+                # shutil bypasses Path.open, so the staging copies and
+                # the collection moves are recorded explicitly.
+                record(workspace.root, f"work/{name}", "read")
+                shutil.copy2(src, folder / name)
+            if instance.config:
+                write_tool_config(folder, **dict(instance.config))
+            TOOLS[instance.tool](folder)
+            for name in instance.outputs:
+                produced = folder / name
+                if not produced.exists():
+                    raise PipelineError(
+                        f"stage {instance.stage} instance {instance.index}: "
+                        f"tool {instance.tool!r} did not produce {name}"
+                    )
+                record(workspace.root, f"work/{name}", "write")
+                shutil.move(str(produced), work / name)
+        finally:
+            shutil.rmtree(folder, ignore_errors=True)
     return instance.folder_name

@@ -35,6 +35,7 @@ from repro.core.artifacts import (
     MAXVALS2,
     Workspace,
 )
+from repro.core.auditing import unit_scope
 from repro.core.context import RunContext
 from repro.core.processes.p00_flags import run_p00
 from repro.core.processes.p01_gather import run_p01
@@ -53,7 +54,7 @@ from repro.core.tempfolders import run_staged_instance
 from repro.dsp.fir import BandPassSpec
 from repro.formats.common import COMPONENTS
 from repro.formats.fourier import component_f_name, read_fourier
-from repro.formats.params import FilterParams, write_filter_params
+from repro.formats.params import FilterParams, read_filter_params, write_filter_params
 from repro.formats.response import component_r_name, read_response
 from repro.formats.v2 import component_v2_name, read_v2
 from repro.observability.tracer import maybe_span
@@ -77,8 +78,10 @@ def _merge_suffixed(workspace: Workspace, suffix: str, out_name: str) -> None:
     """Merge suffixed maxima parts in sorted order (identical bytes to
     :func:`repro.core.processes.common.merge_max_files`)."""
     parts = sorted(workspace.work_dir.glob(f"*.{suffix}"))
+    if not parts:
+        return
     lines = [p.read_text().rstrip("\n") for p in parts]
-    (workspace.work_dir / out_name).write_text("\n".join(lines) + ("\n" if lines else ""))
+    (workspace.work_dir / out_name).write_text("\n".join(lines) + "\n")
     for p in parts:
         p.unlink()
 
@@ -102,20 +105,27 @@ def process_station_wavefront(
 
     # P4 (this station only): default correction via a staged tool
     # instance — identical bytes to the barriered implementations.
-    run_staged_instance(root, correction_instance("IV", index, station, FILTER_PARAMS))
-    _rename_max_parts(workspace, station, "max1")
+    # Each section carries its own audit scope (process, station) so
+    # concurrent wavefronts stay distinguishable per unit.
+    with unit_scope("P4", station):
+        run_staged_instance(root, correction_instance("IV", index, station, FILTER_PARAMS))
+        _rename_max_parts(workspace, station, "max1")
 
     # P7: Fourier spectra.
-    run_staged_instance(root, fourier_instance("V", index, station, ctx))
+    with unit_scope("P7", station):
+        run_staged_instance(root, fourier_instance("V", index, station, ctx))
 
-    # P10 (this station): corner search per component.
+    # P10 (this station): corner search per component, seeded from the
+    # on-disk default corners exactly like the staged implementations.
+    with unit_scope("P10", station):
+        base = read_filter_params(workspace.work(FILTER_PARAMS), process="P10").default
     specs: list[tuple[str, str, BandPassSpec]] = []
     for comp in COMPONENTS:
         specs.append(
             analyze_component(
                 root,
                 component_f_name(station, comp),
-                ctx.default_filter,
+                base,
                 ctx.inflection,
             )
         )
@@ -124,15 +134,16 @@ def process_station_wavefront(
     # filter_corrected.par does not exist yet, so stage a private
     # per-station parameter file carrying exactly this station's
     # overrides (spec_for() resolves identically).
-    params = FilterParams(default=ctx.default_filter)
-    for s, comp, spec in specs:
-        params.set_override(s, comp, spec)
-    private = f"_wf_{station}.par"
-    write_filter_params(workspace.work(private), params)
-    instance = correction_instance("VIII", index, station, private)
-    run_staged_instance(root, instance)
-    workspace.work(private).unlink()
-    _rename_max_parts(workspace, station, "max2")
+    with unit_scope("P13", station):
+        params = FilterParams(default=base)
+        for s, comp, spec in specs:
+            params.set_override(s, comp, spec)
+        private = f"_wf_{station}.par"
+        write_filter_params(workspace.work(private), params)
+        instance = correction_instance("VIII", index, station, private)
+        run_staged_instance(root, instance)
+        workspace.work(private).unlink()
+        _rename_max_parts(workspace, station, "max2")
 
     # P16: response spectra for the three traces.
     for comp in COMPONENTS:
@@ -149,21 +160,24 @@ def process_station_wavefront(
         set_data_apart(root, component_r_name(station, comp), True)
 
     # P9/P15/P18: this station's three plot files.
-    f_records = {
-        comp: read_fourier(workspace.component_f(station, comp), process="P9")
-        for comp in COMPONENTS
-    }
-    plot_fourier_spectrum(workspace.plot_fourier(station), f_records)
-    v2_records = {
-        comp: read_v2(workspace.component_v2(station, comp), process="P15")
-        for comp in COMPONENTS
-    }
-    plot_accelerograph(workspace.plot_accelerograph(station), v2_records)
-    r_records = {
-        comp: read_response(workspace.component_r(station, comp), process="P18")
-        for comp in COMPONENTS
-    }
-    plot_response_spectrum(workspace.plot_response(station), r_records)
+    with unit_scope("P9", station):
+        f_records = {
+            comp: read_fourier(workspace.component_f(station, comp), process="P9")
+            for comp in COMPONENTS
+        }
+        plot_fourier_spectrum(workspace.plot_fourier(station), f_records)
+    with unit_scope("P15", station):
+        v2_records = {
+            comp: read_v2(workspace.component_v2(station, comp), process="P15")
+            for comp in COMPONENTS
+        }
+        plot_accelerograph(workspace.plot_accelerograph(station), v2_records)
+    with unit_scope("P18", station):
+        r_records = {
+            comp: read_response(workspace.component_r(station, comp), process="P18")
+            for comp in COMPONENTS
+        }
+        plot_response_spectrum(workspace.plot_response(station), r_records)
     return specs
 
 
@@ -236,13 +250,19 @@ class WavefrontParallel(PipelineImplementation):
             strategy="seq", implementation=self.name,
         ) as epilogue_span:
             start = time.perf_counter()
-            params = FilterParams(default=ctx.default_filter)
-            for specs in all_specs:
-                for station, comp, spec in specs:
-                    params.set_override(station, comp, spec)
-            write_filter_params(ctx.workspace.work(FILTER_CORRECTED), params)
-            _merge_suffixed(ctx.workspace, "max1", MAXVALS)
-            _merge_suffixed(ctx.workspace, "max2", MAXVALS2)
+            with unit_scope("P10"):
+                base = read_filter_params(
+                    ctx.workspace.work(FILTER_PARAMS), process="P10"
+                ).default
+                params = FilterParams(default=base)
+                for specs in all_specs:
+                    for station, comp, spec in specs:
+                        params.set_override(station, comp, spec)
+                write_filter_params(ctx.workspace.work(FILTER_CORRECTED), params)
+            with unit_scope("P4"):
+                _merge_suffixed(ctx.workspace, "max1", MAXVALS)
+            with unit_scope("P13"):
+                _merge_suffixed(ctx.workspace, "max2", MAXVALS2)
             tmp = ctx.workspace.tmp_dir
             if tmp.exists() and not any(tmp.iterdir()):
                 tmp.rmdir()

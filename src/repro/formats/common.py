@@ -179,9 +179,19 @@ def parse_header(lines: list[str], kind: str, *, path: str = "<memory>") -> tupl
     return header, i
 
 
+def as_path(path: Path | str) -> Path:
+    """Coerce to :class:`Path` while preserving Path subclasses.
+
+    Readers and writers must not rebuild incoming paths with
+    ``Path(...)``: that would strip the auditing subclass the workspace
+    hands out when access recording is enabled.
+    """
+    return path if isinstance(path, Path) else Path(path)
+
+
 def read_lines(path: Path | str, *, process: str | None = None) -> list[str]:
     """Read a text file into lines, raising MissingArtifactError if absent."""
-    path = Path(path)
+    path = as_path(path)
     if not path.exists():
         raise MissingArtifactError(str(path), process)
     return path.read_text().splitlines()

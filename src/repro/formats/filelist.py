@@ -15,18 +15,19 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import FormatError, MissingArtifactError
+from repro.formats.common import as_path
 
 
 def write_filelist(path: Path | str, names: list[str]) -> None:
     """Write a plain file list (one name per line under a banner)."""
     parts = ["OANT FILE LIST", f"COUNT {len(names)}"]
     parts.extend(names)
-    Path(path).write_text("\n".join(parts) + "\n")
+    as_path(path).write_text("\n".join(parts) + "\n")
 
 
 def read_filelist(path: Path | str, *, process: str | None = None) -> list[str]:
     """Read a plain file list."""
-    path = Path(path)
+    path = as_path(path)
     if not path.exists():
         raise MissingArtifactError(str(path), process)
     lines = path.read_text().splitlines()
@@ -60,12 +61,12 @@ def write_metadata(path: Path | str, meta: MetadataFile) -> None:
     parts = ["OANT STAGE METADATA", f"PURPOSE {meta.purpose}", f"COUNT {len(meta.entries)}"]
     for entry in meta.entries:
         parts.append(" ".join(entry))
-    Path(path).write_text("\n".join(parts) + "\n")
+    as_path(path).write_text("\n".join(parts) + "\n")
 
 
 def read_metadata(path: Path | str, *, process: str | None = None) -> MetadataFile:
     """Read a stage metadata file."""
-    path = Path(path)
+    path = as_path(path)
     if not path.exists():
         raise MissingArtifactError(str(path), process)
     lines = path.read_text().splitlines()

@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import DataBlockError
 from repro.formats.common import (
     Header,
+    as_path,
     block_line_count,
     format_fixed_block,
     parse_fixed_block,
@@ -80,7 +81,7 @@ def write_fourier(path: Path | str, record: FourierRecord) -> None:
         values = record.spectra[name]
         parts.append(f"SERIES-BLOCK: {name} {values.shape[0]}")
         parts.append(format_fixed_block(values).rstrip("\n"))
-    Path(path).write_text("\n".join(parts) + "\n")
+    as_path(path).write_text("\n".join(parts) + "\n")
 
 
 def read_fourier(path: Path | str, *, process: str | None = None) -> FourierRecord:

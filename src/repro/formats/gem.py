@@ -22,7 +22,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import DataBlockError, HeaderError, MissingArtifactError
-from repro.formats.common import format_fixed_block, parse_fixed_block
+from repro.formats.common import as_path, format_fixed_block, parse_fixed_block
 
 #: Source codes: "2" = V2 time series, "R" = response spectrum.
 GEM_SOURCES: tuple[str, str] = ("2", "R")
@@ -79,12 +79,12 @@ def write_gem(path: Path | str, series: GemSeries) -> None:
     interleaved[0::2] = series.abscissa
     interleaved[1::2] = series.values
     parts.append(format_fixed_block(interleaved).rstrip("\n"))
-    Path(path).write_text("\n".join(parts) + "\n")
+    as_path(path).write_text("\n".join(parts) + "\n")
 
 
 def read_gem(path: Path | str, *, process: str | None = None) -> GemSeries:
     """Read a GEM series file."""
-    path = Path(path)
+    path = as_path(path)
     if not path.exists():
         raise MissingArtifactError(str(path), process)
     lines = path.read_text().splitlines()

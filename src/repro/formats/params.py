@@ -19,6 +19,7 @@ from pathlib import Path
 
 from repro.dsp.fir import BandPassSpec
 from repro.errors import FormatError, MissingArtifactError
+from repro.formats.common import as_path
 
 
 @dataclass
@@ -63,12 +64,12 @@ def write_filter_params(path: Path | str, params: FilterParams) -> None:
     for (station, comp) in sorted(params.overrides):
         spec = params.overrides[(station, comp)]
         parts.append(f"TRACE {station} {comp} {_spec_fields(spec)}")
-    Path(path).write_text("\n".join(parts) + "\n")
+    as_path(path).write_text("\n".join(parts) + "\n")
 
 
 def read_filter_params(path: Path | str, *, process: str | None = None) -> FilterParams:
     """Read a filter-parameter file."""
-    path = Path(path)
+    path = as_path(path)
     if not path.exists():
         raise MissingArtifactError(str(path), process)
     lines = path.read_text().splitlines()

@@ -17,6 +17,7 @@ import numpy as np
 from repro.errors import DataBlockError
 from repro.formats.common import (
     Header,
+    as_path,
     block_line_count,
     format_fixed_block,
     parse_fixed_block,
@@ -83,7 +84,7 @@ def write_response(path: Path | str, record: ResponseRecord) -> None:
             values = record.quantity(name)[d_idx]
             parts.append(f"SERIES-BLOCK: {name}{d_idx} {values.shape[0]}")
             parts.append(format_fixed_block(values).rstrip("\n"))
-    Path(path).write_text("\n".join(parts) + "\n")
+    as_path(path).write_text("\n".join(parts) + "\n")
 
 
 def read_response(path: Path | str, *, process: str | None = None) -> ResponseRecord:

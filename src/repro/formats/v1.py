@@ -17,6 +17,7 @@ from repro.errors import DataBlockError, HeaderError
 from repro.formats.common import (
     COMPONENTS,
     Header,
+    as_path,
     block_line_count,
     format_fixed_block,
     parse_fixed_block,
@@ -97,7 +98,7 @@ def write_v1(path: Path | str, record: RawRecord) -> None:
         values = record.components[comp]
         parts.append(f"COMPONENT-BLOCK: {comp} {values.shape[0]}")
         parts.append(format_fixed_block(values).rstrip("\n"))
-    Path(path).write_text("\n".join(parts) + "\n")
+    as_path(path).write_text("\n".join(parts) + "\n")
 
 
 def read_v1(path: Path | str, *, process: str | None = None) -> RawRecord:
@@ -130,7 +131,7 @@ def write_component_v1(path: Path | str, record: ComponentRecord) -> None:
     parts = record.header.lines("V1 COMPONENT")
     parts.append("DATA")
     parts.append(format_fixed_block(record.acceleration).rstrip("\n"))
-    Path(path).write_text("\n".join(parts) + "\n")
+    as_path(path).write_text("\n".join(parts) + "\n")
 
 
 def read_component_v1(path: Path | str, *, process: str | None = None) -> ComponentRecord:

@@ -18,6 +18,7 @@ from repro.dsp.peak import PeakValues
 from repro.errors import DataBlockError
 from repro.formats.common import (
     Header,
+    as_path,
     block_line_count,
     format_fixed_block,
     parse_fixed_block,
@@ -89,7 +90,7 @@ def write_v2(path: Path | str, record: CorrectedRecord) -> None:
         values = record.series[name]
         parts.append(f"SERIES-BLOCK: {name} {values.shape[0]}")
         parts.append(format_fixed_block(values).rstrip("\n"))
-    Path(path).write_text("\n".join(parts) + "\n")
+    as_path(path).write_text("\n".join(parts) + "\n")
 
 
 def read_v2(path: Path | str, *, process: str | None = None) -> CorrectedRecord:

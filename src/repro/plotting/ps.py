@@ -103,5 +103,6 @@ class PostScriptCanvas:
 
     def save(self, path: Path | str) -> None:
         """Write the document to disk and finish the canvas."""
-        Path(path).write_text(self.render())
+        target = path if isinstance(path, Path) else Path(path)
+        target.write_text(self.render())
         self._finished = True

@@ -1,0 +1,132 @@
+"""Runtime audit machinery: classification, scopes, conflict detection."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.audit import audit_findings, classify_path, conflict_findings
+from repro.analysis.model import ERROR
+from repro.core import auditing
+from repro.core.auditing import AUDIT_DIR, current_scope, unit_scope
+
+
+STATIONS = ["ABCD", "EFGH"]
+
+
+class TestClassifyPath:
+    def test_simple_work_files(self):
+        assert classify_path("work/flags.dat") == ("artifact", "flags")
+        assert classify_path("work/filter.par") == ("artifact", "filter_params")
+        assert classify_path("work/maxvals2.dat") == ("artifact", "maxvals2")
+
+    def test_raw_input(self):
+        assert classify_path("input/ABCD.v1") == ("artifact", "raw_v1")
+
+    def test_component_suffixes(self):
+        assert classify_path("work/ABCDl.v1") == ("artifact", "comp_v1")
+        assert classify_path("work/ABCDt.v2") == ("artifact", "comp_v2")
+        assert classify_path("work/ABCDv.f") == ("artifact", "comp_f")
+        assert classify_path("work/ABCDl.r") == ("artifact", "comp_r")
+        assert classify_path("work/ABCDl2A.gem") == ("artifact", "gem")
+
+    def test_plots_disambiguated_by_station_list(self):
+        assert classify_path("work/ABCD.ps", STATIONS) == ("artifact", "plot_acc")
+        assert classify_path("work/ABCDf.ps", STATIONS) == ("artifact", "plot_fourier")
+        assert classify_path("work/ABCDr.ps", STATIONS) == ("artifact", "plot_response")
+
+    def test_transients(self):
+        assert classify_path("work/tmp/iv_0/anything")[0] == "transient"
+        assert classify_path("work/ABCDl.max")[0] == "transient"
+        assert classify_path("work/tool.cfg")[0] == "transient"
+        assert classify_path("work/_wf_ABCD.par")[0] == "transient"
+
+    def test_unknown(self):
+        assert classify_path("elsewhere/x") == ("unknown", None)
+        assert classify_path("work/strange.bin") == ("unknown", None)
+
+
+class TestUnitScope:
+    def test_outermost_scope_wins(self):
+        with unit_scope("P4", "ABCD"):
+            with unit_scope("P3", "EFGH"):
+                assert current_scope() == ("P4", "ABCD")
+        assert current_scope() is None
+
+    def test_fork_inherited_scope_counts_as_absent(self, monkeypatch):
+        """A scope carried across os.fork() must not mask worker scopes."""
+        with unit_scope("P3", "-"):
+            assert current_scope() == ("P3", "-")
+            # Simulate being a freshly forked child: same context, new pid.
+            monkeypatch.setattr(auditing.os, "getpid", lambda: -1)
+            assert current_scope() is None
+            with unit_scope("P16", "ABCDl"):
+                assert current_scope() == ("P16", "ABCDl")
+            monkeypatch.undo()
+            assert current_scope() == ("P3", "-")
+
+
+def _write_events(root: Path, events: list[dict]) -> None:
+    log_dir = root / AUDIT_DIR
+    log_dir.mkdir(parents=True, exist_ok=True)
+    with open(log_dir / "events-1-1.jsonl", "w") as fh:
+        for event in events:
+            fh.write(json.dumps({"worker": "1:1", "t": 0.0, **event}) + "\n")
+
+
+class TestConflictDetection:
+    def test_two_units_writing_one_file_conflict(self, tmp_path: Path):
+        _write_events(tmp_path, [
+            {"path": "work/ABCDl.v2", "op": "write", "process": "P4", "unit": "ABCD"},
+            {"path": "work/ABCDl.v2", "op": "write", "process": "P4", "unit": "EFGH"},
+        ])
+        findings = conflict_findings(tmp_path)
+        assert len(findings) == 1
+        assert "conflicting concurrent access" in findings[0].message
+
+    def test_driver_scope_is_barrier_ordered(self, tmp_path: Path):
+        _write_events(tmp_path, [
+            {"path": "work/maxvals.dat", "op": "write", "process": "P4", "unit": "ABCD"},
+            {"path": "work/maxvals.dat", "op": "write", "process": "P4", "unit": "-"},
+        ])
+        assert conflict_findings(tmp_path) == []
+
+    def test_same_stage_processes_conflict(self, tmp_path: Path):
+        # P0 and P1 share stage I; a shared write would be a race.
+        _write_events(tmp_path, [
+            {"path": "work/flags.dat", "op": "write", "process": "P0", "unit": "-"},
+            {"path": "work/flags.dat", "op": "read", "process": "P1", "unit": "-"},
+        ])
+        assert len(conflict_findings(tmp_path)) == 1
+
+    def test_cross_stage_processes_are_ordered(self, tmp_path: Path):
+        _write_events(tmp_path, [
+            {"path": "work/ABCDl.v2", "op": "write", "process": "P4", "unit": "ABCD"},
+            {"path": "work/ABCDl.v2", "op": "read", "process": "P7", "unit": "ABCD"},
+        ])
+        assert conflict_findings(tmp_path) == []
+
+    def test_reads_never_conflict(self, tmp_path: Path):
+        _write_events(tmp_path, [
+            {"path": "work/filter.par", "op": "read", "process": "P4", "unit": "ABCD"},
+            {"path": "work/filter.par", "op": "read", "process": "P4", "unit": "EFGH"},
+        ])
+        assert conflict_findings(tmp_path) == []
+
+
+class TestAuditFindings:
+    def test_undeclared_observed_access_is_error(self, tmp_path: Path):
+        # P4 declares no gem write.
+        _write_events(tmp_path, [
+            {"path": "work/ABCDl2A.gem", "op": "write", "process": "P4", "unit": "ABCD"},
+        ])
+        findings = audit_findings(tmp_path, STATIONS)
+        assert any(
+            f.severity == ERROR and f.process == "P4" and "gem" in f.message
+            for f in findings
+        )
+
+    def test_empty_log_is_reported(self, tmp_path: Path):
+        _write_events(tmp_path, [])
+        findings = audit_findings(tmp_path, STATIONS)
+        assert any("no audit events" in f.message for f in findings)

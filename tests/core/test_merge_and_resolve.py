@@ -1,0 +1,45 @@
+"""Regression tests for merge_max_files and _resolve_reads edge cases."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.dependencies import build_process_graph
+from repro.core.processes.common import merge_max_files
+from repro.errors import DependencyError
+
+
+class TestMergeMaxFiles:
+    def test_no_parts_writes_nothing(self, tmp_path: Path):
+        merge_max_files(tmp_path, "maxvals.dat")
+        assert not (tmp_path / "maxvals.dat").exists()
+
+    def test_parts_merge_sorted_with_trailing_newline(self, tmp_path: Path):
+        (tmp_path / "Bt.max").write_text("b-line\n")
+        (tmp_path / "Al.max").write_text("a-line")
+        merge_max_files(tmp_path, "maxvals.dat")
+        assert (tmp_path / "maxvals.dat").read_text() == "a-line\nb-line\n"
+        assert list(tmp_path.glob("*.max")) == []
+
+    def test_merge_is_idempotent_on_result(self, tmp_path: Path):
+        (tmp_path / "Al.max").write_text("x")
+        merge_max_files(tmp_path, "maxvals.dat")
+        before = (tmp_path / "maxvals.dat").read_text()
+        # A second merge with no parts must not clobber the result.
+        merge_max_files(tmp_path, "maxvals.dat")
+        assert (tmp_path / "maxvals.dat").read_text() == before
+
+
+class TestResolveReads:
+    def test_unproducible_version_raises(self):
+        # P6 reads acc_meta#1 but this subset only writes acc_meta#2:
+        # the read can be neither satisfied nor treated as external.
+        with pytest.raises(DependencyError, match="acc_meta"):
+            build_process_graph([14, 6])
+
+    def test_external_inputs_still_resolve(self):
+        # A subset that never writes an identity reads it externally.
+        graph = build_process_graph([16])
+        assert set(graph.nodes) == {16}

@@ -1,0 +1,57 @@
+"""Property-based tests for the dependency analysis."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dependencies import build_process_graph, parallelizable_sets
+from repro.errors import DependencyError
+from repro.core.registry import OPTIMIZED_ORDER, ORIGINAL_ORDER
+
+
+def subsets(order):
+    """Non-empty subsequences of a process order."""
+    return st.lists(
+        st.sampled_from(list(order)), min_size=1, max_size=len(order), unique=True
+    ).map(lambda pids: [p for p in order if p in pids])
+
+
+@given(subsets(OPTIMIZED_ORDER) | subsets(ORIGINAL_ORDER))
+@settings(max_examples=120, deadline=None)
+def test_parallelizable_sets_layers_are_antichains(pids):
+    try:
+        graph = build_process_graph(pids)
+    except DependencyError:
+        # Some subsets read artifact versions they do not produce and
+        # cannot resolve externally; those are rejected by design.
+        assume(False)
+    layers = parallelizable_sets(pids)
+
+    # The layers partition the subset.
+    flat = [pid for layer in layers for pid in layer]
+    assert sorted(flat) == sorted(pids)
+    assert len(flat) == len(set(flat))
+
+    # No dependency edge inside a layer (each layer is an antichain) …
+    for layer in layers:
+        members = set(layer)
+        for a in layer:
+            for b in layer:
+                if a != b:
+                    assert not graph.has_edge(a, b), (a, b, members)
+
+    # … and every edge points from an earlier layer to a later one.
+    index = {pid: k for k, layer in enumerate(layers) for pid in layer}
+    for a, b in graph.edges:
+        assert index[a] < index[b], (a, b)
+
+
+@given(subsets(OPTIMIZED_ORDER))
+@settings(max_examples=60, deadline=None)
+def test_full_order_prefixes_always_resolve(pids):
+    # Prefixes of the optimized order always carry their own inputs
+    # (or resolve them as external), so the graph must always build.
+    prefix = list(OPTIMIZED_ORDER[: len(pids)])
+    graph = build_process_graph(prefix)
+    assert set(graph.nodes) == set(prefix)
