@@ -71,6 +71,12 @@ def _build_process_parser() -> argparse.ArgumentParser:
         "the logs against the registry declarations afterwards "
         "(exit 1 on undeclared or conflicting accesses)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="collect run metrics (chunks, tasks, I/O bytes, data points) "
+        "and write them to FILE as Prometheus text plus a .json sibling",
+    )
     return parser
 
 
@@ -91,6 +97,10 @@ def main_process(argv: list[str] | None = None) -> int:
         from repro.observability.tracer import Tracer
 
         ctx.tracer = Tracer()
+    if args.metrics:
+        from repro.observability.metrics import MetricsRegistry
+
+        ctx.metrics = MetricsRegistry()
     if args.generate_event:
         from repro.bench.workloads import materialize, scaled_workload
         from repro.synth.events import paper_event
@@ -106,14 +116,28 @@ def main_process(argv: list[str] | None = None) -> int:
     if args.audit:
         ctx.audit = True
     impl = implementation_by_name(args.implementation)()
-    result = impl.run(ctx)
+    resources = None
+    if args.trace:
+        from repro.observability.resources import ResourceSampler
+
+        sampler = ResourceSampler(tracer=ctx.tracer)
+        with sampler:
+            result = impl.run(ctx)
+        resources = sampler.log() if len(sampler.log()) else None
+    else:
+        result = impl.run(ctx)
     for line in result.summary_lines():
         print(line)
     if args.trace and result.trace is not None:
         from repro.observability.export import write_chrome_trace
 
-        write_chrome_trace(args.trace, result.trace)
+        write_chrome_trace(args.trace, result.trace, resources=resources)
         print(f"trace written to {args.trace}")
+    if args.metrics:
+        from repro.observability.export import write_metrics
+
+        text_path, json_path = write_metrics(args.metrics, ctx.metrics, trace=result.trace)
+        print(f"metrics written to {text_path} and {json_path}")
     if args.audit:
         from repro.analysis.audit import audit_findings
         from repro.analysis.model import ERROR, Report
@@ -304,6 +328,12 @@ def _build_bulletin_parser() -> argparse.ArgumentParser:
         metavar="FILE.JSON",
         help="record one span trace across all events (Chrome Trace Event JSON)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="collect metrics across all events and write them to FILE as "
+        "Prometheus text plus a .json sibling",
+    )
     return parser
 
 
@@ -319,6 +349,11 @@ def main_bulletin(argv: list[str] | None = None) -> int:
         from repro.observability.tracer import Tracer
 
         tracer = Tracer()
+    metrics = None
+    if args.metrics:
+        from repro.observability.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
     runner = BatchRunner(
         implementation=implementation_by_name(args.implementation)(),
         root=Path(args.root),
@@ -326,6 +361,7 @@ def main_bulletin(argv: list[str] | None = None) -> int:
         response_config=ResponseSpectrumConfig(periods=default_periods(args.periods)),
         parallel=ParallelSettings(num_workers=args.workers),
         tracer=tracer,
+        metrics=metrics,
     )
     bulletin = runner.run(events, title=args.title)
     print(bulletin.render())
@@ -337,6 +373,12 @@ def main_bulletin(argv: list[str] | None = None) -> int:
 
         write_chrome_trace(args.trace, tracer.trace())
         print(f"trace written to {args.trace}")
+    if metrics is not None:
+        from repro.observability.export import write_metrics
+
+        trace = tracer.trace() if tracer is not None else None
+        text_path, json_path = write_metrics(args.metrics, metrics, trace=trace)
+        print(f"metrics written to {text_path} and {json_path}")
     return 0
 
 

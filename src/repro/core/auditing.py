@@ -164,7 +164,31 @@ def _writer(root: str):
     return writer
 
 
-def record(root: Path | str, rel_path: str, op: str) -> None:
+#: :func:`repro.observability.metrics.record_io`, bound lazily — this
+#: module is a leaf the whole pipeline imports, the observability
+#: package is not.
+_record_io = None
+
+
+def _artifact_class(rel_path: str) -> str:
+    """Metric label grouping artifacts by extension (``v1``, ``max``...)."""
+    name = rel_path.rsplit("/", 1)[-1]
+    if "." in name:
+        return name.rsplit(".", 1)[-1] or "other"
+    return "other"
+
+
+def _metrics_io(rel_path: str, op: str, nbytes: int, count_access: bool = True) -> None:
+    """Fold one access into the run's metrics registry, if one is live."""
+    global _record_io
+    if _record_io is None:
+        from repro.observability.metrics import record_io
+
+        _record_io = record_io
+    _record_io(op, _artifact_class(rel_path), nbytes, count_access=count_access)
+
+
+def record(root: Path | str, rel_path: str, op: str, nbytes: int | None = None) -> None:
     """Append one access event (no-op unless ``root`` is audited)."""
     key = str(root)
     if key not in _ACTIVE:
@@ -180,6 +204,9 @@ def record(root: Path | str, rel_path: str, op: str) -> None:
         "worker": f"{os.getpid()}:{threading.get_ident()}",
         "t": time.time(),
     }
+    if nbytes is not None:
+        event["bytes"] = nbytes
+    _metrics_io(rel_path, op, nbytes or 0)
     try:
         _writer(key).write(json.dumps(event) + "\n")
     except OSError:  # pragma: no cover - a dead log never fails the run
@@ -230,23 +257,55 @@ class AuditedPath(_BASE):
 
     __slots__ = ()
 
-    def _audit(self, op: str) -> None:
+    def _audit(self, op: str, nbytes: int | None = None) -> None:
         text = str(self)
         for root in _ACTIVE:
             if text.startswith(root + os.sep):
-                record(root, text[len(root) + 1 :].replace(os.sep, "/"), op)
+                record(root, text[len(root) + 1 :].replace(os.sep, "/"), op, nbytes=nbytes)
                 return
+
+    def _count_written(self, nbytes: int) -> None:
+        """Metrics-only byte count for a write whose access event was
+        already logged when :meth:`open` ran inside ``write_text``/
+        ``write_bytes``."""
+        text = str(self)
+        for root in _ACTIVE:
+            if text.startswith(root + os.sep):
+                rel = text[len(root) + 1 :].replace(os.sep, "/")
+                if not rel.startswith(AUDIT_DIR):
+                    _metrics_io(rel, "write", nbytes, count_access=False)
+                return
+
+    def _read_size(self) -> int | None:
+        try:
+            return self.stat().st_size
+        except OSError:
+            return None
 
     def open(self, mode: str = "r", buffering: int = -1, encoding: str | None = None,
              errors: str | None = None, newline: str | None = None):
+        # Read sizes are known up front (the pipeline reads files
+        # whole); write sizes arrive via the write_text/write_bytes
+        # hooks once the payload exists.
         if "+" in mode:
-            self._audit("read")
+            self._audit("read", nbytes=self._read_size())
             self._audit("write")
         elif any(flag in mode for flag in "wax"):
             self._audit("write")
         else:
-            self._audit("read")
+            self._audit("read", nbytes=self._read_size())
         return super().open(mode, buffering, encoding, errors, newline)
+
+    def write_text(self, data: str, encoding: str | None = None,
+                   errors: str | None = None, newline: str | None = None) -> int:
+        written = super().write_text(data, encoding, errors, newline)
+        self._count_written(written)
+        return written
+
+    def write_bytes(self, data) -> int:
+        written = super().write_bytes(data)
+        self._count_written(written)
+        return written
 
     def unlink(self, missing_ok: bool = False) -> None:
         self._audit("delete")

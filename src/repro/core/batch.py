@@ -151,6 +151,9 @@ class BatchRunner:
     #: Shared tracer: one trace spanning every event's run, with a
     #: ``batch`` root span over the per-event ``run`` spans.
     tracer: Tracer | None = None
+    #: Shared metrics registry: every event's run merges into it (see
+    #: :mod:`repro.observability.metrics`).
+    metrics: "object | None" = None
 
     def run(self, events: list[EventSpec], *, title: str = "Seismic activity bulletin") -> Bulletin:
         """Generate, process and summarize every event."""
@@ -169,6 +172,7 @@ class BatchRunner:
             ctx = RunContext.for_directory(
                 Path(self.root) / event.event_id,
                 tracer=self.tracer,
+                metrics=self.metrics,  # type: ignore[arg-type]
                 **(
                     {"response_config": self.response_config}
                     if self.response_config is not None

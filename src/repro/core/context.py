@@ -21,6 +21,7 @@ from repro.parallel.backend import Backend, resolve_workers
 from repro.spectra.response import ResponseSpectrumConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observability.metrics import MetricsRegistry
     from repro.observability.tracer import Tracer
 
 
@@ -98,6 +99,14 @@ class RunContext:
     #: registry with :func:`repro.analysis.audit.audit_findings`.
     #: Excluded from equality — auditing never changes artifacts.
     audit: bool = field(default=False, compare=False)
+    #: Optional run-metrics registry (see
+    #: :mod:`repro.observability.metrics`); the runtime and stage
+    #: executors count chunks, tasks, I/O bytes and data points into
+    #: it.  Setting it implicitly enables the artifact audit hooks for
+    #: the run (they are the byte-count source), without the exit-time
+    #: conformance check that :attr:`audit` requests.
+    #: Excluded from equality — metrics never change artifacts.
+    metrics: "MetricsRegistry | None" = field(default=None, repr=False, compare=False)
 
     @classmethod
     def for_directory(cls, root: Path | str, **kwargs: object) -> "RunContext":

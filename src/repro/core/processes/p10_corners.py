@@ -86,6 +86,7 @@ def run_p10(ctx: RunContext, *, parallel_inner: bool = False) -> None:
                 num_workers=min(ctx.parallel.workers, len(f_names)),
                 tracer=ctx.tracer,
                 span="analyze_component",
+                metrics=ctx.metrics,
             )
         else:
             results = [

@@ -110,10 +110,12 @@ class PipelineImplementation(ABC):
 
     def run(self, ctx: RunContext) -> PipelineResult:
         """Run end-to-end against the context's workspace."""
-        if ctx.audit:
+        if ctx.audit or ctx.metrics is not None:
             from repro.core.artifacts import Workspace
             from repro.core.auditing import enable_auditing
 
+            # Metrics piggyback on the audit hooks for per-artifact
+            # byte counts, so a metrics-carrying run audits too.
             enable_auditing(ctx.workspace.root)
             # Rebuild so the workspace picks up the fresh marker (its
             # audited flag is fixed at construction time).
@@ -145,7 +147,13 @@ class PipelineImplementation(ABC):
             try:
                 with maybe_span(tracer, self.name, kind="implementation",
                                 implementation=self.name):
-                    self.execute(ctx, result)
+                    if ctx.metrics is not None:
+                        from repro.observability.metrics import collecting
+
+                        with collecting(ctx.metrics):
+                            self.execute(ctx, result)
+                    else:
+                        self.execute(ctx, result)
             except Exception:
                 logger.exception("%s: run failed after %.3f s", self.name,
                                  time.perf_counter() - start)
@@ -153,6 +161,21 @@ class PipelineImplementation(ABC):
             result.total_s = time.perf_counter() - start
         if run_span is not None and tracer is not None:
             result.trace = tracer.subtree(run_span)
+        if ctx.metrics is not None:
+            ctx.metrics.gauge(
+                "repro_run_total_seconds",
+                help="End-to-end wall-clock of the run.",
+                implementation=self.name,
+            ).set_max(result.total_s)
+            if not ctx.audit:
+                # Metrics-only runs enabled the audit hooks just for
+                # byte counts; drop the marker so later runs against
+                # this workspace are not audited by surprise.
+                from repro.core.artifacts import Workspace
+                from repro.core.auditing import disable_auditing
+
+                disable_auditing(ctx.workspace.root)
+                ctx.workspace = Workspace(ctx.workspace.root)
         logger.info("%s: finished in %.3f s", self.name, result.total_s)
         return result
 
@@ -167,3 +190,7 @@ class PipelineImplementation(ABC):
         result.processes.append(
             ProcessTiming(pid=pid, name=spec.name, stage=stage, duration_s=elapsed)
         )
+        if ctx.metrics is not None:
+            from repro.observability.metrics import record_process
+
+            record_process(pid, elapsed)

@@ -46,6 +46,10 @@ class _SequentialBase(PipelineImplementation):
             result.processes.append(
                 ProcessTiming(pid=pid, name=spec.name, stage=spec.label, duration_s=elapsed)
             )
+            if ctx.metrics is not None:
+                from repro.observability.metrics import record_process
+
+                record_process(pid, elapsed)
             result.stage_durations[spec.label] = (
                 stage_span.duration_s if stage_span is not None else elapsed
             )

@@ -126,12 +126,17 @@ class StagedImplementationBase(PipelineImplementation):
         else:
             raise PipelineError(f"unknown stage strategy {strategy!r}")
 
-    def _record(self, result: PipelineResult, stage: StageSpec, pid: int, duration: float) -> None:
+    def _record(self, result: PipelineResult, stage: StageSpec, pid: int, duration: float,
+                ctx: RunContext | None = None) -> None:
         result.processes.append(
             ProcessTiming(
                 pid=pid, name=PROCESSES[pid].name, stage=stage.name, duration_s=duration
             )
         )
+        if ctx is not None and ctx.metrics is not None:
+            from repro.observability.metrics import record_process
+
+            record_process(pid, duration)
 
     # -- seq ---------------------------------------------------------------
 
@@ -142,7 +147,7 @@ class StagedImplementationBase(PipelineImplementation):
                 pid=pid, stage=stage.name,
             ):
                 _, elapsed = _timed(pid, ctx)
-            self._record(result, stage, pid, elapsed)
+            self._record(result, stage, pid, elapsed, ctx=ctx)
 
     # -- tasks (stages I, II, XI) -------------------------------------------
 
@@ -151,12 +156,13 @@ class StagedImplementationBase(PipelineImplementation):
         # stages; we cap at the number of member processes.
         workers = min(ctx.parallel.workers, len(stage.processes))
         with TaskGroup(
-            backend=ctx.parallel.task_backend, num_workers=workers, tracer=ctx.tracer
+            backend=ctx.parallel.task_backend, num_workers=workers, tracer=ctx.tracer,
+            metrics=ctx.metrics,
         ) as tg:
             for pid in stage.processes:
                 tg.task(_timed, pid, ctx, span_name=PROCESSES[pid].name)
         for pid, elapsed in tg.results:
-            self._record(result, stage, pid, elapsed)
+            self._record(result, stage, pid, elapsed, ctx=ctx)
 
     # -- loops ---------------------------------------------------------------
 
@@ -179,6 +185,7 @@ class StagedImplementationBase(PipelineImplementation):
                     executor=self._pools.get(ctx.parallel.loop_backend),
                     tracer=ctx.tracer,
                     span="separate_station",
+                    metrics=ctx.metrics,
                 )
             elif pid == 10:
                 PROCESSES[10].run(ctx, parallel_inner=True)  # type: ignore[call-arg]
@@ -193,6 +200,7 @@ class StagedImplementationBase(PipelineImplementation):
                     executor=self._pools.get(ctx.parallel.loop_backend),
                     tracer=ctx.tracer,
                     span="response_trace",
+                    metrics=ctx.metrics,
                 )
             elif pid == 19:
                 files = interleaved_files(ctx)
@@ -205,10 +213,11 @@ class StagedImplementationBase(PipelineImplementation):
                     executor=self._pools.get(ctx.parallel.loop_backend),
                     tracer=ctx.tracer,
                     span="gem_export",
+                    metrics=ctx.metrics,
                 )
             else:
                 raise PipelineError(f"no loop strategy defined for P{pid}")
-        self._record(result, stage, pid, time.perf_counter() - start)
+        self._record(result, stage, pid, time.perf_counter() - start, ctx=ctx)
 
     # -- temp folders (stages IV, V, VIII) ------------------------------------
 
@@ -246,10 +255,11 @@ class StagedImplementationBase(PipelineImplementation):
                 executor=self._pools.get(ctx.parallel.tool_backend),
                 tracer=ctx.tracer,
                 span="staged_instance",
+                metrics=ctx.metrics,
             )
             if maxvals_name is not None:
                 merge_max_files(ctx.workspace.work_dir, maxvals_name)
-        self._record(result, stage, pid, time.perf_counter() - start)
+        self._record(result, stage, pid, time.perf_counter() - start, ctx=ctx)
 
 
 def _response_unit(workspace_root: str, config: object, pair: tuple[str, str]) -> str:

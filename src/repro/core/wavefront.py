@@ -205,6 +205,7 @@ class WavefrontParallel(PipelineImplementation):
                 backend=ctx.parallel.task_backend,
                 num_workers=min(ctx.parallel.workers, 2),
                 tracer=tracer,
+                metrics=ctx.metrics,
             ) as tg:
                 tg.task(run_p00, ctx)
                 tg.task(run_p01, ctx)
@@ -212,6 +213,7 @@ class WavefrontParallel(PipelineImplementation):
                 backend=ctx.parallel.task_backend,
                 num_workers=min(ctx.parallel.workers, 4),
                 tracer=tracer,
+                metrics=ctx.metrics,
             ) as tg:
                 tg.task(run_p02, ctx)
                 tg.task(run_p05, ctx)
@@ -238,6 +240,7 @@ class WavefrontParallel(PipelineImplementation):
                 num_workers=ctx.parallel.workers,
                 tracer=tracer,
                 span="station_pipeline",
+                metrics=ctx.metrics,
             )
             elapsed = time.perf_counter() - start
         result.stage_durations["wavefront"] = (

@@ -30,6 +30,24 @@ _FIELD_WIDTH = 15
 _PER_LINE = 5
 _FMT = "%15.7E"
 
+#: :func:`repro.observability.metrics.record_points`, bound lazily —
+#: the formats package is a leaf the observability package sits above.
+_record_points = None
+
+
+def count_points(npts: int, process: str | None = None) -> None:
+    """Credit ``npts`` time-series points to the reading pipeline process.
+
+    No-op unless the run carries a metrics registry; the ``process``
+    label defaults to the active audit scope's attribution.
+    """
+    global _record_points
+    if _record_points is None:
+        from repro.observability.metrics import record_points
+
+        _record_points = record_points
+    _record_points(npts, process)
+
 
 def format_fixed_block(values: np.ndarray) -> str:
     """Render a 1-D array as fixed-width E15.7 lines, 5 values per line."""

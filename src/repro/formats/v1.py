@@ -19,6 +19,7 @@ from repro.formats.common import (
     Header,
     as_path,
     block_line_count,
+    count_points as _count_points,
     format_fixed_block,
     parse_fixed_block,
     parse_header,
@@ -123,7 +124,9 @@ def read_v1(path: Path | str, *, process: str | None = None) -> RawRecord:
         block = lines[i : i + nlines]
         i += nlines
         components[comp] = parse_fixed_block(block, count, path=str(path))
-    return RawRecord(header=header, components=components)
+    record = RawRecord(header=header, components=components)
+    _count_points(record.total_points, process)
+    return record
 
 
 def write_component_v1(path: Path | str, record: ComponentRecord) -> None:
@@ -140,4 +143,6 @@ def read_component_v1(path: Path | str, *, process: str | None = None) -> Compon
     header, i = parse_header(lines, "V1 COMPONENT", path=str(path))
     block = lines[i : i + block_line_count(header.npts)]
     acc = parse_fixed_block(block, header.npts, path=str(path))
-    return ComponentRecord(header=header, acceleration=acc)
+    record = ComponentRecord(header=header, acceleration=acc)
+    _count_points(record.header.npts, process)
+    return record

@@ -20,6 +20,7 @@ from repro.formats.common import (
     Header,
     as_path,
     block_line_count,
+    count_points as _count_points,
     format_fixed_block,
     parse_fixed_block,
     parse_header,
@@ -117,7 +118,7 @@ def read_v2(path: Path | str, *, process: str | None = None) -> CorrectedRecord:
     missing = [name for name in _SERIES if name not in series]
     if missing:
         raise DataBlockError(f"{path}: missing series blocks {missing}")
-    return CorrectedRecord(
+    record = CorrectedRecord(
         header=header_obj,
         acceleration=series["ACCELERATION"],
         velocity=series["VELOCITY"],
@@ -128,6 +129,8 @@ def read_v2(path: Path | str, *, process: str | None = None) -> CorrectedRecord:
         f_pass_high=filt[2],
         f_stop_high=filt[3],
     )
+    _count_points(3 * record.header.npts, process)
+    return record
 
 
 def _parse_v2_header(

@@ -22,6 +22,20 @@ from repro.observability.export import (
     to_prometheus_text,
     trace_placements,
     write_chrome_trace,
+    write_metrics,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+)
+from repro.observability.resources import (
+    ResourceLog,
+    ResourceSample,
+    ResourceSampler,
+    resources_available,
 )
 
 __all__ = [
@@ -35,4 +49,14 @@ __all__ = [
     "to_prometheus_text",
     "trace_placements",
     "pipeline_result_view",
+    "write_metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collecting",
+    "ResourceLog",
+    "ResourceSample",
+    "ResourceSampler",
+    "resources_available",
 ]

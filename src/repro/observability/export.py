@@ -57,12 +57,18 @@ def _stage_of(by_id: dict[int, Span], span: Span) -> str:
     return str(span.attributes.get("stage", ""))
 
 
-def to_chrome_trace(trace: Trace) -> dict[str, Any]:
+def to_chrome_trace(trace: Trace, resources: Any = None) -> dict[str, Any]:
     """Render a trace in the Chrome Trace Event JSON format.
 
     Every span becomes one ``"ph": "X"`` (complete) event; workers map
     to ``tid`` rows named via ``thread_name`` metadata events.  Load
     the written file in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+    A :class:`~repro.observability.resources.ResourceLog` adds counter
+    tracks (``"ph": "C"``): per-core busy fractions, RSS, open fds and
+    thread count, on the same timeline as the spans — the samples were
+    timestamped with the tracer's clock, so the core-utilization curve
+    lines up under the stage bars.
     """
     workers = _worker_ids(trace.spans)
     events: list[dict[str, Any]] = []
@@ -91,6 +97,31 @@ def to_chrome_trace(trace: Trace) -> dict[str, Any]:
                 "args": args,
             }
         )
+    if resources is not None:
+        for sample in resources.samples:
+            ts = sample.t_s * 1e6
+            events.append(
+                {
+                    "ph": "C", "pid": 1, "tid": 0, "name": "cores_busy",
+                    "ts": ts,
+                    "args": {
+                        f"cpu{i}": round(u, 3) for i, u in enumerate(sample.per_core)
+                    },
+                }
+            )
+            events.append(
+                {
+                    "ph": "C", "pid": 1, "tid": 0, "name": "rss_mb",
+                    "ts": ts, "args": {"rss": round(sample.rss_bytes / 1e6, 2)},
+                }
+            )
+            events.append(
+                {
+                    "ph": "C", "pid": 1, "tid": 0, "name": "process_state",
+                    "ts": ts,
+                    "args": {"open_fds": sample.open_fds, "threads": sample.n_threads},
+                }
+            )
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -98,11 +129,11 @@ def to_chrome_trace(trace: Trace) -> dict[str, Any]:
     }
 
 
-def write_chrome_trace(path: Path | str, trace: Trace) -> Path:
+def write_chrome_trace(path: Path | str, trace: Trace, resources: Any = None) -> Path:
     """Write :func:`to_chrome_trace` output to ``path``; returns it."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_chrome_trace(trace), indent=1) + "\n")
+    path.write_text(json.dumps(to_chrome_trace(trace, resources=resources), indent=1) + "\n")
     return path
 
 
@@ -112,8 +143,13 @@ def _label_str(value: Any) -> str:
     return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def to_prometheus_text(trace: Trace) -> str:
-    """Flat Prometheus exposition-format dump of the trace aggregates."""
+def to_prometheus_text(trace: Trace, metrics: Any = None) -> str:
+    """Flat Prometheus exposition-format dump of the trace aggregates.
+
+    With a :class:`~repro.observability.metrics.MetricsRegistry`, its
+    counter/gauge/histogram families are appended after the span-derived
+    gauges, giving one scrape-shaped document for the whole run.
+    """
     lines: list[str] = []
 
     def gauge(name: str, help_text: str, samples: list[tuple[dict[str, Any], float]]) -> None:
@@ -171,7 +207,35 @@ def to_prometheus_text(trace: Trace) -> str:
         "Number of chunk/task/rank spans attributed to a stage.",
         [({"stage": stage}, float(n)) for stage, (n, _) in sorted(work.items())],
     )
-    return "\n".join(lines) + "\n"
+    text = "\n".join(lines) + "\n"
+    if metrics is not None:
+        text += metrics.to_prometheus_text()
+    return text
+
+
+def write_metrics(path: Path | str, metrics: Any, trace: Trace | None = None) -> tuple[Path, Path]:
+    """Write a merged registry as Prometheus text plus a JSON sibling.
+
+    ``path`` names the text file (a ``.json`` path is rewritten to
+    ``.prom``); the JSON twin lands next to it with a ``.json`` suffix
+    and carries :meth:`MetricsRegistry.to_dict` — the machine-readable
+    form the perf harness and tests consume.  With a ``trace``, the
+    text side also includes the span-derived gauges.  Returns
+    ``(text_path, json_path)``.
+    """
+    path = Path(path)
+    if path.suffix == ".json":
+        path = path.with_suffix(".prom")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = (
+        to_prometheus_text(trace, metrics=metrics)
+        if trace is not None
+        else metrics.to_prometheus_text()
+    )
+    path.write_text(text)
+    json_path = path.with_suffix(".json")
+    json_path.write_text(json.dumps(metrics.to_dict(), indent=1) + "\n")
+    return path, json_path
 
 
 def trace_placements(

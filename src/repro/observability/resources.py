@@ -1,0 +1,299 @@
+"""OS-level resource telemetry.
+
+The paper reasons about machine saturation — "the eight logical
+processors stay busy through stage IX" — which span wall-clock alone
+cannot show.  A :class:`ResourceSampler` thread reads ``/proc`` at a
+fixed interval and timestamps each :class:`ResourceSample` on the
+*span timeline* (the owning tracer's clock when one is supplied), so a
+sample at ``t`` can be laid directly against the spans open at ``t``:
+:meth:`ResourceLog.utilization_between` answers the stage-IX question
+numerically, and the Chrome-trace exporter renders the same samples as
+counter tracks above the span rows.
+
+Everything here degrades gracefully: on hosts without a ``/proc``
+(macOS, Windows) :func:`resources_available` is false and the sampler
+records nothing, but constructing and starting it stays safe.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+_PROC_STAT = "/proc/stat"
+_PROC_STATUS = "/proc/self/status"
+_PROC_FD = "/proc/self/fd"
+
+#: Core busy fraction above which we call the core "busy" when counting
+#: saturated cores in :meth:`ResourceLog.summary`.
+BUSY_CORE_THRESHOLD = 0.5
+
+
+def resources_available() -> bool:
+    """Whether this host exposes the ``/proc`` files we sample."""
+    return os.path.exists(_PROC_STAT) and os.path.exists(_PROC_STATUS)
+
+
+@dataclass
+class ResourceSample:
+    """One reading of the process and machine state.
+
+    ``t_s`` is an offset on the span timeline (tracer clock when the
+    sampler was given one).  ``per_core`` holds busy fractions in
+    [0, 1] per logical processor, measured over the interval since the
+    previous sample.
+    """
+
+    t_s: float
+    per_core: tuple[float, ...]
+    rss_bytes: int
+    open_fds: int
+    n_threads: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "t_s": self.t_s,
+            "per_core": list(self.per_core),
+            "rss_bytes": self.rss_bytes,
+            "open_fds": self.open_fds,
+            "n_threads": self.n_threads,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ResourceSample":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            t_s=float(data["t_s"]),
+            per_core=tuple(float(v) for v in data["per_core"]),
+            rss_bytes=int(data["rss_bytes"]),
+            open_fds=int(data["open_fds"]),
+            n_threads=int(data["n_threads"]),
+        )
+
+
+@dataclass
+class ResourceLog:
+    """A finished sequence of samples plus the interval that spaced them."""
+
+    interval_s: float
+    samples: list[ResourceSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "interval_s": self.interval_s,
+            "samples": [s.to_dict() for s in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ResourceLog":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            interval_s=float(data["interval_s"]),
+            samples=[ResourceSample.from_dict(s) for s in data.get("samples") or []],
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate view: peak RSS, core-utilization statistics.
+
+        ``max_busy_cores`` counts cores above
+        :data:`BUSY_CORE_THRESHOLD` in the single busiest sample — the
+        direct answer to "how many cores did we actually keep busy?".
+        """
+        if not self.samples:
+            return {
+                "n_samples": 0,
+                "n_cores": 0,
+                "peak_rss_bytes": 0,
+                "mean_utilization": 0.0,
+                "max_utilization": 0.0,
+                "max_busy_cores": 0,
+                "peak_open_fds": 0,
+                "peak_threads": 0,
+            }
+        means = [
+            sum(s.per_core) / len(s.per_core) if s.per_core else 0.0
+            for s in self.samples
+        ]
+        return {
+            "n_samples": len(self.samples),
+            "n_cores": max(len(s.per_core) for s in self.samples),
+            "peak_rss_bytes": max(s.rss_bytes for s in self.samples),
+            "mean_utilization": sum(means) / len(means),
+            "max_utilization": max(means),
+            "max_busy_cores": max(
+                sum(1 for u in s.per_core if u > BUSY_CORE_THRESHOLD)
+                for s in self.samples
+            ),
+            "peak_open_fds": max(s.open_fds for s in self.samples),
+            "peak_threads": max(s.n_threads for s in self.samples),
+        }
+
+    def utilization_between(self, t0: float, t1: float) -> dict[str, float]:
+        """Core-utilization statistics over samples with t0 <= t_s <= t1.
+
+        Pass a span's ``start_s`` / ``end_s`` to ask "were the cores
+        busy during this stage?".  Empty windows return zeros.
+        """
+        window = [s for s in self.samples if t0 <= s.t_s <= t1]
+        if not window:
+            return {"n_samples": 0, "mean_utilization": 0.0, "max_busy_cores": 0.0}
+        means = [
+            sum(s.per_core) / len(s.per_core) if s.per_core else 0.0 for s in window
+        ]
+        return {
+            "n_samples": len(window),
+            "mean_utilization": sum(means) / len(means),
+            "max_busy_cores": float(
+                max(
+                    sum(1 for u in s.per_core if u > BUSY_CORE_THRESHOLD)
+                    for s in window
+                )
+            ),
+        }
+
+
+def _read_core_ticks() -> list[tuple[int, int]]:
+    """Per-core (busy, total) jiffy totals from ``/proc/stat``."""
+    out: list[tuple[int, int]] = []
+    try:
+        with open(_PROC_STAT, encoding="ascii") as fh:
+            for line in fh:
+                if not line.startswith("cpu") or line[3] in (" ", "\t"):
+                    continue  # skip the aggregate "cpu " line
+                fields = [int(v) for v in line.split()[1:]]
+                total = sum(fields)
+                # idle + iowait are the idle classes; everything else is busy.
+                idle = fields[3] + (fields[4] if len(fields) > 4 else 0)
+                out.append((total - idle, total))
+    except OSError:
+        return []
+    return out
+
+
+def _read_rss_and_threads() -> tuple[int, int]:
+    """(RSS bytes, thread count) from ``/proc/self/status``."""
+    rss = 0
+    threads = 0
+    try:
+        with open(_PROC_STATUS, encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    rss = int(line.split()[1]) * 1024
+                elif line.startswith("Threads:"):
+                    threads = int(line.split()[1])
+    except OSError:
+        pass
+    return rss, threads
+
+
+def _count_open_fds() -> int:
+    try:
+        return len(os.listdir(_PROC_FD))
+    except OSError:
+        return 0
+
+
+class ResourceSampler:
+    """Background thread sampling ``/proc`` on a fixed interval.
+
+    Use as a context manager around the work being observed::
+
+        sampler = ResourceSampler(interval_s=0.05, tracer=ctx.tracer)
+        with sampler:
+            impl.run(ctx)
+        log = sampler.log()
+
+    When ``tracer`` is given, samples carry :meth:`Tracer.now` offsets
+    and line up with the trace's spans; otherwise they use a private
+    ``perf_counter`` zeroed at :meth:`start`.
+    """
+
+    def __init__(self, interval_s: float = 0.05, tracer: Any = None) -> None:
+        self.interval_s = float(interval_s)
+        self._tracer = tracer
+        self._samples: list[ResourceSample] = []
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._t0 = 0.0
+        self._prev_ticks: list[tuple[int, int]] = []
+
+    def _now(self) -> float:
+        if self._tracer is not None:
+            return float(self._tracer.now())
+        return time.perf_counter() - self._t0
+
+    def _sample_once(self) -> None:
+        ticks = _read_core_ticks()
+        per_core: list[float] = []
+        for i, (busy, total) in enumerate(ticks):
+            if i < len(self._prev_ticks):
+                prev_busy, prev_total = self._prev_ticks[i]
+                dt = total - prev_total
+                per_core.append((busy - prev_busy) / dt if dt > 0 else 0.0)
+            else:
+                per_core.append(0.0)
+        self._prev_ticks = ticks
+        rss, threads = _read_rss_and_threads()
+        self._samples.append(
+            ResourceSample(
+                t_s=self._now(),
+                per_core=tuple(min(1.0, max(0.0, u)) for u in per_core),
+                rss_bytes=rss,
+                open_fds=_count_open_fds(),
+                n_threads=threads,
+            )
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._sample_once()
+        self._sample_once()  # closing sample so short runs record something
+
+    def start(self) -> "ResourceSampler":
+        """Start sampling (no-op on hosts without ``/proc``)."""
+        if self._thread is not None or not resources_available():
+            return self
+        self._t0 = time.perf_counter()
+        self._stop.clear()
+        self._prev_ticks = _read_core_ticks()
+        self._thread = threading.Thread(
+            target=self._run, name="resource-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> ResourceLog:
+        """Stop sampling and return the finished :class:`ResourceLog`."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        return self.log()
+
+    def log(self) -> ResourceLog:
+        """The samples collected so far."""
+        return ResourceLog(interval_s=self.interval_s, samples=list(self._samples))
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def merge_logs(logs: Iterable[ResourceLog]) -> ResourceLog:
+    """Concatenate logs (e.g. per-repetition) into one, sorted by time."""
+    logs = list(logs)
+    samples = sorted(
+        (s for log in logs for s in log.samples), key=lambda s: s.t_s
+    )
+    interval = min((log.interval_s for log in logs), default=0.05)
+    return ResourceLog(interval_s=interval, samples=samples)

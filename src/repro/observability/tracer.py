@@ -55,11 +55,26 @@ class Span:
     duration_s: float
     worker: str
     attributes: dict[str, Any] = field(default_factory=dict)
+    #: Summed duration of direct children, filled in by
+    #: :meth:`Trace.annotate_self_times`.  An annotation, not part of
+    #: the span's identity or its serialized form.
+    child_duration_s: float = field(default=0.0, repr=False, compare=False)
 
     @property
     def end_s(self) -> float:
         """Offset of the span's end from the trace epoch."""
         return self.start_s + self.duration_s
+
+    @property
+    def self_time(self) -> float:
+        """Duration minus the (annotated) duration of direct children.
+
+        Meaningful after :meth:`Trace.annotate_self_times`; before
+        annotation it equals ``duration_s``.  Clamped at zero: children
+        measured in pool workers can overlap, so their sum may exceed
+        the parent's wall-clock.
+        """
+        return max(0.0, self.duration_s - self.child_duration_s)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation."""
@@ -114,6 +129,36 @@ class Trace:
         return sorted(
             (s for s in self.spans if s.parent_id == parent_id), key=lambda s: s.start_s
         )
+
+    def annotate_self_times(self) -> "Trace":
+        """Fill in every span's :attr:`Span.child_duration_s`.
+
+        After this, ``span.self_time`` is the span's own overhead: its
+        wall-clock minus the wall-clock spent inside direct children
+        (chunk dispatch, result merging, artifact bookkeeping...).
+        Returns ``self`` for chaining.
+        """
+        ids = {s.span_id for s in self.spans}
+        summed: dict[int, float] = {}
+        for span in self.spans:
+            span.child_duration_s = 0.0
+            if span.parent_id is not None and span.parent_id in ids:
+                summed[span.parent_id] = summed.get(span.parent_id, 0.0) + span.duration_s
+        for span in self.spans:
+            span.child_duration_s = summed.get(span.span_id, 0.0)
+        return self
+
+    def stage_self_times(self) -> dict[str, float]:
+        """Summed :attr:`Span.self_time` of the ``stage`` spans.
+
+        The part of each stage that is executor overhead rather than
+        measured process/chunk/task work.  Annotates first.
+        """
+        self.annotate_self_times()
+        out: dict[str, float] = {}
+        for span in self.by_kind("stage"):
+            out[span.name] = out.get(span.name, 0.0) + span.self_time
+        return out
 
     def stage_durations(self) -> dict[str, float]:
         """Summed duration of the ``stage`` spans, keyed by stage name.

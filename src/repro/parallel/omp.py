@@ -34,6 +34,7 @@ from repro.parallel.backend import Backend, resolve_workers
 from repro.parallel.chunks import Schedule, chunk_indices
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.observability.metrics import MetricsRegistry
     from repro.observability.tracer import Span, Tracer
 
 
@@ -74,52 +75,110 @@ def _run_chunk(func: Callable[[Any], Any], items: Sequence[Any], indices: range)
 
 
 def _run_chunk_traced(
-    func: Callable[[Any], Any], items: Sequence[Any], indices: range, epoch: float
-) -> tuple[list[Any], dict[str, Any]]:
+    func: Callable[[Any], Any], items: Sequence[Any], indices: range, epoch: float,
+    collect_shard: bool = False,
+) -> tuple[list[Any], dict[str, Any], dict[str, Any] | None]:
     """:func:`_run_chunk` plus a self-measured span record.
 
     Runs inside the worker — possibly in another process, where the
     tracer object does not exist — so the measurement travels back with
-    the results and the caller ingests it via ``Tracer.record``.
+    the results and the caller ingests it via ``Tracer.record``.  With
+    ``collect_shard``, a metrics window brackets the body and the
+    drained shard rides along for ``MetricsRegistry.merge`` (empty on
+    the thread backend, where the body wrote to the driver's registry
+    directly).
     """
+    shard = None
+    if collect_shard:
+        from repro.observability.metrics import begin_worker_window, drain_worker_shard
+
+        begin_worker_window()
     start_wall = time.time()
     t0 = time.perf_counter()
-    values = [func(items[i]) for i in indices]
+    try:
+        values = [func(items[i]) for i in indices]
+    finally:
+        if collect_shard:
+            shard = drain_worker_shard()
     return values, {
         "start_s": start_wall - epoch,
         "duration_s": time.perf_counter() - t0,
         "worker": _worker_label(),
-    }
+    }, shard
 
 
 def _run_task_traced(
-    func: Callable[..., Any], epoch: float, args: tuple, kwargs: dict
-) -> tuple[Any, dict[str, Any]]:
+    func: Callable[..., Any], epoch: float, args: tuple, kwargs: dict,
+    collect_shard: bool = False,
+) -> tuple[Any, dict[str, Any], dict[str, Any] | None]:
     """Run one task in a worker, returning its self-measured span record."""
+    shard = None
+    if collect_shard:
+        from repro.observability.metrics import begin_worker_window, drain_worker_shard
+
+        begin_worker_window()
     start_wall = time.time()
     t0 = time.perf_counter()
-    value = func(*args, **kwargs)
+    try:
+        value = func(*args, **kwargs)
+    finally:
+        if collect_shard:
+            shard = drain_worker_shard()
     return value, {
         "start_s": start_wall - epoch,
         "duration_s": time.perf_counter() - t0,
         "worker": _worker_label(),
-    }
+    }, shard
+
+
+def _record_chunk_metrics(
+    metrics: tuple, record: dict[str, Any], shard: dict[str, Any] | None, size: int
+) -> None:
+    """Fold one chunk's measurement (and worker shard) into the registry."""
+    registry, name, backend, schedule = metrics
+    registry.counter(
+        "repro_parallel_chunks_total",
+        help="Chunks scheduled by parallel_for, per loop span.",
+        span=name, backend=backend, schedule=schedule,
+    ).inc(1)
+    registry.counter(
+        "repro_parallel_items_total",
+        help="Loop items executed by parallel_for, per loop span.",
+        span=name,
+    ).inc(size)
+    registry.histogram(
+        "repro_parallel_chunk_duration_seconds",
+        help="Wall-clock per scheduled chunk.",
+        span=name,
+    ).observe(record["duration_s"])
+    registry.counter(
+        "repro_parallel_worker_busy_seconds_total",
+        help="Summed chunk/task wall-clock per worker.",
+        worker=record["worker"],
+    ).inc(record["duration_s"])
+    if shard:
+        registry.merge(shard)
 
 
 def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[range],
-           results: list[Any], trace: tuple | None = None) -> None:
+           results: list[Any], trace: tuple | None = None,
+           metrics: tuple | None = None) -> None:
     """Submit all chunks, wait, propagate the first failure.
 
     ``trace`` is ``(tracer, span_name, parent_span, epoch)`` when chunk
-    spans should be collected; the traced shim returns ``(values,
-    record)`` pairs and the records are ingested after the barrier.
+    spans should be collected; ``metrics`` is ``(registry, span_name,
+    backend, schedule)`` when chunk counters and worker shards should
+    be.  Either (or both) switches to the instrumented shim, whose
+    ``(values, record, shard)`` triples are folded in after the barrier.
     """
-    if trace is None:
+    if trace is None and metrics is None:
         futures = {pool.submit(_run_chunk, func, items, chunk): chunk for chunk in chunks}
     else:
-        _, _, _, epoch = trace
+        epoch = trace[3] if trace is not None else time.time()
         futures = {
-            pool.submit(_run_chunk_traced, func, items, chunk, epoch): chunk
+            pool.submit(
+                _run_chunk_traced, func, items, chunk, epoch, metrics is not None
+            ): chunk
             for chunk in chunks
         }
     done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
@@ -130,17 +189,20 @@ def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[ra
         raise failed.exception()
     for future, chunk in futures.items():
         values = future.result()
-        if trace is not None:
-            tracer, span_name, parent, _ = trace
-            values, record = values
-            tracer.record(
-                span_name,
-                kind="chunk",
-                parent=parent,
-                chunk_start=chunk.start,
-                size=len(chunk),
-                **record,
-            )
+        if trace is not None or metrics is not None:
+            values, record, shard = values
+            if trace is not None:
+                tracer, span_name, parent, _ = trace
+                tracer.record(
+                    span_name,
+                    kind="chunk",
+                    parent=parent,
+                    chunk_start=chunk.start,
+                    size=len(chunk),
+                    **record,
+                )
+            if metrics is not None:
+                _record_chunk_metrics(metrics, record, shard, len(chunk))
         for i, value in zip(chunk, values):
             results[i] = value
 
@@ -156,6 +218,7 @@ def parallel_for(
     executor: Executor | None = None,
     tracer: "Tracer | None" = None,
     span: str | None = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> list[Any]:
     """Map ``func`` over ``items`` in parallel, preserving order.
 
@@ -169,6 +232,12 @@ def parallel_for(
     ``span`` (default: the function's name), parented to whatever span
     is open on the calling thread — workers measure themselves, so this
     works identically on the thread and process backends.
+
+    With a ``metrics`` registry, every chunk increments the
+    ``repro_parallel_*`` counter/histogram families, and metrics
+    recorded *inside* the loop body (I/O bytes, points processed) find
+    their way back: directly on the thread backend, via per-chunk
+    worker shards merged after the barrier on the process backend.
     """
     backend = Backend.coerce(backend)
     items = list(items)
@@ -179,27 +248,39 @@ def parallel_for(
     chunks = chunk_indices(n, workers, schedule, chunk_size)
 
     trace: tuple | None = None
+    name = span or getattr(func, "__name__", "parallel_for")
     if tracer is not None and tracer.enabled:
-        name = span or getattr(func, "__name__", "parallel_for")
         trace = (tracer, name, tracer.current(), tracer.epoch)
+    metric: tuple | None = None
+    if metrics is not None:
+        metric = (metrics, name, backend.value, Schedule.coerce(schedule).value)
 
     if executor is not None:
         results: list[Any] = [None] * n
-        _drain(executor, func, items, chunks, results, trace=trace)
+        _drain(executor, func, items, chunks, results, trace=trace, metrics=metric)
         return results
 
     if backend is Backend.SERIAL or workers == 1 or n == 1:
         results = [None] * n
         for chunk in chunks:
+            t0 = time.perf_counter()
             if trace is not None:
-                tracer_, name, parent, _ = trace
+                tracer_, name_, parent, _ = trace
                 with tracer_.span(
-                    name, kind="chunk", parent=parent,
+                    name_, kind="chunk", parent=parent,
                     chunk_start=chunk.start, size=len(chunk),
                 ):
                     values = _run_chunk(func, items, chunk)
             else:
                 values = _run_chunk(func, items, chunk)
+            if metric is not None:
+                # Serial chunks run on the driver thread: body metrics
+                # went straight to the registry; count the chunk here.
+                record = {
+                    "duration_s": time.perf_counter() - t0,
+                    "worker": _worker_label(),
+                }
+                _record_chunk_metrics(metric, record, None, len(chunk))
             for i, value in zip(chunk, values):
                 results[i] = value
         return results
@@ -207,7 +288,7 @@ def parallel_for(
     pool_cls = ThreadPoolExecutor if backend is Backend.THREAD else ProcessPoolExecutor
     results = [None] * n
     with pool_cls(max_workers=min(workers, len(chunks))) as pool:
-        _drain(pool, func, items, chunks, results, trace=trace)
+        _drain(pool, func, items, chunks, results, trace=trace, metrics=metric)
     return results
 
 
@@ -289,6 +370,7 @@ class TaskGroup:
         backend: Backend | str = Backend.THREAD,
         num_workers: int | None = None,
         tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.backend = Backend.coerce(backend)
         self.num_workers = resolve_workers(num_workers)
@@ -300,6 +382,29 @@ class TaskGroup:
         self._parent: "Span | None" = (
             self._tracer.current() if self._tracer is not None else None
         )
+        self._metrics = metrics
+
+    def _count_task(self, record: dict[str, Any], shard: dict[str, Any] | None) -> None:
+        registry = self._metrics
+        if registry is None:
+            return
+        registry.counter(
+            "repro_parallel_tasks_total",
+            help="Tasks run through TaskGroup.",
+            backend=self.backend.value,
+        ).inc(1)
+        registry.histogram(
+            "repro_parallel_task_duration_seconds",
+            help="Wall-clock per TaskGroup task.",
+            backend=self.backend.value,
+        ).observe(record["duration_s"])
+        registry.counter(
+            "repro_parallel_worker_busy_seconds_total",
+            help="Summed chunk/task wall-clock per worker.",
+            worker=record["worker"],
+        ).inc(record["duration_s"])
+        if shard:
+            registry.merge(shard)
 
     def __enter__(self) -> "TaskGroup":
         if self.backend is not Backend.SERIAL and self.num_workers > 1:
@@ -317,16 +422,28 @@ class TaskGroup:
         """Submit one task (``#pragma omp task``)."""
         name = span_name or getattr(func, "__name__", "task")
         if self._pool is None:
+            t0 = time.perf_counter()
             if self._tracer is not None:
                 with self._tracer.span(name, kind="task", parent=self._parent):
                     self._serial_results.append(func(*args, **kwargs))
             else:
                 self._serial_results.append(func(*args, **kwargs))
-        elif self._tracer is not None:
+            self._count_task(
+                {"duration_s": time.perf_counter() - t0, "worker": _worker_label()},
+                None,
+            )
+        elif self._tracer is not None or self._metrics is not None:
+            epoch = self._tracer.epoch if self._tracer is not None else time.time()
             future = self._pool.submit(
-                _run_task_traced, func, self._tracer.epoch, args, kwargs
+                _run_task_traced, func, epoch, args, kwargs, self._metrics is not None
             )
             self._futures.append((future, name))
+            if self._metrics is not None:
+                outstanding = sum(1 for f, _ in self._futures if not f.done())
+                self._metrics.gauge(
+                    "repro_parallel_task_queue_depth",
+                    help="High-water mark of tasks outstanding in a TaskGroup.",
+                ).set_max(outstanding)
         else:
             self._futures.append((self._pool.submit(func, *args, **kwargs), None))
 
@@ -345,11 +462,13 @@ class TaskGroup:
             batch = []
             for future, name in self._futures:
                 value = future.result()
-                if self._tracer is not None:
-                    value, record = value
-                    self._tracer.record(
-                        name or "task", kind="task", parent=self._parent, **record
-                    )
+                if self._tracer is not None or self._metrics is not None:
+                    value, record, shard = value
+                    if self._tracer is not None:
+                        self._tracer.record(
+                            name or "task", kind="task", parent=self._parent, **record
+                        )
+                    self._count_task(record, shard)
                 batch.append(value)
             self._futures = []
         self.results.extend(batch)

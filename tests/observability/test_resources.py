@@ -1,0 +1,125 @@
+"""Resource telemetry: the /proc sampler and its log aggregates."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.observability.export import to_chrome_trace
+from repro.observability.resources import (
+    ResourceLog,
+    ResourceSample,
+    ResourceSampler,
+    merge_logs,
+    resources_available,
+)
+from repro.observability.tracer import Tracer
+
+needs_proc = pytest.mark.skipif(
+    not resources_available(), reason="host has no /proc"
+)
+
+
+def sample(t, cores=(0.2, 0.9), rss=1000, fds=4, threads=2):
+    return ResourceSample(
+        t_s=t, per_core=cores, rss_bytes=rss, open_fds=fds, n_threads=threads
+    )
+
+
+class TestResourceLog:
+    def test_empty_summary_is_zeros(self):
+        summary = ResourceLog(interval_s=0.05).summary()
+        assert summary["n_samples"] == 0
+        assert summary["peak_rss_bytes"] == 0
+        assert summary["mean_utilization"] == 0.0
+
+    def test_summary_aggregates(self):
+        log = ResourceLog(
+            interval_s=0.05,
+            samples=[
+                sample(0.0, cores=(0.0, 0.0), rss=100, fds=3, threads=1),
+                sample(0.1, cores=(1.0, 0.6), rss=300, fds=9, threads=4),
+            ],
+        )
+        summary = log.summary()
+        assert summary["n_samples"] == 2
+        assert summary["n_cores"] == 2
+        assert summary["peak_rss_bytes"] == 300
+        assert summary["max_utilization"] == pytest.approx(0.8)
+        assert summary["mean_utilization"] == pytest.approx(0.4)
+        assert summary["max_busy_cores"] == 2
+        assert summary["peak_open_fds"] == 9
+        assert summary["peak_threads"] == 4
+
+    def test_utilization_between_windows(self):
+        log = ResourceLog(
+            interval_s=0.05,
+            samples=[sample(0.0, cores=(0.0,)), sample(1.0, cores=(1.0,))],
+        )
+        assert log.utilization_between(0.5, 2.0)["mean_utilization"] == 1.0
+        assert log.utilization_between(5.0, 6.0)["n_samples"] == 0
+
+    def test_roundtrip(self):
+        log = ResourceLog(interval_s=0.01, samples=[sample(0.5)])
+        clone = ResourceLog.from_dict(log.to_dict())
+        assert clone == log
+
+    def test_merge_logs_sorts_by_time(self):
+        a = ResourceLog(interval_s=0.1, samples=[sample(2.0)])
+        b = ResourceLog(interval_s=0.05, samples=[sample(1.0)])
+        merged = merge_logs([a, b])
+        assert [s.t_s for s in merged.samples] == [1.0, 2.0]
+        assert merged.interval_s == 0.05
+
+
+@needs_proc
+class TestResourceSampler:
+    def test_samples_and_closing_sample(self):
+        with ResourceSampler(interval_s=0.01) as sampler:
+            time.sleep(0.06)
+        log = sampler.log()
+        assert len(log) >= 2  # periodic samples plus the closing one
+        s = log.samples[-1]
+        assert s.rss_bytes > 0
+        assert s.n_threads >= 1
+        assert s.open_fds >= 1
+        assert all(0.0 <= u <= 1.0 for u in s.per_core)
+
+    def test_timestamps_follow_tracer_clock(self):
+        tracer = Tracer()
+        time.sleep(0.02)  # tracer clock is already past zero
+        with ResourceSampler(interval_s=0.01, tracer=tracer) as sampler:
+            time.sleep(0.03)
+        log = sampler.log()
+        assert log.samples
+        assert all(s.t_s >= 0.02 for s in log.samples)
+        assert all(s.t_s <= tracer.now() for s in log.samples)
+
+    def test_stop_is_idempotent(self):
+        sampler = ResourceSampler(interval_s=0.01).start()
+        time.sleep(0.02)
+        first = sampler.stop()
+        assert sampler.stop() == first
+
+
+class TestChromeTraceCounters:
+    def test_counter_events_emitted(self):
+        tracer = Tracer()
+        with tracer.span("run", kind="run"):
+            pass
+        log = ResourceLog(interval_s=0.05, samples=[sample(0.5)])
+        doc = to_chrome_trace(tracer.trace(), resources=log)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert names == {"cores_busy", "rss_mb", "process_state"}
+        busy = next(e for e in counters if e["name"] == "cores_busy")
+        assert busy["ts"] == pytest.approx(0.5e6)
+        assert busy["args"] == {"cpu0": 0.2, "cpu1": 0.9}
+
+    def test_no_resources_no_counters(self):
+        tracer = Tracer()
+        with tracer.span("run", kind="run"):
+            pass
+        doc = to_chrome_trace(tracer.trace())
+        assert not [e for e in doc["traceEvents"] if e["ph"] == "C"]

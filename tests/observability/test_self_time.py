@@ -1,0 +1,85 @@
+"""Span self-time: duration minus direct children, per trace annotation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.tracer import Span, Trace
+
+
+def span(span_id, parent_id, duration, *, name="s", kind="span", start=0.0):
+    return Span(
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        kind=kind,
+        start_s=start,
+        duration_s=duration,
+        worker="w",
+    )
+
+
+def test_self_time_before_annotation_is_duration():
+    sp = span(1, None, 2.0)
+    assert sp.self_time == 2.0
+
+
+def test_annotate_subtracts_direct_children_only():
+    trace = Trace(
+        epoch=0.0,
+        spans=[
+            span(1, None, 10.0, name="stage", kind="stage"),
+            span(2, 1, 3.0),
+            span(3, 1, 4.0),
+            span(4, 2, 1.0),  # grandchild: counts against 2, not 1
+        ],
+    )
+    trace.annotate_self_times()
+    by_id = {s.span_id: s for s in trace.spans}
+    assert by_id[1].self_time == pytest.approx(3.0)
+    assert by_id[2].self_time == pytest.approx(2.0)
+    assert by_id[3].self_time == pytest.approx(4.0)
+    assert by_id[4].self_time == pytest.approx(1.0)
+
+
+def test_self_time_clamped_for_overlapping_children():
+    # Pool workers run children concurrently: their summed duration can
+    # exceed the parent's wall-clock.  Self time clamps at zero.
+    trace = Trace(
+        epoch=0.0,
+        spans=[span(1, None, 1.0), span(2, 1, 0.8), span(3, 1, 0.7)],
+    )
+    trace.annotate_self_times()
+    assert trace.spans[0].self_time == 0.0
+
+
+def test_annotation_is_idempotent():
+    trace = Trace(epoch=0.0, spans=[span(1, None, 5.0), span(2, 1, 2.0)])
+    trace.annotate_self_times()
+    trace.annotate_self_times()
+    assert trace.spans[0].child_duration_s == pytest.approx(2.0)
+
+
+def test_stage_self_times_sums_per_stage_name():
+    trace = Trace(
+        epoch=0.0,
+        spans=[
+            span(1, None, 4.0, name="IX", kind="stage"),
+            span(2, 1, 1.0, kind="process"),
+            span(3, None, 2.0, name="IX", kind="stage"),
+            span(4, None, 1.5, name="X", kind="stage"),
+        ],
+    )
+    self_times = trace.stage_self_times()
+    assert self_times["IX"] == pytest.approx(5.0)  # (4-1) + 2
+    assert self_times["X"] == pytest.approx(1.5)
+
+
+def test_child_duration_not_serialized():
+    sp = span(1, None, 3.0)
+    sp.child_duration_s = 2.0
+    data = sp.to_dict()
+    assert "child_duration_s" not in data
+    clone = Span.from_dict(data)
+    assert clone.child_duration_s == 0.0
+    assert clone == sp  # annotation is excluded from equality

@@ -1,0 +1,132 @@
+"""Property tests of metrics-shard merging.
+
+The process backend merges worker shards into the driver's registry in
+whatever order chunks complete; correctness of the merged totals
+therefore rests on merge being associative and commutative and on
+histogram merges preserving count and sum exactly.  These properties
+hold by construction (counters add, gauges max, histograms add
+bucketwise); hypothesis checks them over arbitrary shard contents.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.metrics import MetricsRegistry
+
+BOUNDS = (0.01, 0.1, 1.0, 10.0)
+
+label_sets = st.sampled_from(
+    [{}, {"op": "read"}, {"op": "write"}, {"op": "read", "artifact": "v1"}]
+)
+
+counter_ops = st.tuples(
+    st.just("counter"), st.sampled_from(["a_total", "b_total"]), label_sets,
+    st.floats(0, 1e6, allow_nan=False),
+)
+gauge_ops = st.tuples(
+    st.just("gauge"), st.sampled_from(["depth", "high_water"]), label_sets,
+    st.floats(0, 1e6, allow_nan=False),
+)
+histogram_ops = st.tuples(
+    st.just("histogram"), st.sampled_from(["dur_seconds"]), label_sets,
+    st.floats(0, 100, allow_nan=False),
+)
+
+shards = st.lists(
+    st.one_of(counter_ops, gauge_ops, histogram_ops), max_size=25
+)
+
+
+def build(ops) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for kind, name, labels, value in ops:
+        if kind == "counter":
+            registry.counter(name, **labels).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name, **labels).set_max(value)
+        else:
+            registry.histogram(name, buckets=BOUNDS, **labels).observe(value)
+    return registry
+
+
+def state(registry: MetricsRegistry) -> dict:
+    return {
+        (name, labels): inst.payload()
+        for (name, labels), inst in registry.samples_all()
+    }
+
+
+def assert_state_close(a: dict, b: dict) -> None:
+    """Equality up to float-addition reassociation slack.
+
+    Integer bucket counts must match exactly; float sums/values may
+    differ in the last ulp when the additions were grouped differently.
+    """
+    assert a.keys() == b.keys()
+    for key, payload in a.items():
+        other = b[key]
+        for field, value in payload.items():
+            if isinstance(value, list):
+                assert other[field] == value, (key, field)
+            else:
+                assert other[field] == pytest.approx(
+                    value, rel=1e-12, abs=1e-9
+                ), (key, field)
+
+
+class TestMergeProperties:
+    @given(shards, shards)
+    @settings(max_examples=60, deadline=None)
+    def test_commutative(self, ops_a, ops_b):
+        ab = build(ops_a).merge(build(ops_b))
+        ba = build(ops_b).merge(build(ops_a))
+        assert state(ab) == state(ba)
+
+    @given(shards, shards, shards)
+    @settings(max_examples=60, deadline=None)
+    def test_associative(self, ops_a, ops_b, ops_c):
+        left = build(ops_a).merge(build(ops_b)).merge(build(ops_c))
+        bc = build(ops_b).merge(build(ops_c))
+        right = build(ops_a).merge(bc)
+        assert_state_close(state(left), state(right))
+
+    @given(st.lists(shards, min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_merge_preserves_count_and_sum(self, shard_ops):
+        observations = [
+            value
+            for ops in shard_ops
+            for kind, _, _, value in ops
+            if kind == "histogram"
+        ]
+        merged = MetricsRegistry()
+        for ops in shard_ops:
+            merged.merge(build(ops).to_dict())
+        total_count = 0
+        total_sum = 0.0
+        for (name, _), inst in merged.samples_all():
+            if name == "dur_seconds":
+                total_count += inst.count
+                total_sum += inst.sum
+        assert total_count == len(observations)
+        # Addition order differs between the flat sum and the per-shard
+        # partial sums, so allow float-associativity slack only.
+        assert total_sum == pytest.approx(sum(observations), rel=1e-12, abs=1e-9)
+
+    @given(shards)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_of_dict_shard_equals_merge_of_registry(self, ops):
+        direct = MetricsRegistry().merge(build(ops))
+        via_wire = MetricsRegistry().merge(build(ops).to_dict())
+        assert state(direct) == state(via_wire)
+
+    @given(shards)
+    @settings(max_examples=60, deadline=None)
+    def test_empty_is_identity(self, ops):
+        registry = build(ops)
+        before = state(registry)
+        registry.merge(MetricsRegistry())
+        assert state(registry) == before
