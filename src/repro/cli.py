@@ -77,6 +77,13 @@ def _build_process_parser() -> argparse.ArgumentParser:
         help="collect run metrics (chunks, tasks, I/O bytes, data points) "
         "and write them to FILE as Prometheus text plus a .json sibling",
     )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="PLAN.JSON",
+        help="run under this fault plan (see repro.resilience): inject its "
+        "faults, retry transient failures, quarantine poisoned records, and "
+        "report the degraded result instead of aborting",
+    )
     return parser
 
 
@@ -115,6 +122,10 @@ def main_process(argv: list[str] | None = None) -> int:
             materialize(event, workload, ctx.workspace.input_dir)
     if args.audit:
         ctx.audit = True
+    if args.inject_faults:
+        from repro.resilience import FaultPlan
+
+        ctx.resilience = FaultPlan.load(args.inject_faults)
     impl = implementation_by_name(args.implementation)()
     resources = None
     if args.trace:
@@ -128,6 +139,10 @@ def main_process(argv: list[str] | None = None) -> int:
         result = impl.run(ctx)
     for line in result.summary_lines():
         print(line)
+    if result.quarantine:
+        print(f"\ndegraded run: {len(result.quarantine)} record(s) quarantined")
+        for report in sorted(result.quarantine, key=lambda r: r.record):
+            print(f"  {report.describe()}")
     if args.trace and result.trace is not None:
         from repro.observability.export import write_chrome_trace
 
@@ -380,6 +395,56 @@ def main_bulletin(argv: list[str] | None = None) -> int:
         text_path, json_path = write_metrics(args.metrics, metrics, trace=trace)
         print(f"metrics written to {text_path} and {json_path}")
     return 0
+
+
+def _build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Seeded fault-injection soak: assert that clean runs stay "
+        "byte-identical and that faulty runs converge to the same quarantine "
+        "set, retry counts and degraded text on every implementation and "
+        "backend.",
+    )
+    parser.add_argument("--root", default="chaos-run", help="soak workspace root directory")
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=[1, 2],
+        help="fault-plan seeds to soak (one faulty matrix pass each)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.02, help="dataset size scale of the soak event"
+    )
+    parser.add_argument(
+        "--faults", type=int, default=2, help="faults per randomized plan"
+    )
+    parser.add_argument("--workers", type=int, default=2, help="parallel worker count")
+    parser.add_argument(
+        "--implementations",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="implementations to soak (default: the paper's four)",
+    )
+    return parser
+
+
+def main_chaos(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro-chaos``."""
+    args = _build_chaos_parser().parse_args(argv)
+    from repro.resilience.chaos import chaos_soak
+
+    report = chaos_soak(
+        args.root,
+        args.seeds,
+        scale=args.scale,
+        n_faults=args.faults,
+        implementations=args.implementations,
+        workers=args.workers,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -46,6 +46,16 @@ class EventSummary:
     max_significant_duration_s: float
     processing_time_s: float
     implementation: str
+    #: ``ok`` — all stations published; ``degraded`` — the run finished
+    #: but quarantined stations (the row covers survivors only);
+    #: ``failed`` — the event produced no publishable result at all.
+    status: str = "ok"
+    #: Stable one-line descriptions of the quarantined records.
+    quarantined: tuple[str, ...] = ()
+    #: Failure class of a ``failed`` event (exception type name only —
+    #: messages may carry workspace paths, which must not leak into the
+    #: backend-invariant bulletin text).
+    failure: str = ""
 
 
 @dataclass
@@ -56,7 +66,13 @@ class Bulletin:
     events: list[EventSummary] = field(default_factory=list)
 
     def render(self) -> str:
-        """Fixed-width text bulletin (the observatory's report shape)."""
+        """Fixed-width text bulletin (the observatory's report shape).
+
+        An all-healthy bulletin renders exactly as it always has; any
+        degraded or failed event appends the degraded-mode section of
+        :meth:`degraded_lines` after the totals.
+        """
+        published = [ev for ev in self.events if ev.status != "failed"]
         lines = [
             self.title,
             "=" * len(self.title),
@@ -65,7 +81,7 @@ class Bulletin:
             f"{'PGA gal':>8} {'@stn':>6} {'SA0.2':>8} {'SA1.0':>8} "
             f"{'Ia cm/s':>8} {'D5-95 s':>8} {'proc s':>7}",
         ]
-        for ev in self.events:
+        for ev in published:
             lines.append(
                 f"{ev.event_id:<12} {ev.date:<11} {ev.magnitude:>4.1f} "
                 f"{ev.n_stations:>4} {ev.total_points:>8,} "
@@ -74,16 +90,43 @@ class Bulletin:
                 f"{ev.max_arias_cm_s:>8.2f} {ev.max_significant_duration_s:>8.2f} "
                 f"{ev.processing_time_s:>7.2f}"
             )
-        total_points = sum(ev.total_points for ev in self.events)
-        total_time = sum(ev.processing_time_s for ev in self.events)
+        total_points = sum(ev.total_points for ev in published)
+        total_time = sum(ev.processing_time_s for ev in published)
         lines.append("")
         lines.append(
-            f"{len(self.events)} events, {total_points:,} data points, "
+            f"{len(published)} events, {total_points:,} data points, "
             f"{total_time:.1f} s total processing"
         )
         if total_time > 0:
             lines.append(f"throughput: {total_points / total_time:,.0f} data points/s")
+        lines.extend(self.degraded_lines())
         return "\n".join(lines)
+
+    def degraded_lines(self) -> list[str]:
+        """The degraded-mode section (empty when every event is ok).
+
+        Deliberately free of paths, timings and worker identities: the
+        acceptance bar is that the same fault plan yields *identical*
+        degraded text on every implementation and backend.
+        """
+        troubled = [ev for ev in self.events if ev.status != "ok"]
+        if not troubled:
+            return []
+        lines = ["", "degraded events", "---------------"]
+        for ev in troubled:
+            if ev.status == "failed":
+                lines.append(f"{ev.event_id:<12} failed: {ev.failure}")
+                continue
+            noun = "record" if len(ev.quarantined) == 1 else "records"
+            lines.append(
+                f"{ev.event_id:<12} degraded: {len(ev.quarantined)} {noun} quarantined"
+            )
+            lines.extend(f"  {line}" for line in ev.quarantined)
+        return lines
+
+    def degraded_text(self) -> str:
+        """The degraded section as one string (convergence comparisons)."""
+        return "\n".join(self.degraded_lines())
 
     def write(self, path: Path | str) -> None:
         """Write the rendered bulletin to disk."""
@@ -93,8 +136,15 @@ class Bulletin:
 def summarize_event_run(
     ctx: RunContext, event: EventSpec, result: PipelineResult
 ) -> EventSummary:
-    """Extract one bulletin row from a finished run's artifacts."""
-    stations = ctx.stations()
+    """Extract one bulletin row from a finished run's artifacts.
+
+    A degraded run's row covers the surviving stations only — the
+    quarantined ones have no artifacts left to summarize (the runtime
+    purged them by design) and are reported in the bulletin's
+    degraded-mode section instead.
+    """
+    excluded = {report.record for report in result.quarantine}
+    stations = [s for s in ctx.stations() if s not in excluded]
     max_pga = 0.0
     max_pga_station = "-"
     max_sa02 = 0.0
@@ -135,6 +185,8 @@ def summarize_event_run(
         max_significant_duration_s=max_duration,
         processing_time_s=result.total_s,
         implementation=result.implementation,
+        status="degraded" if excluded else "ok",
+        quarantined=tuple(report.describe() for report in result.quarantine),
     )
 
 
@@ -154,6 +206,13 @@ class BatchRunner:
     #: Shared metrics registry: every event's run merges into it (see
     #: :mod:`repro.observability.metrics`).
     metrics: "object | None" = None
+    #: Optional fault plans, keyed by event id (see
+    #: :mod:`repro.resilience`).  An event with a plan runs in degraded
+    #: mode: quarantined records drop out of its bulletin row, and a
+    #: pipeline-fatal fault downgrades the event to ``failed`` instead
+    #: of aborting the whole batch.  Events without a plan keep the
+    #: all-or-nothing behaviour.
+    resilience_plans: "dict | None" = None
 
     def run(self, events: list[EventSpec], *, title: str = "Seismic activity bulletin") -> Bulletin:
         """Generate, process and summarize every event."""
@@ -169,6 +228,7 @@ class BatchRunner:
 
     def _run_events(self, events: list[EventSpec], bulletin: Bulletin) -> None:
         for event in events:
+            plan = (self.resilience_plans or {}).get(event.event_id)
             ctx = RunContext.for_directory(
                 Path(self.root) / event.event_id,
                 tracer=self.tracer,
@@ -179,6 +239,7 @@ class BatchRunner:
                     else {}
                 ),
                 **({"parallel": self.parallel} if self.parallel is not None else {}),
+                **({"resilience": plan} if plan is not None else {}),
             )
             # Imported lazily: repro.bench imports repro.core at package
             # level, so a module-level import here would be circular.
@@ -190,12 +251,43 @@ class BatchRunner:
                 materialize(event, workload, ctx.workspace.input_dir)
             else:
                 generate_event_dataset(event, ctx.workspace.input_dir)
-            result = self.implementation.run(ctx)
+            try:
+                result = self.implementation.run(ctx)
+            except PipelineError as exc:
+                if plan is None:
+                    raise
+                # Only fault-injected events may fail soft: a clean
+                # event dying is still a batch-fatal pipeline bug.
+                bulletin.events.append(self._failed_event(event, exc))
+                continue
             if self.verify:
-                report = verify_inventory(ctx.workspace)
+                excluded = {report.record for report in result.quarantine}
+                survivors = [s for s in ctx.stations() if s not in excluded]
+                report = verify_inventory(ctx.workspace, stations=survivors)
                 if not report.ok:
                     raise PipelineError(
                         f"event {event.event_id}: artifact inventory check failed\n"
                         + report.render()
                     )
             bulletin.events.append(summarize_event_run(ctx, event, result))
+
+    @staticmethod
+    def _failed_event(event: EventSpec, exc: PipelineError) -> EventSummary:
+        """A ``failed`` bulletin row (no publishable numbers at all)."""
+        return EventSummary(
+            event_id=event.event_id,
+            date=event.date,
+            magnitude=event.magnitude,
+            n_stations=0,
+            total_points=0,
+            max_pga_gal=0.0,
+            max_pga_station="-",
+            max_sa02_gal=0.0,
+            max_sa10_gal=0.0,
+            max_arias_cm_s=0.0,
+            max_significant_duration_s=0.0,
+            processing_time_s=0.0,
+            implementation="-",
+            status="failed",
+            failure=type(exc).__name__,
+        )

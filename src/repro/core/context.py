@@ -23,6 +23,7 @@ from repro.spectra.response import ResponseSpectrumConfig
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.observability.metrics import MetricsRegistry
     from repro.observability.tracer import Tracer
+    from repro.resilience.faults import FaultPlan
 
 
 @dataclass
@@ -107,6 +108,13 @@ class RunContext:
     #: conformance check that :attr:`audit` requests.
     #: Excluded from equality — metrics never change artifacts.
     metrics: "MetricsRegistry | None" = field(default=None, repr=False, compare=False)
+    #: Optional fault plan (see :mod:`repro.resilience`): the run
+    #: executes with the plan's injected faults, retry policy, and
+    #: quarantine semantics, and its result carries the failure
+    #: reports.  ``None`` (the default) leaves the clean path entirely
+    #: untouched.  Excluded from equality: two contexts differing only
+    #: in the plan still describe the same pipeline configuration.
+    resilience: "FaultPlan | None" = field(default=None, repr=False, compare=False)
 
     @classmethod
     def for_directory(cls, root: Path | str, **kwargs: object) -> "RunContext":

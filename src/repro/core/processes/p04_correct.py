@@ -18,13 +18,30 @@ from repro.core.processes.common import merge_max_files, require
 from repro.core.tools import TOOL_CONFIG, correction_tool, write_tool_config
 
 
-def run_correction_sequential(ctx: RunContext, params_name: str, maxvals_name: str) -> None:
+def run_correction_sequential(
+    ctx: RunContext, params_name: str, maxvals_name: str, process: str = "P4"
+) -> None:
     """Shared body of P4 and P13: run the tool in-place, merge maxima."""
+    from repro.resilience.runtime import active_runtime
+
     work = ctx.workspace.work_dir
+    runtime = active_runtime(ctx.workspace.root)
     require(ctx.workspace.work(params_name), "P4/P13")
-    write_tool_config(work, params=params_name)
-    correction_tool(work)
-    (work / TOOL_CONFIG).unlink()
+    write_tool_config(work, params=params_name, process=process)
+    if runtime is not None:
+        # Config faults hit the very tool.cfg just staged — fatal to
+        # the event in this mode exactly as in the temp-folder mode.
+        runtime.apply_config_faults(work, process)
+    try:
+        correction_tool(work)
+    finally:
+        if runtime is not None:
+            reports = runtime.drain_pending()
+            if reports:
+                # Purge before the merge so the maxvals archive only
+                # aggregates maxima of surviving stations.
+                runtime.quarantine_reports(reports, tracer=ctx.tracer)
+        (work / TOOL_CONFIG).unlink(missing_ok=True)
     merge_max_files(work, maxvals_name)
 
 

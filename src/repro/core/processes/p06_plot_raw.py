@@ -20,8 +20,10 @@ from repro.plotting.seismo import plot_accelerograph
 @process_unit("P6")
 def run_p06(ctx: RunContext) -> None:
     """Plot the (about-to-be-overwritten) default-corrected records."""
+    from repro.resilience.runtime import surviving_entries
+
     meta = read_metadata(ctx.workspace.work(ACCGRAPH_META), process="P6")
-    for entry in meta.entries:
+    for entry in surviving_entries(ctx.workspace, meta.entries):
         station, *v2_names = entry
         records = {}
         for name in v2_names:

@@ -18,8 +18,21 @@ from repro.core.tools import TOOL_CONFIG, fourier_tool, write_tool_config
 @process_unit("P7")
 def run_p07(ctx: RunContext) -> None:
     """Fourier-transform every corrected component, sequentially."""
+    from repro.resilience.runtime import active_runtime
+
     work = ctx.workspace.work_dir
+    runtime = active_runtime(ctx.workspace.root)
     require(ctx.workspace.work(FOURIER_META), "P7")
-    write_tool_config(work, taper=ctx.taper_fraction, maxperiod=ctx.fourier_max_period)
-    fourier_tool(work)
-    (work / TOOL_CONFIG).unlink()
+    write_tool_config(
+        work, taper=ctx.taper_fraction, maxperiod=ctx.fourier_max_period, process="P7"
+    )
+    if runtime is not None:
+        runtime.apply_config_faults(work, "P7")
+    try:
+        fourier_tool(work)
+    finally:
+        if runtime is not None:
+            reports = runtime.drain_pending()
+            if reports:
+                runtime.quarantine_reports(reports, tracer=ctx.tracer)
+        (work / TOOL_CONFIG).unlink(missing_ok=True)

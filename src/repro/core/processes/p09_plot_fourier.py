@@ -18,8 +18,10 @@ from repro.plotting.seismo import plot_fourier_spectrum
 @process_unit("P9")
 def run_p09(ctx: RunContext) -> None:
     """Plot every station's Fourier spectra."""
+    from repro.resilience.runtime import surviving_entries
+
     meta = read_metadata(ctx.workspace.work(FOURIERGRAPH_META), process="P9")
-    for entry in meta.entries:
+    for entry in surviving_entries(ctx.workspace, meta.entries):
         station, *f_names = entry
         records = {}
         for name in f_names:

@@ -61,6 +61,8 @@ def run_p10(ctx: RunContext, *, parallel_inner: bool = False) -> None:
     ``j = 0..2``); results are collected in component order so the
     output file is identical either way.
     """
+    from repro.resilience.runtime import surviving_entries
+
     meta = read_metadata(ctx.workspace.work(FOURIERGRAPH_META), process="P10")
     # The base corners come from P2's filter.par — the dependency the
     # registry declares — not from the in-memory context, so every
@@ -68,7 +70,7 @@ def run_p10(ctx: RunContext, *, parallel_inner: bool = False) -> None:
     base = read_filter_params(ctx.workspace.work(FILTER_PARAMS), process="P10").default
     params = FilterParams(default=base)
     root = str(ctx.workspace.root)
-    for entry in meta.entries:
+    for entry in surviving_entries(ctx.workspace, meta.entries):
         _station, *f_names = entry
         if parallel_inner:
             # functools.partial keeps the body picklable for the

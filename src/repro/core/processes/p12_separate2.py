@@ -16,4 +16,4 @@ from repro.core.processes.p03_separate import run_p03
 @process_unit("P12")
 def run_p12(ctx: RunContext) -> None:
     """Re-run the component separation (identical output to P3)."""
-    run_p03(ctx)
+    run_p03(ctx, process="P12")

@@ -19,4 +19,4 @@ from repro.core.processes.p04_correct import run_correction_sequential
 @process_unit("P13")
 def run_p13(ctx: RunContext) -> None:
     """Definitive correction pass over all component files."""
-    run_correction_sequential(ctx, FILTER_CORRECTED, MAXVALS2)
+    run_correction_sequential(ctx, FILTER_CORRECTED, MAXVALS2, process="P13")

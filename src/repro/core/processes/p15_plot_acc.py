@@ -19,8 +19,10 @@ from repro.plotting.seismo import plot_accelerograph
 @process_unit("P15")
 def run_p15(ctx: RunContext) -> None:
     """Plot every station's definitive corrected motion."""
+    from repro.resilience.runtime import surviving_entries
+
     meta = read_metadata(ctx.workspace.work(ACCGRAPH_META), process="P15")
-    for entry in meta.entries:
+    for entry in surviving_entries(ctx.workspace, meta.entries):
         station, *v2_names = entry
         records = {}
         for name in v2_names:

@@ -42,9 +42,11 @@ def response_for_trace(
 
 def trace_pairs(ctx: RunContext) -> list[tuple[str, str]]:
     """(v2 name, r name) for every component file, from response.meta."""
+    from repro.resilience.runtime import surviving_entries
+
     meta = read_metadata(ctx.workspace.work(RESPONSE_META), process="P16")
     pairs: list[tuple[str, str]] = []
-    for entry in meta.entries:
+    for entry in surviving_entries(ctx.workspace, meta.entries):
         _station, *names = entry
         v2_names, r_names = names[:3], names[3:]
         pairs.extend(zip(v2_names, r_names))

@@ -18,8 +18,10 @@ from repro.plotting.seismo import plot_response_spectrum
 @process_unit("P18")
 def run_p18(ctx: RunContext) -> None:
     """Plot every station's response spectra."""
+    from repro.resilience.runtime import surviving_entries
+
     meta = read_metadata(ctx.workspace.work(RESPONSEGRAPH_META), process="P18")
-    for entry in meta.entries:
+    for entry in surviving_entries(ctx.workspace, meta.entries):
         station, *r_names = entry
         records = {}
         for name in r_names:

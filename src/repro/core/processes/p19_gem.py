@@ -86,9 +86,11 @@ def interleaved_files(ctx: RunContext) -> list[tuple[str, bool]]:
     Even slots are V2 files, odd slots are R files, exactly like the
     ``files[i*2] / files[i*2+1]`` layout in the paper's listing.
     """
+    from repro.resilience.runtime import surviving_entries
+
     meta = read_metadata(ctx.workspace.work(RESPONSE_META), process="P19")
     out: list[tuple[str, bool]] = []
-    for entry in meta.entries:
+    for entry in surviving_entries(ctx.workspace, meta.entries):
         _station, *names = entry
         v2_names, r_names = names[:3], names[3:]
         for v2_name, r_name in zip(v2_names, r_names):

@@ -15,6 +15,12 @@ from repro.observability.tracer import Trace, maybe_span
 logger = logging.getLogger("repro.core")
 
 
+def _failure_report_from_dict(data: dict):
+    from repro.resilience.quarantine import FailureReport
+
+    return FailureReport.from_dict(data)
+
+
 @dataclass(frozen=True)
 class ProcessTiming:
     """Wall-clock timing of one process execution."""
@@ -37,6 +43,9 @@ class PipelineResult:
     stage_durations: dict[str, float] = field(default_factory=dict)
     #: The run's span trace, when the context carried an enabled tracer.
     trace: Trace | None = field(default=None, repr=False, compare=False)
+    #: Failure reports of quarantined records, when the context carried
+    #: a fault plan (degraded mode); empty for all-healthy runs.
+    quarantine: list = field(default_factory=list)
 
     def process_duration(self, pid: int) -> float:
         """Total time attributed to one process (0.0 if it never ran)."""
@@ -62,6 +71,7 @@ class PipelineResult:
             ],
             "stage_durations": dict(self.stage_durations),
             "trace": self.trace.to_dict() if self.trace is not None else None,
+            "quarantine": [r.to_dict() for r in self.quarantine],
         }
 
     @classmethod
@@ -84,6 +94,9 @@ class PipelineResult:
                 str(k): float(v) for k, v in (data.get("stage_durations") or {}).items()
             },
             trace=Trace.from_dict(trace_data) if trace_data is not None else None,
+            quarantine=[
+                _failure_report_from_dict(r) for r in data.get("quarantine") or []
+            ],
         )
 
     def summary_lines(self) -> list[str]:
@@ -130,6 +143,11 @@ class PipelineImplementation(ABC):
             len(stations),
         )
         result = PipelineResult(implementation=self.name, total_s=0.0)
+        runtime = None
+        if ctx.resilience is not None:
+            from repro.resilience.runtime import enable_resilience
+
+            runtime = enable_resilience(ctx.workspace.root, ctx.resilience)
         tracer = ctx.tracer
         with maybe_span(
             tracer,
@@ -158,6 +176,12 @@ class PipelineImplementation(ABC):
                 logger.exception("%s: run failed after %.3f s", self.name,
                                  time.perf_counter() - start)
                 raise
+            finally:
+                if runtime is not None:
+                    from repro.resilience.runtime import disable_resilience
+
+                    result.quarantine = runtime.quarantine.reports()
+                    disable_resilience(ctx.workspace.root)
             result.total_s = time.perf_counter() - start
         if run_span is not None and tracer is not None:
             result.trace = tracer.subtree(run_span)

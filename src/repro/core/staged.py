@@ -46,7 +46,7 @@ from repro.core.stages import (
     TEMP_FOLDERS,
     StageSpec,
 )
-from repro.core.tempfolders import StagedInstance, run_staged_instance
+from repro.core.tempfolders import STAGE_PROCESS, StagedInstance, run_staged_instance
 from repro.errors import PipelineError
 from repro.observability.tracer import maybe_span
 from repro.formats.common import COMPONENTS
@@ -54,6 +54,13 @@ from repro.formats.v1 import component_v1_name
 from repro.formats.v2 import component_v2_name
 from repro.formats.fourier import component_f_name
 from repro.parallel.omp import TaskGroup, parallel_for, shared_executor
+
+
+def _resilience(ctx: RunContext):
+    """The resilience runtime active for this run's workspace, if any."""
+    from repro.resilience.runtime import active_runtime
+
+    return active_runtime(ctx.workspace.root)
 
 
 def _timed(pid: int, ctx: RunContext, **kwargs: object) -> tuple[int, float]:
@@ -177,6 +184,8 @@ class StagedImplementationBase(PipelineImplementation):
         ), unit_scope(f"P{pid}"):
             if pid == 3:
                 stations = stations_from_list(ctx.workspace)
+                runtime = _resilience(ctx)
+                isolate = runtime.isolation("P3") if runtime is not None else None
                 parallel_for(
                     partial(separate_station, str(ctx.workspace.root)),
                     stations,
@@ -186,7 +195,10 @@ class StagedImplementationBase(PipelineImplementation):
                     tracer=ctx.tracer,
                     span="separate_station",
                     metrics=ctx.metrics,
+                    isolate=isolate,
                 )
+                if isolate is not None and isolate.reports:
+                    runtime.quarantine_reports(isolate.reports, tracer=ctx.tracer)
             elif pid == 10:
                 PROCESSES[10].run(ctx, parallel_inner=True)  # type: ignore[call-arg]
             elif pid == 16:
@@ -247,7 +259,7 @@ class StagedImplementationBase(PipelineImplementation):
         with maybe_span(
             ctx.tracer, PROCESSES[pid].name, kind="process", pid=pid, stage=stage.name,
         ), unit_scope(f"P{pid}"):
-            parallel_for(
+            values = parallel_for(
                 partial(run_staged_instance, str(ctx.workspace.root)),
                 instances,
                 backend=ctx.parallel.tool_backend,
@@ -257,6 +269,13 @@ class StagedImplementationBase(PipelineImplementation):
                 span="staged_instance",
                 metrics=ctx.metrics,
             )
+            runtime = _resilience(ctx)
+            if runtime is not None:
+                reports = [r for value in values if value for r in value]
+                if reports:
+                    # Quarantine (and purge) before the merge so the
+                    # maxvals files only aggregate surviving stations.
+                    runtime.quarantine_reports(reports, tracer=ctx.tracer)
             if maxvals_name is not None:
                 merge_max_files(ctx.workspace.work_dir, maxvals_name)
         self._record(result, stage, pid, time.perf_counter() - start, ctx=ctx)
@@ -288,7 +307,11 @@ def correction_instance(
         tool="correction",
         inputs=tuple(inputs),
         outputs=tuple(outputs),
-        config=(("params", params_name),),
+        config=(
+            ("params", params_name),
+            ("process", STAGE_PROCESS.get(stage.upper(), "P4")),
+        ),
+        unit=station,
     )
 
 
@@ -305,5 +328,7 @@ def fourier_instance(stage: str, index: int, station: str, ctx: RunContext) -> S
         config=(
             ("taper", str(ctx.taper_fraction)),
             ("maxperiod", str(ctx.fourier_max_period)),
+            ("process", STAGE_PROCESS.get(stage.upper(), "P7")),
         ),
+        unit=station,
     )

@@ -55,6 +55,9 @@ class StagedInstance:
     inputs: tuple[str, ...]
     outputs: tuple[str, ...]
     config: tuple[tuple[str, str], ...] = field(default=())
+    #: The record (station) this instance serves — lets the resilience
+    #: layer name failures and tolerate the record's missing outputs.
+    unit: str = ""
 
     @property
     def folder_name(self) -> str:
@@ -62,11 +65,13 @@ class StagedInstance:
         return f"{self.stage.lower()}_{self.index:04d}"
 
 
-def run_staged_instance(workspace_root: str, instance: StagedInstance) -> str:
+def run_staged_instance(workspace_root: str, instance: StagedInstance) -> list:
     """Execute one tool instance in its temp folder (picklable unit).
 
-    Raises :class:`PipelineError` if the tool fails to produce a
-    declared output; always removes the temp folder.
+    Returns the instance's failure reports — empty on a clean run; under
+    an active resilience runtime, the reports of records the tool had to
+    skip (whose declared outputs are then tolerated missing rather than
+    raised as :class:`PipelineError`).  Always removes the temp folder.
     """
     if instance.tool not in TOOLS:
         raise PipelineError(f"unknown staged tool {instance.tool!r}")
@@ -74,6 +79,10 @@ def run_staged_instance(workspace_root: str, instance: StagedInstance) -> str:
     work = workspace.work_dir
     folder = workspace.tmp_dir / instance.folder_name
     process = STAGE_PROCESS.get(instance.stage.upper(), f"stage-{instance.stage}")
+    from repro.resilience.runtime import runtime_for
+
+    runtime = runtime_for(workspace.root)
+    reports: list = []
     with unit_scope(process, instance.folder_name):
         folder.mkdir(parents=True, exist_ok=True)
         try:
@@ -87,10 +96,20 @@ def run_staged_instance(workspace_root: str, instance: StagedInstance) -> str:
                 shutil.copy2(src, folder / name)
             if instance.config:
                 write_tool_config(folder, **dict(instance.config))
+            if runtime is not None:
+                runtime.apply_config_faults(folder, process)
             TOOLS[instance.tool](folder)
+            if runtime is not None:
+                reports = runtime.drain_pending()
+            failed = {r.record for r in reports}
             for name in instance.outputs:
                 produced = folder / name
                 if not produced.exists():
+                    if _station_of_artifact(name) in failed:
+                        # The tool reported this record's failure; its
+                        # outputs (and any sibling component's written
+                        # before the failure) are dropped at quarantine.
+                        continue
                     raise PipelineError(
                         f"stage {instance.stage} instance {instance.index}: "
                         f"tool {instance.tool!r} did not produce {name}"
@@ -99,4 +118,11 @@ def run_staged_instance(workspace_root: str, instance: StagedInstance) -> str:
                 shutil.move(str(produced), work / name)
         finally:
             shutil.rmtree(folder, ignore_errors=True)
-    return instance.folder_name
+    return reports
+
+
+def _station_of_artifact(name: str) -> str:
+    """Station of a per-trace artifact file name (``ST01l.v2`` -> ``ST01``)."""
+    from repro.formats.v1 import station_of_trace
+
+    return station_of_trace(name.split(".", 1)[0])

@@ -66,9 +66,17 @@ class VerificationReport:
         return "\n".join(lines)
 
 
-def verify_inventory(workspace: Workspace) -> VerificationReport:
-    """Check a finished run against the declared artifact inventory."""
-    stations = workspace.input_stations()
+def verify_inventory(
+    workspace: Workspace, stations: list[str] | None = None
+) -> VerificationReport:
+    """Check a finished run against the declared artifact inventory.
+
+    ``stations`` narrows the expected inventory — a degraded run is
+    verified against its *surviving* stations, since quarantine removed
+    every artifact of the rest by design.
+    """
+    if stations is None:
+        stations = workspace.input_stations()
     if not stations:
         raise PipelineError(f"{workspace.root} has no inputs; nothing to verify against")
     expected = set(workspace.final_artifact_names(stations))

@@ -54,6 +54,51 @@ class StageOrderError(DependencyError):
     """A stage plan would execute a process before one of its inputs exists."""
 
 
+class TransientToolError(PipelineError):
+    """A legacy-tool invocation failed in a way worth retrying.
+
+    Raised by the tool emulations for recoverable conditions (the kind
+    an operational pipeline sees as flaky NFS reads or OOM-killed
+    helper processes).  The retry runtime catches this class — and only
+    this class plus worker crashes — for another attempt.
+    """
+
+
+class RetryExhaustedError(PipelineError):
+    """Every allowed attempt of a retried operation failed.
+
+    Carries the identity of the failing unit and the attempt count so
+    quarantine classification can report *why* the record was dropped.
+    """
+
+    def __init__(self, record: str, attempts: int, cause: Exception | None = None) -> None:
+        self.record = str(record)
+        self.attempts = int(attempts)
+        self.cause = cause
+        why = f": {type(cause).__name__}" if cause is not None else ""
+        super().__init__(
+            f"retries exhausted for {self.record} after {self.attempts} attempts{why}"
+        )
+
+
+class QuarantinedRecordError(PipelineError):
+    """A record was removed from the run by the quarantine runtime.
+
+    Raised when work is attempted on (or blocked by) a record that a
+    prior failure already quarantined.  Carries the record id, the
+    attempt count that led to quarantine, and the causing exception.
+    """
+
+    def __init__(self, record: str, attempts: int = 1, cause: Exception | None = None) -> None:
+        self.record = str(record)
+        self.attempts = int(attempts)
+        self.cause = cause
+        why = f" ({type(cause).__name__})" if cause is not None else ""
+        super().__init__(
+            f"record {self.record} is quarantined after {self.attempts} attempts{why}"
+        )
+
+
 class ParallelError(ReproError):
     """The parallel runtime was misused or a worker failed."""
 

@@ -90,6 +90,15 @@ def component_v1_name(station: str, comp: str) -> str:
     return f"{station}{comp}.v1"
 
 
+def station_of_trace(trace: str) -> str:
+    """Station id of a component trace stem (``ST01l`` -> ``ST01``).
+
+    Component suffixes are single characters (:data:`COMPONENTS`), so a
+    stem that does not end in one is already a station id.
+    """
+    return trace[:-1] if trace and trace[-1] in COMPONENTS else trace
+
+
 def write_v1(path: Path | str, record: RawRecord) -> None:
     """Write a full three-component V1 file."""
     header = record.header

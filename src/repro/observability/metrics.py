@@ -509,3 +509,39 @@ def record_process(pid: int, duration_s: float) -> None:
         help="Summed wall-clock per pipeline process.",
         process=label,
     ).inc(duration_s)
+
+
+def record_fault(kind: str, target: str) -> None:
+    """Count one injected fault actually firing (resilience runtime)."""
+    registry = recording_registry()
+    if registry is None:
+        return
+    registry.counter(
+        "repro_faults_injected_total",
+        help="Injected faults that fired, per fault kind and target.",
+        kind=kind, target=target,
+    ).inc(1)
+
+
+def record_retry(process: str) -> None:
+    """Count one retry of a failed unit of work."""
+    registry = recording_registry()
+    if registry is None:
+        return
+    registry.counter(
+        "repro_retries_total",
+        help="Unit retries performed, per pipeline process.",
+        process=process,
+    ).inc(1)
+
+
+def record_quarantine(process: str, kind: str) -> None:
+    """Count one record entering quarantine."""
+    registry = recording_registry()
+    if registry is None:
+        return
+    registry.counter(
+        "repro_quarantined_records_total",
+        help="Records quarantined, per originating process and failure class.",
+        process=process, kind=kind,
+    ).inc(1)

@@ -279,6 +279,24 @@ class Tracer:
             with self._lock:
                 self._spans.append(sp)
 
+    def event(self, name: str, *, kind: str = "event", **attributes: Any) -> Span | None:
+        """Record a zero-duration point-in-time annotation.
+
+        Used by the resilience runtime to mark quarantine decisions in
+        the trace; the parent is whatever span is open on this thread.
+        """
+        if not self.enabled:
+            return None
+        return self.record(
+            name,
+            kind=kind,
+            start_s=self.now(),
+            duration_s=0.0,
+            worker=worker_label(),
+            parent=_CURRENT,
+            **attributes,
+        )
+
     def record(
         self,
         name: str,

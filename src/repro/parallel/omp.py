@@ -20,6 +20,7 @@ import os
 import threading
 import time
 from concurrent.futures import (
+    FIRST_COMPLETED,
     FIRST_EXCEPTION,
     Executor,
     ProcessPoolExecutor,
@@ -27,6 +28,7 @@ from concurrent.futures import (
     wait,
 )
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.errors import ParallelError
@@ -160,6 +162,25 @@ def _record_chunk_metrics(
         registry.merge(shard)
 
 
+def _fold_chunk(
+    trace: tuple | None, metrics: tuple | None, chunk: range,
+    record: dict[str, Any], shard: dict[str, Any] | None, size: int | None = None,
+) -> None:
+    """Ingest one chunk's span record and metrics shard."""
+    if trace is not None:
+        tracer, span_name, parent, _ = trace
+        tracer.record(
+            span_name,
+            kind="chunk",
+            parent=parent,
+            chunk_start=chunk.start,
+            size=len(chunk),
+            **record,
+        )
+    if metrics is not None:
+        _record_chunk_metrics(metrics, record, shard, size if size is not None else len(chunk))
+
+
 def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[range],
            results: list[Any], trace: tuple | None = None,
            metrics: tuple | None = None) -> None:
@@ -170,6 +191,13 @@ def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[ra
     backend, schedule)`` when chunk counters and worker shards should
     be.  Either (or both) switches to the instrumented shim, whose
     ``(values, record, shard)`` triples are folded in after the barrier.
+
+    On failure, chunks not yet started are cancelled and chunks already
+    running are *waited for* before the exception propagates — a shared
+    executor must come back quiescent, not with orphaned chunks still
+    mutating the workspace under the caller's error handling.  Span
+    records and metrics shards of every chunk that did complete are
+    folded in first, so observability stays accurate for partial runs.
     """
     if trace is None and metrics is None:
         futures = {pool.submit(_run_chunk, func, items, chunk): chunk for chunk in chunks}
@@ -186,25 +214,216 @@ def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[ra
     if failed is not None:
         for f in not_done:
             f.cancel()
+        if not_done:
+            wait(not_done)
+        for future, chunk in futures.items():
+            if future.cancelled() or future.exception() is not None:
+                continue
+            values = future.result()
+            if trace is not None or metrics is not None:
+                _, record, shard = values
+                _fold_chunk(trace, metrics, chunk, record, shard)
         raise failed.exception()
     for future, chunk in futures.items():
         values = future.result()
         if trace is not None or metrics is not None:
             values, record, shard = values
-            if trace is not None:
-                tracer, span_name, parent, _ = trace
-                tracer.record(
-                    span_name,
-                    kind="chunk",
-                    parent=parent,
-                    chunk_start=chunk.start,
-                    size=len(chunk),
-                    **record,
-                )
-            if metrics is not None:
-                _record_chunk_metrics(metrics, record, shard, len(chunk))
+            _fold_chunk(trace, metrics, chunk, record, shard)
         for i, value in zip(chunk, values):
             results[i] = value
+
+
+@dataclass
+class Isolation:
+    """Chunk-isolation policy for :func:`parallel_for`.
+
+    Without isolation, one failing item aborts its whole chunk (and the
+    loop).  With it, exceptions of the ``retryable`` classes stop only
+    the failing item: the driver resubmits it (up to ``max_attempts``,
+    sleeping ``delay`` between tries) and runs the chunk's unstarted
+    tail as a fresh chunk, so one poisoned item never takes its chunk
+    mates down with it.  An item that exhausts its attempts yields
+    ``None`` in the results and an ``on_exhausted`` report in
+    :attr:`reports`.
+
+    Only ``retryable`` and ``attempt_scope`` cross into workers (both
+    must be picklable for the process backend: exception classes and a
+    module-level context-manager factory).  The callbacks run on the
+    driver thread, so they may close over unpicklable state.
+    """
+
+    max_attempts: int = 3
+    retryable: tuple = ()
+    describe: Callable[[Any], str] = str
+    #: Context manager factory wrapping each item body with its 1-based
+    #: attempt number (e.g. ``repro.resilience.faults.attempt_scope``).
+    attempt_scope: Callable[[int], Any] | None = None
+    #: Seconds to sleep before retrying ``record`` after attempt N.
+    delay: Callable[[str, int], float] | None = None
+    #: Called once per caught retryable failure (before retry/exhaust).
+    on_caught: Callable[[str, int], None] | None = None
+    #: Called when attempt N's failure leads to a resubmission.
+    on_retry: Callable[[str, int], None] | None = None
+    #: Builds the report appended to :attr:`reports` on give-up.
+    on_exhausted: Callable[[str, BaseException, int], Any] | None = None
+    #: Reports of items that exhausted their attempts (driver-side).
+    reports: list = field(default_factory=list)
+
+    def handle_failure(self, record: str, error: BaseException, attempt: int) -> int | None:
+        """Process one caught failure; next attempt number or ``None``."""
+        if self.on_caught is not None:
+            self.on_caught(record, attempt)
+        if attempt >= self.max_attempts:
+            report = error if self.on_exhausted is None else self.on_exhausted(
+                record, error, attempt
+            )
+            self.reports.append(report)
+            return None
+        if self.on_retry is not None:
+            self.on_retry(record, attempt)
+        if self.delay is not None:
+            pause = self.delay(record, attempt)
+            if pause > 0:
+                time.sleep(pause)
+        return attempt + 1
+
+
+def _run_chunk_isolated(
+    func: Callable[[Any], Any], items: Sequence[Any], indices: range, attempt: int,
+    retryable: tuple, scope: Callable[[int], Any] | None, epoch: float,
+    collect_shard: bool = False,
+) -> tuple[list[Any], int | None, BaseException | None, dict[str, Any], dict[str, Any] | None]:
+    """Run one chunk, stopping at the first *retryable* failure.
+
+    Returns ``(values, failed_offset, error, record, shard)``: on a
+    retryable failure ``values`` holds the results up to the failing
+    item, ``failed_offset`` is its position within ``indices``, and the
+    chunk's unstarted tail never ran (the driver resubmits both).
+    ``attempt`` is uniform across the chunk — initial chunks run at 1,
+    resubmissions are single-item chunks at the bumped number.  Other
+    exceptions propagate exactly like :func:`_run_chunk_traced`.
+    """
+    shard = None
+    if collect_shard:
+        from repro.observability.metrics import begin_worker_window, drain_worker_shard
+
+        begin_worker_window()
+    start_wall = time.time()
+    t0 = time.perf_counter()
+    values: list[Any] = []
+    failed: int | None = None
+    error: BaseException | None = None
+    try:
+        for offset, i in enumerate(indices):
+            try:
+                if scope is not None:
+                    with scope(attempt):
+                        values.append(func(items[i]))
+                else:
+                    values.append(func(items[i]))
+            except retryable as exc:
+                failed, error = offset, exc
+                break
+    finally:
+        if collect_shard:
+            shard = drain_worker_shard()
+    return values, failed, error, {
+        "start_s": start_wall - epoch,
+        "duration_s": time.perf_counter() - t0,
+        "worker": _worker_label(),
+    }, shard
+
+
+def _drain_isolated(
+    pool: Executor, func: Callable, items: Sequence[Any], chunks: list[range],
+    results: list[Any], isolation: Isolation,
+    trace: tuple | None = None, metrics: tuple | None = None,
+) -> None:
+    """:func:`_drain` with per-item failure isolation and resubmission.
+
+    Completion-driven rather than a single barrier: each finished chunk
+    is folded as it lands, a retryable casualty is resubmitted alone
+    (attempt N+1) alongside the chunk's unstarted tail (attempt 1), and
+    the loop ends when no futures remain.  Non-retryable exceptions
+    keep :func:`_drain`'s contract: cancel, settle, fold, raise.
+    """
+    epoch = trace[3] if trace is not None else time.time()
+    collect = metrics is not None
+    pending: dict[Any, tuple[range, int]] = {}
+
+    def submit(indices: range, attempt: int) -> None:
+        if len(indices) == 0:
+            return
+        future = pool.submit(
+            _run_chunk_isolated, func, items, indices, attempt,
+            isolation.retryable, isolation.attempt_scope, epoch, collect,
+        )
+        pending[future] = (indices, attempt)
+
+    for chunk in chunks:
+        submit(chunk, 1)
+    while pending:
+        done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+        for future in done:
+            indices, attempt = pending.pop(future)
+            if future.exception() is not None:
+                for f in pending:
+                    f.cancel()
+                if pending:
+                    wait(list(pending))
+                for f, (ind, _att) in pending.items():
+                    if f.cancelled() or f.exception() is not None:
+                        continue
+                    values, failed, _err, record, shard = f.result()
+                    executed = len(values) + (0 if failed is None else 1)
+                    _fold_chunk(trace, metrics, ind, record, shard, size=executed)
+                raise future.exception()
+            values, failed, error, record, shard = future.result()
+            executed = len(values) + (0 if failed is None else 1)
+            _fold_chunk(trace, metrics, indices, record, shard, size=executed)
+            for i, value in zip(indices, values):
+                results[i] = value
+            if failed is not None:
+                poisoned = indices[failed]
+                name = isolation.describe(items[poisoned])
+                next_attempt = isolation.handle_failure(name, error, attempt)
+                if next_attempt is not None:
+                    submit(indices[failed:failed + 1], next_attempt)
+                else:
+                    results[poisoned] = None
+                submit(indices[failed + 1:], 1)
+
+
+def _serial_chunk_isolated(
+    func: Callable[[Any], Any], items: Sequence[Any], indices: range,
+    isolation: Isolation,
+) -> list[Any]:
+    """The serial-backend equivalent of isolated execution.
+
+    Retries happen in place (no resubmission machinery), with the same
+    attempt numbering and callbacks, so retry counts and exhaustion
+    reports match the pool backends exactly.
+    """
+    scope = isolation.attempt_scope
+    values: list[Any] = []
+    for i in indices:
+        attempt = 1
+        while True:
+            try:
+                if scope is not None:
+                    with scope(attempt):
+                        values.append(func(items[i]))
+                else:
+                    values.append(func(items[i]))
+                break
+            except isolation.retryable as exc:
+                name = isolation.describe(items[i])
+                next_attempt = isolation.handle_failure(name, exc, attempt)
+                if next_attempt is None:
+                    values.append(None)
+                    break
+                attempt = next_attempt
+    return values
 
 
 def parallel_for(
@@ -219,6 +438,7 @@ def parallel_for(
     tracer: "Tracer | None" = None,
     span: str | None = None,
     metrics: "MetricsRegistry | None" = None,
+    isolate: Isolation | None = None,
 ) -> list[Any]:
     """Map ``func`` over ``items`` in parallel, preserving order.
 
@@ -238,6 +458,12 @@ def parallel_for(
     recorded *inside* the loop body (I/O bytes, points processed) find
     their way back: directly on the thread backend, via per-chunk
     worker shards merged after the barrier on the process backend.
+
+    With an ``isolate`` policy (see :class:`Isolation`), retryable
+    failures stop only the failing item — it is retried up to the
+    policy's attempts and, on give-up, yields ``None`` in the results
+    plus a report in ``isolate.reports`` while its chunk mates and the
+    rest of the loop complete normally, on every backend.
     """
     backend = Backend.coerce(backend)
     items = list(items)
@@ -257,14 +483,28 @@ def parallel_for(
 
     if executor is not None:
         results: list[Any] = [None] * n
-        _drain(executor, func, items, chunks, results, trace=trace, metrics=metric)
+        if isolate is not None:
+            _drain_isolated(executor, func, items, chunks, results, isolate,
+                            trace=trace, metrics=metric)
+        else:
+            _drain(executor, func, items, chunks, results, trace=trace, metrics=metric)
         return results
 
     if backend is Backend.SERIAL or workers == 1 or n == 1:
         results = [None] * n
         for chunk in chunks:
             t0 = time.perf_counter()
-            if trace is not None:
+            if isolate is not None:
+                if trace is not None:
+                    tracer_, name_, parent, _ = trace
+                    with tracer_.span(
+                        name_, kind="chunk", parent=parent,
+                        chunk_start=chunk.start, size=len(chunk),
+                    ):
+                        values = _serial_chunk_isolated(func, items, chunk, isolate)
+                else:
+                    values = _serial_chunk_isolated(func, items, chunk, isolate)
+            elif trace is not None:
                 tracer_, name_, parent, _ = trace
                 with tracer_.span(
                     name_, kind="chunk", parent=parent,
@@ -288,7 +528,11 @@ def parallel_for(
     pool_cls = ThreadPoolExecutor if backend is Backend.THREAD else ProcessPoolExecutor
     results = [None] * n
     with pool_cls(max_workers=min(workers, len(chunks))) as pool:
-        _drain(pool, func, items, chunks, results, trace=trace, metrics=metric)
+        if isolate is not None:
+            _drain_isolated(pool, func, items, chunks, results, isolate,
+                            trace=trace, metrics=metric)
+        else:
+            _drain(pool, func, items, chunks, results, trace=trace, metrics=metric)
     return results
 
 
@@ -457,6 +701,20 @@ class TaskGroup:
             done, _ = wait(futures)
             failed = next((f for f in futures if f.exception() is not None), None)
             if failed is not None:
+                # Tasks that did finish still carry span records and
+                # worker metrics shards — fold them in before raising
+                # so a partial group is observable.
+                for future, name in self._futures:
+                    if future.cancelled() or future.exception() is not None:
+                        continue
+                    value = future.result()
+                    if self._tracer is not None or self._metrics is not None:
+                        _, record, shard = value
+                        if self._tracer is not None:
+                            self._tracer.record(
+                                name or "task", kind="task", parent=self._parent, **record
+                            )
+                        self._count_task(record, shard)
                 self._futures = []
                 raise failed.exception()
             batch = []

@@ -1,0 +1,84 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+Backoff jitter normally exists to de-correlate concurrent retriers; a
+*random* jitter would make two replays of the same fault plan sleep
+differently and time out differently.  Here the jitter is a hash of
+(plan seed, unit key, attempt), so retries still spread out across
+concurrent units while the whole schedule stays a pure function of the
+plan — the property the convergence tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import PipelineError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, how long, and how far apart to retry a failing unit.
+
+    ``max_attempts`` counts the first try: 3 means one try plus at most
+    two retries.  ``deadline_s`` bounds the total time one unit may
+    spend across attempts — a unit that would sleep past it gives up
+    early (classified as exhausted, same as running out of attempts).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.0
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    jitter: float = 0.1
+    deadline_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise PipelineError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0 or self.deadline_s <= 0:
+            raise PipelineError("retry delays and deadline must be non-negative")
+        if self.multiplier < 1.0:
+            raise PipelineError(f"backoff multiplier must be >= 1, got {self.multiplier}")
+
+    def delay_s(self, seed: int, key: str, attempt: int) -> float:
+        """Sleep before retrying ``key`` after its N-th failed attempt.
+
+        Exponential in the attempt, capped at ``max_delay_s``, then
+        stretched by a deterministic jitter fraction in ``[0, jitter)``
+        derived from (seed, key, attempt).
+        """
+        base = min(
+            self.max_delay_s, self.base_delay_s * self.multiplier ** (attempt - 1)
+        )
+        if base <= 0.0 or self.jitter <= 0.0:
+            return base
+        digest = hashlib.sha256(f"{seed}|{key}|{attempt}".encode()).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base * (1.0 + self.jitter * unit)
+
+    def gives_up(self, attempt: int, elapsed_s: float) -> bool:
+        """Whether a unit that just failed attempt N should stop."""
+        return attempt >= self.max_attempts or elapsed_s >= self.deadline_s
+
+    def to_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_s": self.base_delay_s,
+            "multiplier": self.multiplier,
+            "max_delay_s": self.max_delay_s,
+            "jitter": self.jitter,
+            "deadline_s": self.deadline_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RetryPolicy":
+        defaults = cls()
+        return cls(
+            max_attempts=int(data.get("max_attempts", defaults.max_attempts)),
+            base_delay_s=float(data.get("base_delay_s", defaults.base_delay_s)),
+            multiplier=float(data.get("multiplier", defaults.multiplier)),
+            max_delay_s=float(data.get("max_delay_s", defaults.max_delay_s)),
+            jitter=float(data.get("jitter", defaults.jitter)),
+            deadline_s=float(data.get("deadline_s", defaults.deadline_s)),
+        )

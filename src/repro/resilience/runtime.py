@@ -1,0 +1,407 @@
+"""The resilience runtime: activation, retry scopes, quarantine folding.
+
+Activation mirrors :mod:`repro.core.auditing`: enabling resilience for
+a workspace writes a ``<root>/resilience/plan.json`` marker holding the
+fault plan and retry policy.  Driver threads find the runtime in the
+in-process registry; pool workers — which rebuild paths from strings —
+discover the marker on disk via :func:`runtime_for` and load their own
+copy, so the same plan governs the serial, thread and process backends
+without any argument plumbing.
+
+Authority is split to stay deterministic:
+
+- *Workers* check faults, retry their own records, and report failures
+  back through return values (or the thread-local pending list the
+  tool emulations fill).  They never write shared state.
+- *The driver* folds reports into the :class:`QuarantineSet`, purges
+  the quarantined station's artifacts, persists ``quarantine.json``,
+  and filters quarantined records out of every later work list — which
+  is why a stale fork-inherited quarantine copy in a long-lived pool
+  worker can waste a little work but never change the outcome.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.errors import FormatError, MissingArtifactError, TransientToolError
+from repro.resilience.faults import FaultPlan, WorkerCrashError, attempt_scope
+from repro.resilience.quarantine import (
+    CRASH,
+    EXHAUSTED,
+    FORMAT,
+    FailureReport,
+    QuarantineSet,
+)
+from repro.resilience.retry import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.artifacts import Workspace
+    from repro.observability.tracer import Tracer
+
+#: Marker directory (under the workspace root) that opts a run in.
+RESILIENCE_DIR = "resilience"
+PLAN_FILE = "plan.json"
+QUARANTINE_FILE = "quarantine.json"
+
+#: Active runtimes: str(root) -> runtime.
+_ACTIVE: dict[str, "ResilienceRuntime"] = {}
+
+#: How many ancestors :func:`runtime_for` climbs looking for a marker
+#: (a tool folder sits at most work/tmp/<instance> below the root).
+_WALK_UP = 6
+
+
+class ResilienceRuntime:
+    """One workspace's fault plan, retry policy and quarantine state."""
+
+    def __init__(self, root: Path, plan: FaultPlan) -> None:
+        self.root = Path(root)
+        self.plan = plan
+        self.quarantine = QuarantineSet()
+        #: Only the enabling process persists quarantine.json — pool
+        #: workers inherit this object across fork and must not race on
+        #: the file (their driver re-derives every report anyway).
+        self._owner_pid = os.getpid()
+        #: Per-thread failure reports collected inside a tool run, so
+        #: concurrent instances on the thread backend stay separate.
+        self._pending = threading.local()
+
+    @property
+    def policy(self) -> RetryPolicy:
+        return self.plan.policy
+
+    @property
+    def marker_dir(self) -> Path:
+        return self.root / RESILIENCE_DIR
+
+    # -- pending reports (worker/tool side) -----------------------------
+
+    def _pending_lists(self) -> tuple[list[FailureReport], set[str]]:
+        if not hasattr(self._pending, "reports"):
+            self._pending.reports = []
+            self._pending.records = set()
+        return self._pending.reports, self._pending.records
+
+    def pend(self, report: FailureReport) -> None:
+        """Park one failure until the caller drains it."""
+        reports, records = self._pending_lists()
+        reports.append(report)
+        records.add(report.record)
+
+    def drain_pending(self) -> list[FailureReport]:
+        """Take (and clear) this thread's parked failure reports."""
+        reports, records = self._pending_lists()
+        out = list(reports)
+        reports.clear()
+        records.clear()
+        return out
+
+    def is_out(self, record: str) -> bool:
+        """Whether ``record`` is quarantined or pending-failed here."""
+        if record in self.quarantine:
+            return True
+        _, records = self._pending_lists()
+        return record in records
+
+    # -- fault application (worker/tool side) ---------------------------
+
+    def apply_file_faults(self, path: Path) -> None:
+        """Corrupt ``path`` if the plan targets it (idempotent)."""
+        if self.plan.corrupt_file(path):
+            _record_fault("file", Path(path).name)
+
+    def apply_config_faults(self, folder: Path, process: str) -> None:
+        """Drop/garble the staged tool.cfg if the plan targets it."""
+        kind = self.plan.corrupt_config(folder, process)
+        if kind is not None:
+            _record_fault(kind, process)
+
+    # -- per-record retry (inside the tool emulations) ------------------
+
+    def run_record(self, process: str, trace: str, body: Callable[[], Any]) -> bool:
+        """Run one record's tool body with faults, retry and capture.
+
+        ``trace`` is the record file stem (``ST01l``).  Returns ``True``
+        when the body completed; ``False`` when the record failed
+        permanently and a :class:`FailureReport` was parked for the
+        caller to drain.  Format errors are permanent (retrying a
+        truncated file cannot help); transient errors retry up to the
+        policy, then exhaust.
+        """
+        from repro.formats.v1 import station_of_trace
+
+        station = station_of_trace(trace)
+        if self.is_out(station):
+            return False
+        start = time.monotonic()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                with attempt_scope(attempt):
+                    self.plan.raise_transient(process, trace)
+                    body()
+                return True
+            except (FormatError, MissingArtifactError) as exc:
+                self.pend(
+                    FailureReport.from_exception(station, process, exc,
+                                                 attempts=attempt, kind=FORMAT)
+                )
+                return False
+            except TransientToolError as exc:
+                _record_fault("transient", process)
+                if self.policy.gives_up(attempt, time.monotonic() - start):
+                    self.pend(
+                        FailureReport.from_exception(station, process, exc,
+                                                     attempts=attempt, kind=EXHAUSTED)
+                    )
+                    return False
+                _record_retry(process)
+                time.sleep(self.policy.delay_s(self.plan.seed, f"{process}:{trace}", attempt))
+
+    # -- per-unit retry (driver side, sequential loops) -----------------
+
+    def check_crash(self, process: str, record: str) -> None:
+        """Fire an injected worker crash if the plan targets this unit.
+
+        Called at the top of a loop-unit body (e.g. ``separate_station``)
+        so the same fault fires under :meth:`run_unit`, the serial loop,
+        and the pool backends alike — the attempt number comes from the
+        ambient :func:`~repro.resilience.faults.attempt_scope`.
+        """
+        self.plan.raise_crash(process, record)
+
+    def run_unit(
+        self, process: str, record: str, call: Callable[[], Any]
+    ) -> FailureReport | None:
+        """Driver-side retry wrapper around one loop unit (e.g. P3).
+
+        Mirrors the chunk-isolation semantics of the parallel loops: a
+        :class:`WorkerCrashError` raised by the body is retried with the
+        same attempt numbering the pool path uses, a format error is
+        permanent, and the returned report (if any) is the unit's
+        failure.
+        """
+        start = time.monotonic()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                with attempt_scope(attempt):
+                    call()
+                return None
+            except FormatError as exc:
+                return FailureReport.from_exception(record, process, exc,
+                                                    attempts=attempt, kind=FORMAT)
+            except WorkerCrashError as exc:
+                _record_fault("crash", process)
+                if self.policy.gives_up(attempt, time.monotonic() - start):
+                    return FailureReport.from_exception(record, process, exc,
+                                                        attempts=attempt, kind=CRASH)
+                _record_retry(process)
+                time.sleep(self.policy.delay_s(self.plan.seed, f"{process}:{record}", attempt))
+
+    def isolation(self, process: str, describe: Callable[[Any], str] = str):
+        """Chunk-isolation config for :func:`repro.parallel.omp.parallel_for`.
+
+        Wires the plan's retry policy and failure classification into
+        the runtime-agnostic :class:`~repro.parallel.omp.Isolation`.
+        """
+        from repro.parallel.omp import Isolation
+
+        plan_seed = self.plan.seed
+
+        def on_caught(record: str, attempt: int) -> None:
+            _record_fault("crash", process)
+
+        def on_retry(record: str, attempt: int) -> None:
+            _record_retry(process)
+
+        def delay(record: str, attempt: int) -> float:
+            return self.policy.delay_s(plan_seed, f"{process}:{record}", attempt)
+
+        def on_exhausted(record: str, error: BaseException, attempts: int) -> FailureReport:
+            return FailureReport.from_exception(record, process, error, attempts=attempts)
+
+        return Isolation(
+            max_attempts=self.policy.max_attempts,
+            retryable=(WorkerCrashError,),
+            describe=describe,
+            attempt_scope=attempt_scope,
+            delay=delay,
+            on_caught=on_caught,
+            on_retry=on_retry,
+            on_exhausted=on_exhausted,
+        )
+
+    # -- quarantine folding (driver side) -------------------------------
+
+    def quarantine_reports(
+        self, reports: Iterable[FailureReport | None], tracer: "Tracer | None" = None
+    ) -> list[FailureReport]:
+        """Fold failure reports in: dedup, purge, persist, annotate.
+
+        Returns the reports that newly quarantined their record.
+        """
+        fresh: list[FailureReport] = []
+        for report in reports:
+            if report is None:
+                continue
+            if not self.quarantine.add(report):
+                continue
+            fresh.append(report)
+            _purge_station(self.root, report.record)
+            _record_quarantine(report.process, report.kind)
+            if tracer is not None and tracer.enabled:
+                tracer.event(
+                    "quarantine",
+                    record=report.record,
+                    process=report.process,
+                    fault_kind=report.kind,
+                    error=report.error,
+                    attempts=report.attempts,
+                )
+        if fresh and os.getpid() == self._owner_pid and self.marker_dir.is_dir():
+            self.quarantine.save(self.marker_dir / QUARANTINE_FILE)
+        return fresh
+
+    def surviving(self, records: Iterable[str]) -> list[str]:
+        """Filter quarantined records out of a work list."""
+        return [r for r in records if r not in self.quarantine]
+
+
+# -- activation registry ------------------------------------------------
+
+
+def enable_resilience(root: Path | str, plan: FaultPlan) -> ResilienceRuntime:
+    """Write the plan marker and activate the runtime for ``root``."""
+    root = Path(root)
+    runtime = ResilienceRuntime(root, plan)
+    runtime.marker_dir.mkdir(parents=True, exist_ok=True)
+    plan.save(runtime.marker_dir / PLAN_FILE)
+    _ACTIVE[str(root)] = runtime
+    return runtime
+
+
+def disable_resilience(root: Path | str) -> None:
+    """Deactivate the runtime for ``root`` and remove its marker."""
+    import shutil
+
+    root = Path(root)
+    _ACTIVE.pop(str(root), None)
+    shutil.rmtree(root / RESILIENCE_DIR, ignore_errors=True)
+
+
+def active_runtime(root: Path | str) -> ResilienceRuntime | None:
+    """The in-process runtime for ``root``, if one is active."""
+    return _ACTIVE.get(str(Path(root)))
+
+
+def runtime_for(path: Path | str) -> ResilienceRuntime | None:
+    """The runtime governing ``path``, discovering markers on disk.
+
+    Checks the in-process registry by prefix first (drivers, and forked
+    pool workers that inherited it), then climbs a few ancestors
+    looking for a plan marker — the path a freshly spawned worker
+    takes.  With no runtime anywhere this costs a dict scan plus a
+    handful of ``stat`` calls, keeping the clean path effectively free.
+    """
+    text = str(path)
+    for root, runtime in _ACTIVE.items():
+        if text == root or text.startswith(root + os.sep):
+            return runtime
+    probe = Path(path)
+    for candidate in (probe, *probe.parents[:_WALK_UP]):
+        marker = candidate / RESILIENCE_DIR / PLAN_FILE
+        if marker.is_file():
+            runtime = ResilienceRuntime(candidate, FaultPlan.load(marker))
+            _ACTIVE[str(candidate)] = runtime
+            return runtime
+    return None
+
+
+# -- work-list filtering (every stage goes through these) ----------------
+
+
+def surviving_stations(workspace: "Workspace", stations: list[str]) -> list[str]:
+    """Drop quarantined stations from a work list (no-op when inactive)."""
+    runtime = active_runtime(workspace.root) or runtime_for(workspace.root)
+    if runtime is None or not len(runtime.quarantine):
+        return stations
+    return runtime.surviving(stations)
+
+
+def surviving_entries(workspace: "Workspace", entries: list[tuple]) -> list[tuple]:
+    """Drop metadata entries whose station (first field) is quarantined.
+
+    The staged plans write the metadata files *before* the tool stages
+    run, so a station quarantined at stage IV can still appear in
+    ``response.meta`` — every metadata-driven loop filters through here.
+    """
+    runtime = active_runtime(workspace.root) or runtime_for(workspace.root)
+    if runtime is None or not len(runtime.quarantine):
+        return entries
+    return [entry for entry in entries if entry[0] not in runtime.quarantine]
+
+
+# -- purge ---------------------------------------------------------------
+
+
+def _purge_station(root: Path, station: str) -> None:
+    """Remove every artifact of a quarantined station from work/.
+
+    Exact paths from the workspace helpers, not a glob — ``ST1*`` would
+    also match ``ST10``.  Partial outputs (a surviving component's
+    ``.max`` part written before its sibling failed) go too, keeping
+    the merged maxima files survivor-only in every implementation.
+    """
+    from repro.core.artifacts import Workspace
+    from repro.formats.common import COMPONENTS
+    from repro.formats.gem import GEM_QUANTITIES, GEM_SOURCES
+
+    ws = Workspace(root)
+    victims: list[Path] = [
+        ws.plot_accelerograph(station),
+        ws.plot_fourier(station),
+        ws.plot_response(station),
+    ]
+    for comp in COMPONENTS:
+        victims.append(ws.component_v1(station, comp))
+        victims.append(ws.component_v2(station, comp))
+        victims.append(ws.component_f(station, comp))
+        victims.append(ws.component_r(station, comp))
+        victims.append(ws.work_dir / f"{station}{comp}.max")
+        for source in GEM_SOURCES:
+            for quantity in GEM_QUANTITIES:
+                victims.append(ws.gem(station, comp, source, quantity))
+    for victim in victims:
+        try:
+            victim.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - purge must never fail a run
+            pass
+
+
+# -- metrics hooks (no-ops without a collecting registry) ----------------
+
+
+def _record_fault(kind: str, target: str) -> None:
+    from repro.observability.metrics import record_fault
+
+    record_fault(kind, target)
+
+
+def _record_retry(process: str) -> None:
+    from repro.observability.metrics import record_retry
+
+    record_retry(process)
+
+
+def _record_quarantine(process: str, kind: str) -> None:
+    from repro.observability.metrics import record_quarantine
+
+    record_quarantine(process, kind)

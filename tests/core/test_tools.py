@@ -12,7 +12,7 @@ from repro.core.tools import (
     write_tool_config,
 )
 from repro.dsp.fir import DEFAULT_BANDPASS, BandPassSpec
-from repro.errors import PipelineError
+from repro.errors import MissingArtifactError, PipelineError
 from repro.formats.common import Header
 from repro.formats.fourier import read_fourier
 from repro.formats.params import FilterParams, write_filter_params
@@ -32,8 +32,12 @@ class TestToolConfig:
         settings = read_tool_config(tmp_path)
         assert settings == {"PARAMS": "filter.par", "TAPER": "0.05"}
 
-    def test_missing_is_empty(self, tmp_path):
-        assert read_tool_config(tmp_path) == {}
+    def test_missing_config_is_a_missing_artifact(self, tmp_path):
+        with pytest.raises(MissingArtifactError):
+            read_tool_config(tmp_path)
+        # Still a PipelineError: existing catch-all handlers keep working.
+        with pytest.raises(PipelineError):
+            read_tool_config(tmp_path)
 
 
 class TestCorrectComponent:
@@ -79,6 +83,7 @@ class TestCorrectComponent:
 class TestCorrectionTool:
     def prepare(self, tmp_path, rng, n_traces=2):
         write_filter_params(tmp_path / "filter.par", FilterParams(default=DEFAULT_BANDPASS))
+        write_tool_config(tmp_path, params="filter.par")
         comps = ["l", "t"]
         for comp in comps[:n_traces]:
             record = make_component(rng, comp=comp)
@@ -117,6 +122,7 @@ class TestCorrectionTool:
 
     def test_empty_folder_is_noop(self, tmp_path):
         write_filter_params(tmp_path / "filter.par", FilterParams(default=DEFAULT_BANDPASS))
+        write_tool_config(tmp_path, params="filter.par")
         assert correction_tool(tmp_path) == []
 
     def test_deterministic(self, tmp_path, rng):
@@ -130,6 +136,7 @@ class TestCorrectionTool:
 class TestFourierTool:
     def prepare(self, tmp_path, rng):
         write_filter_params(tmp_path / "filter.par", FilterParams(default=DEFAULT_BANDPASS))
+        write_tool_config(tmp_path, params="filter.par")
         write_component_v1(tmp_path / "ST01l.v1", make_component(rng))
         correction_tool(tmp_path)
 

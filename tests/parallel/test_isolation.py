@@ -1,0 +1,167 @@
+"""Tests for chunk isolation and the failure path of parallel_for.
+
+Two concerns share this file: the :class:`Isolation` machinery (one
+poisoned item must not take its chunk mates down, and retry/exhaustion
+counts must match across backends) and the regression guarding the
+plain failure path (a failing chunk must not drop the observability of
+chunks that *did* complete, and must leave no executor behind).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.parallel.omp import Isolation, TaskGroup, parallel_for
+from repro.resilience.faults import attempt_scope, current_attempt
+
+
+class FlakyError(RuntimeError):
+    """Module-level so the process backend can pickle it."""
+
+
+def flaky_until_third(x: int) -> int:
+    if x == 3 and current_attempt() <= 2:
+        raise FlakyError(f"boom on {x}")
+    return x * 10
+
+
+def always_flaky(x: int) -> int:
+    if x == 3:
+        raise FlakyError(f"boom on {x}")
+    return x * 10
+
+
+def fail_slowly_on_nine(x: int) -> int:
+    if x == 9:
+        time.sleep(0.2)  # let every other chunk complete first
+        raise ValueError("boom on 9")
+    return x * 10
+
+
+def make_isolation(max_attempts: int = 3) -> Isolation:
+    return Isolation(
+        max_attempts=max_attempts,
+        retryable=(FlakyError,),
+        attempt_scope=attempt_scope,
+    )
+
+
+class TestIsolationRecovery:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_retry_recovers_without_losing_chunk_mates(self, backend):
+        isolate = make_isolation(max_attempts=3)
+        out = parallel_for(
+            flaky_until_third, list(range(6)), backend=backend, num_workers=2,
+            chunk_size=3, isolate=isolate,
+        )
+        assert out == [0, 10, 20, 30, 40, 50]
+        assert isolate.reports == []
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_exhaustion_isolates_only_the_poisoned_item(self, backend):
+        isolate = make_isolation(max_attempts=2)
+        out = parallel_for(
+            always_flaky, list(range(6)), backend=backend, num_workers=2,
+            chunk_size=3, isolate=isolate,
+        )
+        assert out == [0, 10, 20, None, 40, 50]
+        assert len(isolate.reports) == 1
+        assert isinstance(isolate.reports[0], FlakyError)
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_retry_count_matches_across_backends(self, backend):
+        retries: list[tuple[str, int]] = []
+        caught: list[tuple[str, int]] = []
+        isolate = make_isolation(max_attempts=3)
+        isolate.on_retry = lambda record, attempt: retries.append((record, attempt))
+        isolate.on_caught = lambda record, attempt: caught.append((record, attempt))
+        parallel_for(
+            flaky_until_third, list(range(6)), backend=backend, num_workers=2,
+            chunk_size=2, isolate=isolate,
+        )
+        # Attempt-based firing: exactly two catches, two retries, on
+        # every backend and chunking.
+        assert caught == [("3", 1), ("3", 2)]
+        assert retries == [("3", 1), ("3", 2)]
+
+    def test_on_exhausted_builds_the_report(self):
+        isolate = make_isolation(max_attempts=1)
+        isolate.on_exhausted = lambda record, error, attempts: (record, type(error).__name__, attempts)
+        out = parallel_for(
+            always_flaky, list(range(6)), backend="thread", num_workers=2,
+            isolate=isolate,
+        )
+        assert out[3] is None
+        assert isolate.reports == [("3", "FlakyError", 1)]
+
+    def test_non_retryable_still_propagates(self):
+        isolate = make_isolation()
+        with pytest.raises(ValueError, match="boom on 9"):
+            parallel_for(
+                fail_slowly_on_nine, list(range(10)), backend="thread",
+                num_workers=2, isolate=isolate,
+            )
+
+
+class TestFailurePathObservability:
+    """Regression: a failing chunk must not drop completed-chunk data."""
+
+    def test_completed_chunk_metrics_survive_the_failure(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="boom on 9"):
+            parallel_for(
+                fail_slowly_on_nine, list(range(10)), backend="thread",
+                num_workers=2, chunk_size=1, metrics=registry,
+            )
+        # Nine chunks completed while chunk 9 slept; their counters and
+        # histograms must have been folded in before the raise.
+        assert registry.total("repro_parallel_chunks_total") == 9
+        observed = sum(
+            inst.count
+            for labels, inst in registry.samples_all()
+            if labels[0] == "repro_parallel_chunk_duration_seconds"
+        )
+        assert observed == 9
+
+    def test_executor_not_leaked_after_failure(self):
+        for _ in range(3):
+            with pytest.raises(ValueError, match="boom on 9"):
+                parallel_for(
+                    fail_slowly_on_nine, list(range(10)), backend="thread",
+                    num_workers=2, chunk_size=1,
+                )
+        # A fresh loop on the same backend still works: pools were shut
+        # down, not orphaned with live chunks.
+        assert parallel_for(
+            fail_slowly_on_nine, list(range(9)), backend="thread", num_workers=2
+        ) == [x * 10 for x in range(9)]
+
+    @pytest.mark.slow
+    def test_process_backend_failure_path(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="boom on 9"):
+            parallel_for(
+                fail_slowly_on_nine, list(range(10)), backend="process",
+                num_workers=2, chunk_size=1, metrics=registry,
+            )
+        assert registry.total("repro_parallel_chunks_total") == 9
+
+    def test_taskwait_folds_completed_tasks(self):
+        registry = MetricsRegistry()
+
+        def ok() -> int:
+            return 1
+
+        def bad() -> int:
+            time.sleep(0.1)
+            raise ValueError("task boom")
+
+        with pytest.raises(ValueError, match="task boom"):
+            with TaskGroup(backend="thread", num_workers=2, metrics=registry) as tg:
+                tg.task(ok)
+                tg.task(ok)
+                tg.task(bad)
+        assert registry.total("repro_parallel_tasks_total") == 2

@@ -1,0 +1,71 @@
+"""Smoke tests of the chaos soak harness and its CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.chaos import ChaosReport, ChaosRun, ChaosSeedResult
+from repro.resilience.faults import FaultPlan
+
+
+def make_run(label="a", quarantine=(), retries=0.0, degraded=""):
+    impl, _, backend = label.partition("/")
+    return ChaosRun(
+        implementation=impl or "impl", backend=backend or "thread",
+        quarantine=tuple(quarantine), retries=retries, faults=0.0,
+        degraded=degraded,
+    )
+
+
+class TestVerdicts:
+    def test_converged_seed(self):
+        seed = ChaosSeedResult(seed=1, plan=FaultPlan(), runs=[
+            make_run("a/thread"), make_run("b/process"),
+        ])
+        assert seed.converged
+        assert seed.problems() == []
+
+    def test_divergent_quarantine_flagged(self):
+        seed = ChaosSeedResult(seed=1, plan=FaultPlan(), runs=[
+            make_run("a/thread", quarantine=(("ST01",),)),
+            make_run("b/thread"),
+        ])
+        assert not seed.converged
+        assert any("quarantine" in p for p in seed.problems())
+
+    def test_divergent_retries_flagged(self):
+        seed = ChaosSeedResult(seed=1, plan=FaultPlan(), runs=[
+            make_run("a/thread", retries=2.0), make_run("b/thread", retries=3.0),
+        ])
+        assert any("retry count" in p for p in seed.problems())
+
+    def test_report_render_and_ok(self):
+        report = ChaosReport(clean_identical=True, seeds=[
+            ChaosSeedResult(seed=4, plan=FaultPlan(), runs=[make_run()]),
+        ])
+        assert report.ok
+        text = report.render()
+        assert "RESULT: ok" in text
+        assert "seed 4: converged" in text
+        report.clean_identical = False
+        assert not report.ok
+        assert "RESULT: FAILED" in report.render()
+
+
+@pytest.mark.slow
+class TestSoak:
+    def test_small_soak_converges(self, tmp_path):
+        from repro.resilience.chaos import chaos_soak
+
+        report = chaos_soak(
+            tmp_path,
+            seeds=[3],
+            scale=0.02,
+            implementations=["seq-optimized", "full-parallel"],
+            backends=("thread",),
+            workers=2,
+        )
+        assert report.ok, report.render()
+        assert report.clean_identical
+        assert len(report.seeds) == 1
+        assert len(report.seeds[0].runs) == 2

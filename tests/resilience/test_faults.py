@@ -1,0 +1,178 @@
+"""Tests for the seeded fault plan and its corruption primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PipelineError, ReproError, TransientToolError
+from repro.resilience.faults import (
+    GARBLE_LINE,
+    FaultPlan,
+    FaultSpec,
+    WorkerCrashError,
+    attempt_scope,
+    current_attempt,
+    garble_line,
+    truncate_lines,
+)
+from repro.resilience.retry import RetryPolicy
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PipelineError):
+            FaultSpec(kind="set-on-fire", target="ST01")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(PipelineError):
+            FaultSpec(kind="transient", target="P4:ST01l", count=0)
+
+
+class TestAttemptScope:
+    def test_defaults_to_first_attempt(self):
+        assert current_attempt() == 1
+
+    def test_scope_sets_and_restores(self):
+        with attempt_scope(3):
+            assert current_attempt() == 3
+            with attempt_scope(7):
+                assert current_attempt() == 7
+            assert current_attempt() == 3
+        assert current_attempt() == 1
+
+
+class TestFiringSemantics:
+    plan = FaultPlan(
+        seed=5,
+        faults=(
+            FaultSpec(kind="transient", target="P4:ST01l", count=2),
+            FaultSpec(kind="crash", target="P3:ST02", count=1),
+        ),
+    )
+
+    def test_fires_on_attempts_up_to_count(self):
+        assert self.plan.should_fire("transient", "P4", "ST01l", attempt=1)
+        assert self.plan.should_fire("transient", "P4", "ST01l", attempt=2)
+        assert not self.plan.should_fire("transient", "P4", "ST01l", attempt=3)
+
+    def test_untargeted_never_fires(self):
+        assert not self.plan.should_fire("transient", "P4", "ST09l", attempt=1)
+        assert not self.plan.should_fire("transient", "P7", "ST01l", attempt=1)
+
+    def test_raise_transient_uses_current_attempt(self):
+        with attempt_scope(1), pytest.raises(TransientToolError):
+            self.plan.raise_transient("P4", "ST01l")
+        with attempt_scope(3):
+            # Spent: a matching spec exists but no longer fires.
+            assert self.plan.raise_transient("P4", "ST01l") is True
+        assert self.plan.raise_transient("P4", "ST05l") is False
+
+    def test_raise_crash(self):
+        with attempt_scope(1), pytest.raises(WorkerCrashError):
+            self.plan.raise_crash("P3", "ST02")
+        with attempt_scope(2):
+            assert self.plan.raise_crash("P3", "ST02") is True
+
+    def test_worker_crash_is_not_a_repro_error(self):
+        # Pipeline-boundary `except ReproError` handlers must never
+        # absorb an injected worker death; only chunk isolation may.
+        assert not issubclass(WorkerCrashError, ReproError)
+        assert issubclass(WorkerCrashError, RuntimeError)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            seed=42,
+            faults=(
+                FaultSpec(kind="truncate-v1", target="ST01l.v1"),
+                FaultSpec(kind="transient", target="P7:ST02t", count=3),
+            ),
+            policy=RetryPolicy(max_attempts=4, base_delay_s=0.001),
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_from_dict_defaults(self):
+        plan = FaultPlan.from_dict({})
+        assert plan.seed == 0
+        assert plan.faults == ()
+        assert plan.policy == RetryPolicy()
+
+
+class TestCorruption:
+    def make_v1(self, path, n_lines=30):
+        path.write_text("\n".join(f"line {i}" for i in range(n_lines)) + "\n")
+
+    def test_truncate_is_idempotent(self, tmp_path):
+        path = tmp_path / "ST01l.v1"
+        self.make_v1(path)
+        plan = FaultPlan(seed=3, faults=(FaultSpec(kind="truncate-v1", target="ST01l.v1"),))
+        assert plan.corrupt_file(path) is True
+        first = path.read_bytes()
+        assert plan.corrupt_file(path) is False
+        assert path.read_bytes() == first
+        assert len(first.splitlines()) < 30
+
+    def test_garble_is_idempotent(self, tmp_path):
+        path = tmp_path / "ST01l.v2"
+        self.make_v1(path)
+        plan = FaultPlan(seed=3, faults=(FaultSpec(kind="garble-v1", target="ST01l.v2"),))
+        assert plan.corrupt_file(path) is True
+        assert GARBLE_LINE in path.read_text()
+        assert plan.corrupt_file(path) is False
+
+    def test_corruption_is_seeded(self, tmp_path):
+        a, b = tmp_path / "a.v1", tmp_path / "b.v1"
+        self.make_v1(a)
+        self.make_v1(b)
+        truncate_lines(a, 12345)
+        truncate_lines(b, 12345)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_untargeted_file_untouched(self, tmp_path):
+        path = tmp_path / "ST02l.v1"
+        self.make_v1(path)
+        plan = FaultPlan(seed=3, faults=(FaultSpec(kind="truncate-v1", target="ST01l.v1"),))
+        before = path.read_bytes()
+        assert plan.corrupt_file(path) is False
+        assert path.read_bytes() == before
+
+    def test_garble_missing_file_is_noop(self, tmp_path):
+        assert garble_line(tmp_path / "absent.v1", 7) is False
+
+    def test_drop_config(self, tmp_path):
+        from repro.core.tools import TOOL_CONFIG
+
+        (tmp_path / TOOL_CONFIG).write_text("PARAMS filter.par\n")
+        plan = FaultPlan(seed=1, faults=(FaultSpec(kind="drop-config", target="P4"),))
+        assert plan.corrupt_config(tmp_path, "P4") == "drop-config"
+        assert not (tmp_path / TOOL_CONFIG).exists()
+        assert plan.corrupt_config(tmp_path, "P7") is None
+
+    def test_garble_config(self, tmp_path):
+        from repro.core.tools import TOOL_CONFIG
+
+        (tmp_path / TOOL_CONFIG).write_text("PARAMS filter.par\n")
+        plan = FaultPlan(seed=1, faults=(FaultSpec(kind="garble-config", target="P7"),))
+        assert plan.corrupt_config(tmp_path, "P7") == "garble-config"
+        assert GARBLE_LINE in (tmp_path / TOOL_CONFIG).read_text()
+
+
+class TestRandomized:
+    def test_same_seed_same_plan(self):
+        stations = ["ST01", "ST02", "ST03"]
+        assert FaultPlan.randomized(9, stations) == FaultPlan.randomized(9, stations)
+
+    def test_draws_only_record_level_kinds(self):
+        plan = FaultPlan.randomized(11, ["ST01", "ST02"], n_faults=8)
+        assert len(plan.faults) == 8
+        for fault in plan.faults:
+            assert fault.kind in ("truncate-v1", "garble-v1", "transient", "crash")
+
+    def test_counts_stay_within_policy(self):
+        policy = RetryPolicy(max_attempts=3)
+        plan = FaultPlan.randomized(13, ["ST01"], n_faults=20, policy=policy)
+        for fault in plan.faults:
+            assert fault.count <= policy.max_attempts

@@ -1,0 +1,138 @@
+"""Tests for the retry policy and the quarantine bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    HeaderError,
+    MissingArtifactError,
+    PipelineError,
+    RetryExhaustedError,
+    TransientToolError,
+)
+from repro.resilience.faults import WorkerCrashError
+from repro.resilience.quarantine import (
+    CRASH,
+    EXHAUSTED,
+    FATAL,
+    FORMAT,
+    FailureReport,
+    QuarantineSet,
+    classify,
+)
+from repro.resilience.retry import RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy(base_delay_s=0.01)
+        assert policy.delay_s(7, "P4:ST01l", 2) == policy.delay_s(7, "P4:ST01l", 2)
+
+    def test_delay_varies_with_seed_and_key(self):
+        policy = RetryPolicy(base_delay_s=0.01)
+        delays = {
+            policy.delay_s(7, "P4:ST01l", 1),
+            policy.delay_s(8, "P4:ST01l", 1),
+            policy.delay_s(7, "P4:ST02l", 1),
+        }
+        assert len(delays) == 3
+
+    def test_delay_backs_off_exponentially_within_bounds(self):
+        policy = RetryPolicy(base_delay_s=0.01, multiplier=2.0, jitter=0.1, max_delay_s=1.0)
+        for attempt, base in ((1, 0.01), (2, 0.02), (3, 0.04)):
+            delay = policy.delay_s(1, "k", attempt)
+            assert base <= delay <= base * 1.1
+
+    def test_delay_caps_at_max(self):
+        policy = RetryPolicy(base_delay_s=0.1, multiplier=10.0, max_delay_s=0.25, jitter=0.0)
+        assert policy.delay_s(1, "k", 5) == pytest.approx(0.25)
+
+    def test_zero_base_never_sleeps(self):
+        policy = RetryPolicy(base_delay_s=0.0)
+        assert policy.delay_s(1, "k", 3) == 0.0
+
+    def test_gives_up_on_attempts_or_deadline(self):
+        policy = RetryPolicy(max_attempts=3, deadline_s=10.0)
+        assert not policy.gives_up(2, 1.0)
+        assert policy.gives_up(3, 1.0)
+        assert policy.gives_up(2, 10.0)
+
+    def test_dict_roundtrip(self):
+        policy = RetryPolicy(max_attempts=5, base_delay_s=0.5, deadline_s=7.0)
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "error, kind",
+        [
+            (HeaderError("bad header"), FORMAT),
+            (MissingArtifactError("x.cfg"), FORMAT),
+            (TransientToolError("flaky"), EXHAUSTED),
+            (RetryExhaustedError("ST01l", 3), EXHAUSTED),
+            (WorkerCrashError("boom"), CRASH),
+            (PipelineError("other"), FATAL),
+        ],
+    )
+    def test_kinds(self, error, kind):
+        assert classify(error) == kind
+
+
+class TestFailureReport:
+    def test_from_exception_uses_type_name_only(self):
+        report = FailureReport.from_exception(
+            "ST01", "P4", HeaderError("/some/host/specific/path broke"), attempts=1
+        )
+        # Workspace paths differ between runs; the report must not leak
+        # them or degraded bulletins stop converging across backends.
+        assert report.error == "HeaderError"
+        assert "path" not in report.describe()
+
+    def test_describe_is_stable(self):
+        report = FailureReport(record="ST01", process="P4", kind=FORMAT,
+                               error="HeaderError", attempts=1)
+        assert report.describe() == FailureReport.from_dict(report.to_dict()).describe()
+        assert "ST01" in report.describe()
+        assert "attempt" in report.describe()
+
+    def test_dict_roundtrip(self):
+        report = FailureReport(record="ST02", process="P3", kind=CRASH,
+                               error="WorkerCrashError", attempts=3)
+        assert FailureReport.from_dict(report.to_dict()) == report
+
+
+class TestQuarantineSet:
+    def make_report(self, record="ST01", kind=FORMAT, attempts=1):
+        return FailureReport(record=record, process="P4", kind=kind,
+                             error="HeaderError", attempts=attempts)
+
+    def test_first_report_wins(self):
+        qs = QuarantineSet()
+        assert qs.add(self.make_report()) is True
+        assert qs.add(self.make_report(kind=CRASH)) is False
+        assert len(qs) == 1
+        assert qs.reports()[0].kind == FORMAT
+
+    def test_membership_and_records(self):
+        qs = QuarantineSet()
+        qs.add(self.make_report("ST03"))
+        assert "ST03" in qs
+        assert "ST01" not in qs
+        assert qs.records() == {"ST03"}
+
+    def test_signature_is_order_independent(self):
+        a, b = QuarantineSet(), QuarantineSet()
+        a.add(self.make_report("ST01"))
+        a.add(self.make_report("ST02", kind=CRASH))
+        b.add(self.make_report("ST02", kind=CRASH))
+        b.add(self.make_report("ST01"))
+        assert a.signature() == b.signature()
+
+    def test_save_load_roundtrip(self, tmp_path):
+        qs = QuarantineSet()
+        qs.add(self.make_report("ST01"))
+        qs.add(self.make_report("ST05", kind=EXHAUSTED, attempts=3))
+        path = tmp_path / "quarantine.json"
+        qs.save(path)
+        assert QuarantineSet.load(path).signature() == qs.signature()

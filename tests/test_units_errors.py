@@ -61,6 +61,9 @@ class TestErrorHierarchy:
             errors.SignalError,
             errors.FilterDesignError,
             errors.CalibrationError,
+            errors.TransientToolError,
+            errors.RetryExhaustedError,
+            errors.QuarantinedRecordError,
         ],
     )
     def test_all_derive_from_base(self, exc):
@@ -87,3 +90,28 @@ class TestErrorHierarchy:
     def test_catching_the_base_catches_everything(self):
         with pytest.raises(errors.ReproError):
             raise errors.FilterDesignError("bad corners")
+
+    def test_transient_tool_error_is_pipeline_error(self):
+        assert issubclass(errors.TransientToolError, errors.PipelineError)
+        with pytest.raises(errors.ReproError):
+            raise errors.TransientToolError("flaky read")
+
+    def test_retry_exhausted_carries_attempt_context(self):
+        cause = errors.TransientToolError("still flaky")
+        err = errors.RetryExhaustedError("ST01l", 3, cause)
+        assert err.record == "ST01l"
+        assert err.attempts == 3
+        assert err.cause is cause
+        assert "ST01l" in str(err)
+        assert "3" in str(err)
+        assert "TransientToolError" in str(err)
+        with pytest.raises(errors.ReproError):
+            raise err
+
+    def test_quarantined_record_carries_identity(self):
+        err = errors.QuarantinedRecordError("ST02", attempts=2)
+        assert err.record == "ST02"
+        assert err.attempts == 2
+        assert "ST02" in str(err)
+        with pytest.raises(errors.ReproError):
+            raise err
