@@ -46,6 +46,7 @@ def run(
     backend: Backend | str | None = None,
     workers: int | None = None,
     trace: bool | str | Path | None = None,
+    profile: bool | str | Path | None = None,
     workspace: str | Path | None = None,
     response_periods: int | None = None,
     settings: ParallelSettings | None = None,
@@ -67,9 +68,14 @@ def run(
     per-strategy control.  ``trace=True`` attaches the run's span
     :class:`~repro.observability.tracer.Trace` to the returned result;
     a path additionally writes it as Chrome Trace Event JSON.
+    ``profile=True`` samples the run (driver threads and pool workers
+    alike) and attaches the merged
+    :class:`~repro.observability.profiling.Profile` as
+    ``result.profile``; a path additionally writes it as speedscope
+    JSON.
 
     Returns the implementation's :class:`PipelineResult` (with
-    ``result.trace`` set when tracing was requested).
+    ``result.trace`` / ``result.profile`` set when requested).
     """
     impl = _resolve_implementation(implementation)
 
@@ -110,8 +116,14 @@ def run(
         else:
             ctx = RunContext.for_directory(Path(source), **kwargs)
 
-    if trace:
+    if trace or profile:
+        # Profiling needs the tracer for span attribution, so asking
+        # for a profile implies a trace on the result too.
         ctx.tracer = Tracer()
+    if profile:
+        from repro.observability.profiling import SamplingProfiler
+
+        ctx.profiler = SamplingProfiler()
 
     result = impl.run(ctx)
 
@@ -119,5 +131,10 @@ def run(
         from repro.observability.export import write_chrome_trace
 
         if result.trace is not None:
-            write_chrome_trace(trace, result.trace)
+            write_chrome_trace(trace, result.trace, profile=result.profile)
+    if profile and not isinstance(profile, bool):
+        from repro.observability.profiling import write_speedscope
+
+        if result.profile is not None:
+            write_speedscope(profile, result.profile, name=impl.name)
     return result

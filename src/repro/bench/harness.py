@@ -53,6 +53,7 @@ def measure_implementations(
     keep_dir: Path | None = None,
     include_extensions: bool = False,
     trace_dir: Path | None = None,
+    profile_dir: Path | None = None,
 ) -> MeasuredRow:
     """Time all four implementations on one scaled-down event.
 
@@ -62,7 +63,10 @@ def measure_implementations(
     ``include_extensions`` additionally times the wavefront and
     cluster extensions; ``trace_dir`` records a span trace per
     implementation and writes ``<name>.trace.json`` Chrome traces
-    there (the timings then come from the same spans the traces show).
+    there (the timings then come from the same spans the traces show);
+    ``profile_dir`` samples each run and writes
+    ``<name>.speedscope.json`` flamegraph profiles there (implies
+    tracing, which the profiler needs for span attribution).
     """
     workload = scaled_workload(event, scale)
     times: dict[str, float] = {}
@@ -81,10 +85,14 @@ def measure_implementations(
                 response_config=response_config or small_response_config(),
                 parallel=parallel or ParallelSettings(),
             )
-            if trace_dir is not None:
+            if trace_dir is not None or profile_dir is not None:
                 from repro.observability.tracer import Tracer
 
                 ctx.tracer = Tracer()
+            if profile_dir is not None:
+                from repro.observability.profiling import SamplingProfiler
+
+                ctx.profiler = SamplingProfiler()
             materialize(event, workload, ctx.workspace.input_dir)
             result = impl_cls().run(ctx)
             times[impl_cls.name] = result.total_s
@@ -94,7 +102,17 @@ def measure_implementations(
 
                 out = Path(trace_dir)
                 out.mkdir(parents=True, exist_ok=True)
-                write_chrome_trace(out / f"{impl_cls.name}.trace.json", result.trace)
+                write_chrome_trace(
+                    out / f"{impl_cls.name}.trace.json", result.trace,
+                    profile=result.profile,
+                )
+            if profile_dir is not None and result.profile is not None:
+                from repro.observability.profiling import write_speedscope
+
+                write_speedscope(
+                    Path(profile_dir) / f"{impl_cls.name}.speedscope.json",
+                    result.profile, name=f"{workload.event_id} {impl_cls.name}",
+                )
     finally:
         if keep_dir is None:
             shutil.rmtree(base, ignore_errors=True)

@@ -65,6 +65,13 @@ def _build_process_parser() -> argparse.ArgumentParser:
         "Event JSON (open in chrome://tracing or ui.perfetto.dev)",
     )
     parser.add_argument(
+        "--profile",
+        metavar="FILE.JSON",
+        help="sample the run with the cross-process profiler and write the "
+        "merged flamegraph as speedscope JSON (open at speedscope.app); "
+        "per-stage top frames are also folded into --trace output",
+    )
+    parser.add_argument(
         "--audit",
         action="store_true",
         help="record every artifact access during the run and cross-check "
@@ -100,10 +107,16 @@ def main_process(argv: list[str] | None = None) -> int:
             response_config=ResponseSpectrumConfig(periods=default_periods(args.periods)),
             parallel=ParallelSettings.uniform(args.backend, num_workers=args.workers),
         )
-    if args.trace:
+    if args.trace or args.profile:
         from repro.observability.tracer import Tracer
 
+        # The profiler attributes samples through the tracer's open
+        # spans, so --profile turns tracing on even without --trace.
         ctx.tracer = Tracer()
+    if args.profile:
+        from repro.observability.profiling import SamplingProfiler
+
+        ctx.profiler = SamplingProfiler()
     if args.metrics:
         from repro.observability.metrics import MetricsRegistry
 
@@ -146,8 +159,19 @@ def main_process(argv: list[str] | None = None) -> int:
     if args.trace and result.trace is not None:
         from repro.observability.export import write_chrome_trace
 
-        write_chrome_trace(args.trace, result.trace, resources=resources)
+        write_chrome_trace(
+            args.trace, result.trace, resources=resources, profile=result.profile
+        )
         print(f"trace written to {args.trace}")
+    if args.profile and result.profile is not None:
+        from repro.observability.profiling import write_speedscope
+
+        write_speedscope(args.profile, result.profile, name=args.implementation)
+        print(
+            f"profile written to {args.profile} "
+            f"({result.profile.total_samples} samples, "
+            f"{result.profile.attributed_fraction():.0%} span-attributed)"
+        )
     if args.metrics:
         from repro.observability.export import write_metrics
 

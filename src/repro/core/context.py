@@ -22,6 +22,7 @@ from repro.spectra.response import ResponseSpectrumConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.observability.metrics import MetricsRegistry
+    from repro.observability.profiling import SamplingProfiler
     from repro.observability.tracer import Tracer
     from repro.resilience.faults import FaultPlan
 
@@ -108,6 +109,12 @@ class RunContext:
     #: conformance check that :attr:`audit` requests.
     #: Excluded from equality — metrics never change artifacts.
     metrics: "MetricsRegistry | None" = field(default=None, repr=False, compare=False)
+    #: Optional sampling profiler (see
+    #: :mod:`repro.observability.profiling`); the runner installs it
+    #: for the run's duration, so driver threads are sampled directly
+    #: and pool workers ship profile shards home with their results.
+    #: Excluded from equality — profiling never changes artifacts.
+    profiler: "SamplingProfiler | None" = field(default=None, repr=False, compare=False)
     #: Optional fault plan (see :mod:`repro.resilience`): the run
     #: executes with the plan's injected faults, retry policy, and
     #: quarantine semantics, and its result carries the failure

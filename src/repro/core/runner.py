@@ -5,6 +5,7 @@ from __future__ import annotations
 import logging
 import time
 from abc import ABC, abstractmethod
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -43,6 +44,9 @@ class PipelineResult:
     stage_durations: dict[str, float] = field(default_factory=dict)
     #: The run's span trace, when the context carried an enabled tracer.
     trace: Trace | None = field(default=None, repr=False, compare=False)
+    #: The run's merged sampling profile (driver samples plus worker
+    #: shards), when the context carried a profiler.
+    profile: Any = field(default=None, repr=False, compare=False)
     #: Failure reports of quarantined records, when the context carried
     #: a fault plan (degraded mode); empty for all-healthy runs.
     quarantine: list = field(default_factory=list)
@@ -71,6 +75,7 @@ class PipelineResult:
             ],
             "stage_durations": dict(self.stage_durations),
             "trace": self.trace.to_dict() if self.trace is not None else None,
+            "profile": self.profile.to_dict() if self.profile is not None else None,
             "quarantine": [r.to_dict() for r in self.quarantine],
         }
 
@@ -78,6 +83,11 @@ class PipelineResult:
     def from_dict(cls, data: dict[str, Any]) -> "PipelineResult":
         """Inverse of :meth:`to_dict`."""
         trace_data = data.get("trace")
+        profile_data = data.get("profile")
+        if profile_data is not None:
+            from repro.observability.profiling import Profile
+
+            profile_data = Profile.from_dict(profile_data)
         return cls(
             implementation=str(data["implementation"]),
             total_s=float(data["total_s"]),
@@ -94,6 +104,7 @@ class PipelineResult:
                 str(k): float(v) for k, v in (data.get("stage_durations") or {}).items()
             },
             trace=Trace.from_dict(trace_data) if trace_data is not None else None,
+            profile=profile_data,
             quarantine=[
                 _failure_report_from_dict(r) for r in data.get("quarantine") or []
             ],
@@ -149,7 +160,15 @@ class PipelineImplementation(ABC):
 
             runtime = enable_resilience(ctx.workspace.root, ctx.resilience)
         tracer = ctx.tracer
-        with maybe_span(
+        profiling = nullcontext()
+        if ctx.profiler is not None:
+            from repro.observability.profiling import profiling_session
+
+            # Installed for the run's duration: the sampler thread sees
+            # every driver thread, and the parallel runtime's worker
+            # shims detect the installation and ship shards home.
+            profiling = profiling_session(ctx.profiler, tracer=tracer)
+        with profiling, maybe_span(
             tracer,
             self.name,
             kind="run",
@@ -185,6 +204,8 @@ class PipelineImplementation(ABC):
             result.total_s = time.perf_counter() - start
         if run_span is not None and tracer is not None:
             result.trace = tracer.subtree(run_span)
+        if ctx.profiler is not None:
+            result.profile = ctx.profiler.profile
         if ctx.metrics is not None:
             ctx.metrics.gauge(
                 "repro_run_total_seconds",

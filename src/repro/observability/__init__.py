@@ -13,6 +13,13 @@ trace as Chrome Trace Event JSON (``chrome://tracing`` / Perfetto), a
 Prometheus-style metrics text dump, Gantt placements for
 :func:`repro.plotting.gantt.plot_trace_gantt`, or a reconstructed
 :class:`~repro.core.runner.PipelineResult` view.
+
+:mod:`repro.observability.profiling` adds a cross-process sampling
+profiler whose samples are attributed to the open spans (flamegraphs
+via speedscope / collapsed-stack exports), and
+:mod:`repro.observability.critpath` turns a finished trace into a
+measured critical path, per-stage parallel efficiencies, and an
+Amdahl / work-span speedup model (``repro-perf explain``).
 """
 
 from repro.observability.tracer import Span, Trace, Tracer, maybe_span, worker_label
@@ -37,6 +44,21 @@ from repro.observability.resources import (
     ResourceSampler,
     resources_available,
 )
+from repro.observability.profiling import (
+    Profile,
+    SamplingProfiler,
+    profiling_session,
+    write_collapsed,
+    write_speedscope,
+)
+from repro.observability.critpath import (
+    critical_path,
+    critical_path_length,
+    explain,
+    render_explain,
+    speedup_model,
+    stage_stats,
+)
 
 __all__ = [
     "Span",
@@ -59,4 +81,15 @@ __all__ = [
     "ResourceSample",
     "ResourceSampler",
     "resources_available",
+    "Profile",
+    "SamplingProfiler",
+    "profiling_session",
+    "write_collapsed",
+    "write_speedscope",
+    "critical_path",
+    "critical_path_length",
+    "explain",
+    "render_explain",
+    "speedup_model",
+    "stage_stats",
 ]

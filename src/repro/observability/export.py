@@ -57,7 +57,9 @@ def _stage_of(by_id: dict[int, Span], span: Span) -> str:
     return str(span.attributes.get("stage", ""))
 
 
-def to_chrome_trace(trace: Trace, resources: Any = None) -> dict[str, Any]:
+def to_chrome_trace(
+    trace: Trace, resources: Any = None, profile: Any = None
+) -> dict[str, Any]:
     """Render a trace in the Chrome Trace Event JSON format.
 
     Every span becomes one ``"ph": "X"`` (complete) event; workers map
@@ -65,10 +67,14 @@ def to_chrome_trace(trace: Trace, resources: Any = None) -> dict[str, Any]:
     the written file in ``chrome://tracing`` or https://ui.perfetto.dev.
 
     A :class:`~repro.observability.resources.ResourceLog` adds counter
-    tracks (``"ph": "C"``): per-core busy fractions, RSS, open fds and
-    thread count, on the same timeline as the spans — the samples were
-    timestamped with the tracer's clock, so the core-utilization curve
-    lines up under the stage bars.
+    tracks (``"ph": "C"``): per-core busy fractions, RSS, open fds,
+    thread count and the context-switch rate, on the same timeline as
+    the spans — the samples were timestamped with the tracer's clock,
+    so the core-utilization curve lines up under the stage bars.
+
+    A :class:`~repro.observability.profiling.Profile` annotates each
+    stage span with its hottest frames (``args["top_frames"]``), so
+    clicking a stage bar shows where its CPU time went.
     """
     workers = _worker_ids(trace.spans)
     events: list[dict[str, Any]] = []
@@ -85,6 +91,11 @@ def to_chrome_trace(trace: Trace, resources: Any = None) -> dict[str, Any]:
     for span in sorted(trace.spans, key=lambda s: (s.start_s, s.span_id)):
         args = {"span_id": span.span_id, "parent_id": span.parent_id}
         args.update(span.attributes)
+        if profile is not None and span.kind == "stage":
+            args["top_frames"] = [
+                f"{frame} ({seconds:.3f}s, {count} samples)"
+                for frame, seconds, count in profile.top_frames(5, stage=span.name)
+            ]
         events.append(
             {
                 "ph": "X",
@@ -98,6 +109,7 @@ def to_chrome_trace(trace: Trace, resources: Any = None) -> dict[str, Any]:
             }
         )
     if resources is not None:
+        prev_switches: tuple[int, int] | None = None
         for sample in resources.samples:
             ts = sample.t_s * 1e6
             events.append(
@@ -122,6 +134,22 @@ def to_chrome_trace(trace: Trace, resources: Any = None) -> dict[str, Any]:
                     "args": {"open_fds": sample.open_fds, "threads": sample.n_threads},
                 }
             )
+            # The /proc counters are cumulative; the track plots the
+            # per-interval increments, so preemption bursts (the
+            # oversubscription signature) show as spikes.
+            switches = (sample.vol_ctx_switches, sample.invol_ctx_switches)
+            if prev_switches is not None:
+                events.append(
+                    {
+                        "ph": "C", "pid": 1, "tid": 0, "name": "ctx_switches",
+                        "ts": ts,
+                        "args": {
+                            "voluntary": max(0, switches[0] - prev_switches[0]),
+                            "involuntary": max(0, switches[1] - prev_switches[1]),
+                        },
+                    }
+                )
+            prev_switches = switches
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -129,11 +157,18 @@ def to_chrome_trace(trace: Trace, resources: Any = None) -> dict[str, Any]:
     }
 
 
-def write_chrome_trace(path: Path | str, trace: Trace, resources: Any = None) -> Path:
+def write_chrome_trace(
+    path: Path | str, trace: Trace, resources: Any = None, profile: Any = None
+) -> Path:
     """Write :func:`to_chrome_trace` output to ``path``; returns it."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(to_chrome_trace(trace, resources=resources), indent=1) + "\n")
+    path.write_text(
+        json.dumps(
+            to_chrome_trace(trace, resources=resources, profile=profile), indent=1
+        )
+        + "\n"
+    )
     return path
 
 

@@ -31,7 +31,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
 
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
+
+#: Schema versions :func:`validate_bench` accepts.  v2 added the
+#: measured ``critical_path_s`` (required) and the optional ``profile``
+#: block per implementation entry; v1 documents (the committed seed
+#: baseline among them) still validate and compare.
+KNOWN_SCHEMAS = ("repro-bench/1", "repro-bench/2")
 
 #: Paper implementations measured by default, sequential baseline first.
 DEFAULT_IMPLEMENTATIONS = (
@@ -82,17 +88,19 @@ METRIC_CLASSES: dict[str, Thresholds] = {
 # -- recording -------------------------------------------------------------
 
 
-def _measure_one(
+def _run_once(
     impl_cls: Any, event: Any, workload: Any, *, periods: int, backend: str,
-    workers: int | None, sample_interval: float,
-) -> dict[str, Any]:
-    """One traced, metered repetition in a fresh workspace."""
+    workers: int | None, sample_interval: float, profile_hz: float | None = None,
+) -> tuple[Any, Any, Any]:
+    """One traced, metered (optionally profiled) repetition in a fresh
+    workspace; returns ``(result, metrics registry, resource log)``."""
     from repro.bench.harness import small_response_config
     from repro.bench.workloads import materialize
     from repro.core import RunContext
     from repro.core.context import ParallelSettings
     from repro.observability.metrics import MetricsRegistry
-    from repro.observability.resources import ResourceSampler, resources_available
+    from repro.observability.profiling import SamplingProfiler
+    from repro.observability.resources import ResourceSampler
     from repro.observability.tracer import Tracer
 
     base = Path(tempfile.mkdtemp(prefix="repro-perf-"))
@@ -104,6 +112,8 @@ def _measure_one(
         )
         ctx.tracer = Tracer()
         ctx.metrics = MetricsRegistry()
+        if profile_hz:
+            ctx.profiler = SamplingProfiler(hz=profile_hz)
         materialize(event, workload, ctx.workspace.input_dir)
         sampler = ResourceSampler(interval_s=sample_interval, tracer=ctx.tracer)
         with sampler:
@@ -111,14 +121,36 @@ def _measure_one(
         log = sampler.log()
     finally:
         shutil.rmtree(base, ignore_errors=True)
+    return result, ctx.metrics, log
 
+
+def _measure_one(
+    impl_cls: Any, event: Any, workload: Any, *, periods: int, backend: str,
+    workers: int | None, sample_interval: float, profile_hz: float | None = None,
+) -> dict[str, Any]:
+    """One repetition summarized as a bench-document cell."""
+    from repro.observability.critpath import (
+        critical_path,
+        critical_path_length,
+        stage_shares,
+    )
+    from repro.observability.resources import resources_available
+
+    result, registry, log = _run_once(
+        impl_cls, event, workload, periods=periods, backend=backend,
+        workers=workers, sample_interval=sample_interval, profile_hz=profile_hz,
+    )
     trace = result.trace
     stage_self = trace.stage_self_times() if trace is not None else {}
-    registry = ctx.metrics
-    return {
+    segments = critical_path(trace) if trace is not None else []
+    entry = {
         "total_s": result.total_s,
         "stages": {k: round(v, 6) for k, v in result.stage_durations.items()},
         "stage_self_s": {k: round(v, 6) for k, v in stage_self.items()},
+        "critical_path_s": round(critical_path_length(segments), 6),
+        "critical_path_stages": {
+            k: round(v, 6) for k, v in stage_shares(segments).items()
+        },
         "resources": log.summary() if resources_available() and len(log) else None,
         "io": {
             "read_bytes": registry.total("repro_artifact_io_bytes_total", op="read"),
@@ -130,6 +162,18 @@ def _measure_one(
             "tasks": registry.total("repro_parallel_tasks_total"),
         },
     }
+    if result.profile is not None:
+        profile = result.profile
+        entry["profile"] = {
+            "hz": profile_hz,
+            "samples": profile.total_samples,
+            "attributed_fraction": round(profile.attributed_fraction(), 4),
+            "top_frames": [
+                {"frame": frame, "seconds": round(seconds, 4), "samples": count}
+                for frame, seconds, count in profile.top_frames(10)
+            ],
+        }
+    return entry
 
 
 def record_bench(
@@ -142,12 +186,15 @@ def record_bench(
     backend: str = "thread",
     workers: int | None = None,
     sample_interval: float = 0.05,
+    profile_hz: float | None = None,
 ) -> dict[str, Any]:
     """Measure the catalog and return the canonical bench document.
 
     Each (event, implementation) cell runs ``repeats`` times in fresh
     workspaces; the reported numbers come from the fastest repetition
     (min-of-k), all repetition totals are preserved in ``runs_s``.
+    With ``profile_hz``, every repetition runs under the sampling
+    profiler and each cell embeds its top-frame summary.
     """
     from repro.bench.workloads import scaled_workload
     from repro.core import implementation_by_name
@@ -168,6 +215,7 @@ def record_bench(
             "repeats": repeats,
             "backend": backend,
             "workers": workers,
+            "profile_hz": profile_hz,
             "events": [e.event_id for e in events],
             "implementations": list(implementations),
         },
@@ -186,6 +234,7 @@ def record_bench(
                 _measure_one(
                     impl_cls, event, workload, periods=periods, backend=backend,
                     workers=workers, sample_interval=sample_interval,
+                    profile_hz=profile_hz,
                 )
                 for _ in range(max(1, repeats))
             ]
@@ -206,10 +255,18 @@ def record_bench(
 
 
 def validate_bench(doc: dict[str, Any]) -> list[str]:
-    """Schema check of a bench document; returns the problems found."""
+    """Schema check of a bench document; returns the problems found.
+
+    Accepts every version in :data:`KNOWN_SCHEMAS`; the v2-only fields
+    (``critical_path_s``, the optional ``profile`` block) are required
+    or checked only on v2 documents, so the committed v1 seed baseline
+    keeps validating.
+    """
     errors: list[str] = []
-    if doc.get("schema") != SCHEMA:
-        errors.append(f"schema: expected {SCHEMA!r}, got {doc.get('schema')!r}")
+    schema = doc.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        errors.append(f"schema: expected one of {KNOWN_SCHEMAS!r}, got {schema!r}")
+    v2 = schema == "repro-bench/2"
     for key in ("created_utc", "host", "config", "events"):
         if key not in doc:
             errors.append(f"missing top-level key {key!r}")
@@ -239,6 +296,21 @@ def validate_bench(doc: dict[str, Any]) -> list[str]:
                 errors.append(f"{where}: speedup_vs_original missing")
             if "stage_self_s" not in entry:
                 errors.append(f"{where}: stage_self_s missing")
+            if v2:
+                cp = entry.get("critical_path_s")
+                if not isinstance(cp, (int, float)) or cp <= 0:
+                    errors.append(f"{where}: critical_path_s must be positive")
+                profile = entry.get("profile")
+                if profile is not None:
+                    if not isinstance(profile.get("samples"), int):
+                        errors.append(f"{where}: profile.samples must be an integer")
+                    frac = profile.get("attributed_fraction")
+                    if not isinstance(frac, (int, float)) or not 0.0 <= frac <= 1.0:
+                        errors.append(
+                            f"{where}: profile.attributed_fraction must be in [0, 1]"
+                        )
+                    if not isinstance(profile.get("top_frames"), list):
+                        errors.append(f"{where}: profile.top_frames must be a list")
     return errors
 
 
@@ -430,6 +502,99 @@ def render_deltas(deltas: list[Delta], *, only_notable: bool = True) -> str:
     return table
 
 
+def _worst_stage_summary(
+    regressions: list[Delta], baseline: dict[str, Any], current: dict[str, Any]
+) -> str | None:
+    """One actionable line naming the worst-regressed stage.
+
+    Picks the stage regression with the largest relative slowdown and
+    reports its measured *self-time* movement (the tracer's
+    :meth:`Trace.stage_self_times` split, preserved per entry as
+    ``stage_self_s``), so the failure message already says whether the
+    stage's own overhead or its scheduled work regressed — without
+    opening the BENCH JSON.
+    """
+    stage_regs = [d for d in regressions if d.metric_class == "stage_s"]
+    if not stage_regs:
+        return None
+    worst = max(stage_regs, key=lambda d: d.rel_change)
+    stage = worst.metric[len("stage["):-1]
+    line = (
+        f"worst-regressed stage: {stage} "
+        f"({worst.event}/{worst.implementation}): "
+        f"{worst.baseline:.4g} s -> {worst.current:.4g} s "
+        f"({worst.rel_change:+.1%})"
+    )
+
+    def _self_time(doc: dict[str, Any]) -> float | None:
+        entry = (
+            (doc.get("events") or {}).get(worst.event, {})
+            .get("implementations", {}).get(worst.implementation, {})
+        )
+        value = (entry.get("stage_self_s") or {}).get(stage)
+        return float(value) if value is not None else None
+
+    base_self = _self_time(baseline)
+    cur_self = _self_time(current)
+    if base_self is not None and cur_self is not None:
+        line += (
+            f"; measured self-time {base_self:.4g} s -> {cur_self:.4g} s "
+            f"({cur_self - base_self:+.4g} s)"
+        )
+    return line
+
+
+# -- explaining ------------------------------------------------------------
+
+
+def explain_event(
+    event: Any,
+    *,
+    implementations: Sequence[str] = DEFAULT_IMPLEMENTATIONS,
+    scale: float = 0.02,
+    periods: int = 30,
+    backend: str = "thread",
+    workers: int | None = None,
+    profile_hz: float | None = 97.0,
+    top: int = 3,
+) -> list[tuple[str, dict[str, Any], float | None]]:
+    """Bottleneck reports for one event, one per implementation.
+
+    Each implementation runs once, traced and (by default) profiled;
+    the report is :func:`repro.observability.critpath.explain` plus the
+    measured speedup against the ``seq-original`` run of the same
+    batch.  Returns ``(name, report, measured speedup)`` triples.
+    """
+    from repro.bench.workloads import scaled_workload
+    from repro.core import implementation_by_name
+    from repro.observability.critpath import explain as build_explain
+    from repro.parallel.backend import resolve_workers
+
+    workload = scaled_workload(event, scale)
+    measured: list[tuple[str, dict[str, Any], float]] = []
+    for name in implementations:
+        result, _registry, _log = _run_once(
+            implementation_by_name(name), event, workload, periods=periods,
+            backend=backend, workers=workers, sample_interval=0.05,
+            profile_hz=profile_hz,
+        )
+        report = build_explain(
+            result.trace, resolve_workers(workers), profile=result.profile, top=top
+        )
+        measured.append((name, report, result.total_s))
+    seq_total = next(
+        (total for name, _r, total in measured if name == "seq-original"), None
+    )
+    return [
+        (
+            name,
+            report,
+            seq_total / total if seq_total and total > 0 else None,
+        )
+        for name, report, total in measured
+    ]
+
+
 # -- CLI -------------------------------------------------------------------
 
 
@@ -469,6 +634,7 @@ def _record_from_args(args: argparse.Namespace) -> dict[str, Any]:
         periods=args.periods,
         backend=args.backend,
         workers=args.workers,
+        profile_hz=args.hz if getattr(args, "profile", False) else None,
     )
 
 
@@ -486,6 +652,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     rec.add_argument(
         "--quiet", action="store_true", help="suppress the per-event report"
+    )
+    rec.add_argument(
+        "--profile", action="store_true",
+        help="run every repetition under the sampling profiler and embed "
+             "top-frame summaries in the bench document",
+    )
+    rec.add_argument(
+        "--hz", type=float, default=97.0, help="profiler sampling rate (with --profile)"
     )
 
     chk = sub.add_parser("check", help="compare against a baseline; exit 1 on regression")
@@ -505,6 +679,28 @@ def _build_parser() -> argparse.ArgumentParser:
     chk.add_argument(
         "--all-deltas", action="store_true", help="print in-band rows too"
     )
+
+    exp = sub.add_parser(
+        "explain",
+        help="run each implementation once and print the bottleneck report: "
+             "per-stage critical-path shares, parallel efficiency, top frames, "
+             "and measured vs modeled (Amdahl / work-span) speedup",
+    )
+    exp.add_argument("--event", default="EV-NOV18", help="catalog event id")
+    exp.add_argument(
+        "--implementations", default=",".join(DEFAULT_IMPLEMENTATIONS),
+        help="comma-separated implementation names",
+    )
+    exp.add_argument("--scale", type=float, default=0.02, help="workload scale")
+    exp.add_argument("--periods", type=int, default=30, help="response-spectrum periods")
+    exp.add_argument("--backend", default="thread", help="parallel backend")
+    exp.add_argument("--workers", type=int, default=None, help="parallel workers")
+    exp.add_argument("--hz", type=float, default=97.0, help="profiler sampling rate")
+    exp.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the sampling profiler (critical path and model only)",
+    )
+    exp.add_argument("--top", type=int, default=3, help="frames per stage in the report")
     return parser
 
 
@@ -523,6 +719,28 @@ def main_perf(argv: list[str] | None = None) -> int:
             print(render_bench(doc))
             print()
         print(f"bench written to {path}")
+        return 0
+
+    if args.command == "explain":
+        from repro.observability.critpath import render_explain
+        from repro.synth.events import paper_event
+
+        reports = explain_event(
+            paper_event(args.event),
+            implementations=[
+                n.strip() for n in args.implementations.split(",") if n.strip()
+            ],
+            scale=args.scale,
+            periods=args.periods,
+            backend=args.backend,
+            workers=args.workers,
+            profile_hz=None if args.no_profile else args.hz,
+            top=args.top,
+        )
+        print(f"event {args.event}, backend {args.backend}")
+        for name, report, measured in reports:
+            print(f"\n== {name} ==")
+            print(render_explain(report, measured_speedup=measured))
         return 0
 
     # check
@@ -547,6 +765,9 @@ def main_perf(argv: list[str] | None = None) -> int:
     print(f"current:  {current_label}")
     print(render_deltas(deltas, only_notable=not args.all_deltas))
     if regressions:
+        worst = _worst_stage_summary(regressions, baseline, current)
+        if worst:
+            print(worst)
         verdict = f"{len(regressions)} regression(s) beyond thresholds"
         if args.advisory:
             print(f"ADVISORY: {verdict} (advisory mode, not failing)")

@@ -52,6 +52,13 @@ class ResourceSample:
     rss_bytes: int
     open_fds: int
     n_threads: int
+    #: Cumulative context-switch counts of the process (from
+    #: ``/proc/self/status``).  Voluntary switches are blocking waits
+    #: (I/O, locks); involuntary ones are preemptions — a rising
+    #: involuntary rate with more runnable threads than cores is the
+    #: oversubscription signature.  Zero on hosts without ``/proc``.
+    vol_ctx_switches: int = 0
+    invol_ctx_switches: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation."""
@@ -61,6 +68,8 @@ class ResourceSample:
             "rss_bytes": self.rss_bytes,
             "open_fds": self.open_fds,
             "n_threads": self.n_threads,
+            "vol_ctx_switches": self.vol_ctx_switches,
+            "invol_ctx_switches": self.invol_ctx_switches,
         }
 
     @classmethod
@@ -72,6 +81,8 @@ class ResourceSample:
             rss_bytes=int(data["rss_bytes"]),
             open_fds=int(data["open_fds"]),
             n_threads=int(data["n_threads"]),
+            vol_ctx_switches=int(data.get("vol_ctx_switches", 0)),
+            invol_ctx_switches=int(data.get("invol_ctx_switches", 0)),
         )
 
 
@@ -117,6 +128,8 @@ class ResourceLog:
                 "max_busy_cores": 0,
                 "peak_open_fds": 0,
                 "peak_threads": 0,
+                "vol_ctx_switches": 0,
+                "invol_ctx_switches": 0,
             }
         means = [
             sum(s.per_core) / len(s.per_core) if s.per_core else 0.0
@@ -134,6 +147,14 @@ class ResourceLog:
             ),
             "peak_open_fds": max(s.open_fds for s in self.samples),
             "peak_threads": max(s.n_threads for s in self.samples),
+            # The counters are cumulative; the run's own switch counts
+            # are the spread between first and last sample.
+            "vol_ctx_switches": (
+                self.samples[-1].vol_ctx_switches - self.samples[0].vol_ctx_switches
+            ),
+            "invol_ctx_switches": (
+                self.samples[-1].invol_ctx_switches - self.samples[0].invol_ctx_switches
+            ),
         }
 
     def utilization_between(self, t0: float, t1: float) -> dict[str, float]:
@@ -178,10 +199,13 @@ def _read_core_ticks() -> list[tuple[int, int]]:
     return out
 
 
-def _read_rss_and_threads() -> tuple[int, int]:
-    """(RSS bytes, thread count) from ``/proc/self/status``."""
+def _read_status() -> tuple[int, int, int, int]:
+    """(RSS bytes, threads, voluntary switches, involuntary switches)
+    from ``/proc/self/status``."""
     rss = 0
     threads = 0
+    vol = 0
+    invol = 0
     try:
         with open(_PROC_STATUS, encoding="ascii") as fh:
             for line in fh:
@@ -189,9 +213,13 @@ def _read_rss_and_threads() -> tuple[int, int]:
                     rss = int(line.split()[1]) * 1024
                 elif line.startswith("Threads:"):
                     threads = int(line.split()[1])
+                elif line.startswith("voluntary_ctxt_switches:"):
+                    vol = int(line.split()[1])
+                elif line.startswith("nonvoluntary_ctxt_switches:"):
+                    invol = int(line.split()[1])
     except OSError:
         pass
-    return rss, threads
+    return rss, threads, vol, invol
 
 
 def _count_open_fds() -> int:
@@ -241,7 +269,7 @@ class ResourceSampler:
             else:
                 per_core.append(0.0)
         self._prev_ticks = ticks
-        rss, threads = _read_rss_and_threads()
+        rss, threads, vol, invol = _read_status()
         self._samples.append(
             ResourceSample(
                 t_s=self._now(),
@@ -249,6 +277,8 @@ class ResourceSampler:
                 rss_bytes=rss,
                 open_fds=_count_open_fds(),
                 n_threads=threads,
+                vol_ctx_switches=vol,
+                invol_ctx_switches=invol,
             )
         )
 

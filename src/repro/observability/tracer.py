@@ -202,6 +202,11 @@ class Tracer:
         self._local = threading.local()
         self._ids = itertools.count(1)
         self._spans: list[Span] = []
+        #: Live per-thread span stacks, keyed by thread id.  The values
+        #: ARE the thread-local stacks (same list objects), so the
+        #: sampling profiler can read any thread's open spans without
+        #: touching its thread-local storage.
+        self._thread_stacks: dict[int, list[Span]] = {}
 
     # -- pickling: cross the process boundary as a no-op ----------------
 
@@ -218,7 +223,20 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._lock:
+                self._thread_stacks[threading.get_ident()] = stack
         return stack
+
+    def open_spans(self) -> dict[int, list[Span]]:
+        """Snapshot of every thread's open span stack, outermost first.
+
+        Read by the sampling profiler to attribute a sampled thread's
+        stack to the spans open on it.  Thread ids may be reused by the
+        OS after a thread exits; a dead thread's entry lingers with an
+        empty stack, which attributes to nothing.
+        """
+        with self._lock:
+            return {tid: list(stack) for tid, stack in self._thread_stacks.items() if stack}
 
     def _resolve_parent(self, parent: Any) -> int | None:
         if parent is _CURRENT:

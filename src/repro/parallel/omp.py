@@ -27,7 +27,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
@@ -44,6 +44,26 @@ def _worker_label() -> str:
     """Executing worker's identity (duplicated from the tracer module
     so worker shims stay importable without the observability layer)."""
     return f"{os.getpid()}:{threading.current_thread().name}"
+
+
+def _profile_channel(name: str, backend: Backend) -> tuple | None:
+    """``(hz, labels)`` when a sampling profiler is installed here.
+
+    The labels — the driver thread's span attribution at loop start,
+    plus the loop's span name and backend — are computed once and
+    handed to every worker shim, so samples taken in pool processes
+    come home fully attributed.  ``None`` (one pid-guarded global read)
+    when no profiler is installed.
+    """
+    from repro.observability.profiling import installed_profiler
+
+    profiler = installed_profiler()
+    if profiler is None:
+        return None
+    labels = profiler.labels_here()
+    labels["span"] = name
+    labels["backend"] = backend.value
+    return (profiler.hz, labels)
 
 
 @contextmanager
@@ -78,7 +98,7 @@ def _run_chunk(func: Callable[[Any], Any], items: Sequence[Any], indices: range)
 
 def _run_chunk_traced(
     func: Callable[[Any], Any], items: Sequence[Any], indices: range, epoch: float,
-    collect_shard: bool = False,
+    collect_shard: bool = False, profile: tuple | None = None,
 ) -> tuple[list[Any], dict[str, Any], dict[str, Any] | None]:
     """:func:`_run_chunk` plus a self-measured span record.
 
@@ -88,49 +108,77 @@ def _run_chunk_traced(
     ``collect_shard``, a metrics window brackets the body and the
     drained shard rides along for ``MetricsRegistry.merge`` (empty on
     the thread backend, where the body wrote to the driver's registry
-    directly).
+    directly).  With ``profile`` (``(hz, labels)``), a profiling window
+    brackets the body the same way; the drained profile shard rides
+    home inside the record under the ``"profile"`` key.
     """
     shard = None
+    token = None
+    if profile is not None:
+        from repro.observability.profiling import begin_worker_profile
+
+        token = begin_worker_profile(*profile)
     if collect_shard:
         from repro.observability.metrics import begin_worker_window, drain_worker_shard
 
         begin_worker_window()
     start_wall = time.time()
     t0 = time.perf_counter()
+    prof_shard = None
     try:
         values = [func(items[i]) for i in indices]
     finally:
         if collect_shard:
             shard = drain_worker_shard()
-    return values, {
+        if token is not None:
+            from repro.observability.profiling import drain_worker_profile
+
+            prof_shard = drain_worker_profile(token)
+    record = {
         "start_s": start_wall - epoch,
         "duration_s": time.perf_counter() - t0,
         "worker": _worker_label(),
-    }, shard
+    }
+    if prof_shard:
+        record["profile"] = prof_shard
+    return values, record, shard
 
 
 def _run_task_traced(
     func: Callable[..., Any], epoch: float, args: tuple, kwargs: dict,
-    collect_shard: bool = False,
+    collect_shard: bool = False, profile: tuple | None = None,
 ) -> tuple[Any, dict[str, Any], dict[str, Any] | None]:
     """Run one task in a worker, returning its self-measured span record."""
     shard = None
+    token = None
+    if profile is not None:
+        from repro.observability.profiling import begin_worker_profile
+
+        token = begin_worker_profile(*profile)
     if collect_shard:
         from repro.observability.metrics import begin_worker_window, drain_worker_shard
 
         begin_worker_window()
     start_wall = time.time()
     t0 = time.perf_counter()
+    prof_shard = None
     try:
         value = func(*args, **kwargs)
     finally:
         if collect_shard:
             shard = drain_worker_shard()
-    return value, {
+        if token is not None:
+            from repro.observability.profiling import drain_worker_profile
+
+            prof_shard = drain_worker_profile(token)
+    record = {
         "start_s": start_wall - epoch,
         "duration_s": time.perf_counter() - t0,
         "worker": _worker_label(),
-    }, shard
+    }
+    if prof_shard:
+        record["profile"] = prof_shard
+    return value, record, shard
 
 
 def _record_chunk_metrics(
@@ -166,7 +214,12 @@ def _fold_chunk(
     trace: tuple | None, metrics: tuple | None, chunk: range,
     record: dict[str, Any], shard: dict[str, Any] | None, size: int | None = None,
 ) -> None:
-    """Ingest one chunk's span record and metrics shard."""
+    """Ingest one chunk's span record, metrics shard and profile shard."""
+    prof_shard = record.pop("profile", None)
+    if prof_shard:
+        from repro.observability.profiling import merge_profile_shard
+
+        merge_profile_shard(prof_shard)
     if trace is not None:
         tracer, span_name, parent, _ = trace
         tracer.record(
@@ -183,13 +236,14 @@ def _fold_chunk(
 
 def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[range],
            results: list[Any], trace: tuple | None = None,
-           metrics: tuple | None = None) -> None:
+           metrics: tuple | None = None, profile: tuple | None = None) -> None:
     """Submit all chunks, wait, propagate the first failure.
 
     ``trace`` is ``(tracer, span_name, parent_span, epoch)`` when chunk
     spans should be collected; ``metrics`` is ``(registry, span_name,
     backend, schedule)`` when chunk counters and worker shards should
-    be.  Either (or both) switches to the instrumented shim, whose
+    be; ``profile`` is ``(hz, labels)`` when worker profile shards
+    should be.  Any of them switches to the instrumented shim, whose
     ``(values, record, shard)`` triples are folded in after the barrier.
 
     On failure, chunks not yet started are cancelled and chunks already
@@ -199,13 +253,15 @@ def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[ra
     records and metrics shards of every chunk that did complete are
     folded in first, so observability stays accurate for partial runs.
     """
-    if trace is None and metrics is None:
+    instrumented = trace is not None or metrics is not None or profile is not None
+    if not instrumented:
         futures = {pool.submit(_run_chunk, func, items, chunk): chunk for chunk in chunks}
     else:
         epoch = trace[3] if trace is not None else time.time()
         futures = {
             pool.submit(
-                _run_chunk_traced, func, items, chunk, epoch, metrics is not None
+                _run_chunk_traced, func, items, chunk, epoch, metrics is not None,
+                profile,
             ): chunk
             for chunk in chunks
         }
@@ -220,13 +276,13 @@ def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[ra
             if future.cancelled() or future.exception() is not None:
                 continue
             values = future.result()
-            if trace is not None or metrics is not None:
+            if instrumented:
                 _, record, shard = values
                 _fold_chunk(trace, metrics, chunk, record, shard)
         raise failed.exception()
     for future, chunk in futures.items():
         values = future.result()
-        if trace is not None or metrics is not None:
+        if instrumented:
             values, record, shard = values
             _fold_chunk(trace, metrics, chunk, record, shard)
         for i, value in zip(chunk, values):
@@ -291,7 +347,7 @@ class Isolation:
 def _run_chunk_isolated(
     func: Callable[[Any], Any], items: Sequence[Any], indices: range, attempt: int,
     retryable: tuple, scope: Callable[[int], Any] | None, epoch: float,
-    collect_shard: bool = False,
+    collect_shard: bool = False, profile: tuple | None = None,
 ) -> tuple[list[Any], int | None, BaseException | None, dict[str, Any], dict[str, Any] | None]:
     """Run one chunk, stopping at the first *retryable* failure.
 
@@ -304,6 +360,11 @@ def _run_chunk_isolated(
     exceptions propagate exactly like :func:`_run_chunk_traced`.
     """
     shard = None
+    token = None
+    if profile is not None:
+        from repro.observability.profiling import begin_worker_profile
+
+        token = begin_worker_profile(*profile)
     if collect_shard:
         from repro.observability.metrics import begin_worker_window, drain_worker_shard
 
@@ -313,6 +374,7 @@ def _run_chunk_isolated(
     values: list[Any] = []
     failed: int | None = None
     error: BaseException | None = None
+    prof_shard = None
     try:
         for offset, i in enumerate(indices):
             try:
@@ -327,17 +389,25 @@ def _run_chunk_isolated(
     finally:
         if collect_shard:
             shard = drain_worker_shard()
-    return values, failed, error, {
+        if token is not None:
+            from repro.observability.profiling import drain_worker_profile
+
+            prof_shard = drain_worker_profile(token)
+    record = {
         "start_s": start_wall - epoch,
         "duration_s": time.perf_counter() - t0,
         "worker": _worker_label(),
-    }, shard
+    }
+    if prof_shard:
+        record["profile"] = prof_shard
+    return values, failed, error, record, shard
 
 
 def _drain_isolated(
     pool: Executor, func: Callable, items: Sequence[Any], chunks: list[range],
     results: list[Any], isolation: Isolation,
     trace: tuple | None = None, metrics: tuple | None = None,
+    profile: tuple | None = None,
 ) -> None:
     """:func:`_drain` with per-item failure isolation and resubmission.
 
@@ -356,7 +426,7 @@ def _drain_isolated(
             return
         future = pool.submit(
             _run_chunk_isolated, func, items, indices, attempt,
-            isolation.retryable, isolation.attempt_scope, epoch, collect,
+            isolation.retryable, isolation.attempt_scope, epoch, collect, profile,
         )
         pending[future] = (indices, attempt)
 
@@ -480,49 +550,56 @@ def parallel_for(
     metric: tuple | None = None
     if metrics is not None:
         metric = (metrics, name, backend.value, Schedule.coerce(schedule).value)
+    profile = _profile_channel(name, backend)
 
     if executor is not None:
         results: list[Any] = [None] * n
         if isolate is not None:
             _drain_isolated(executor, func, items, chunks, results, isolate,
-                            trace=trace, metrics=metric)
+                            trace=trace, metrics=metric, profile=profile)
         else:
-            _drain(executor, func, items, chunks, results, trace=trace, metrics=metric)
+            _drain(executor, func, items, chunks, results, trace=trace,
+                   metrics=metric, profile=profile)
         return results
 
     if backend is Backend.SERIAL or workers == 1 or n == 1:
+        from repro.observability.profiling import labeled_thread
+
         results = [None] * n
-        for chunk in chunks:
-            t0 = time.perf_counter()
-            if isolate is not None:
-                if trace is not None:
+        # Serial chunks run on the driver thread; register the loop's
+        # labels so the sampler attributes them like pool workers.
+        with labeled_thread(profile[1]) if profile is not None else nullcontext():
+            for chunk in chunks:
+                t0 = time.perf_counter()
+                if isolate is not None:
+                    if trace is not None:
+                        tracer_, name_, parent, _ = trace
+                        with tracer_.span(
+                            name_, kind="chunk", parent=parent,
+                            chunk_start=chunk.start, size=len(chunk),
+                        ):
+                            values = _serial_chunk_isolated(func, items, chunk, isolate)
+                    else:
+                        values = _serial_chunk_isolated(func, items, chunk, isolate)
+                elif trace is not None:
                     tracer_, name_, parent, _ = trace
                     with tracer_.span(
                         name_, kind="chunk", parent=parent,
                         chunk_start=chunk.start, size=len(chunk),
                     ):
-                        values = _serial_chunk_isolated(func, items, chunk, isolate)
+                        values = _run_chunk(func, items, chunk)
                 else:
-                    values = _serial_chunk_isolated(func, items, chunk, isolate)
-            elif trace is not None:
-                tracer_, name_, parent, _ = trace
-                with tracer_.span(
-                    name_, kind="chunk", parent=parent,
-                    chunk_start=chunk.start, size=len(chunk),
-                ):
                     values = _run_chunk(func, items, chunk)
-            else:
-                values = _run_chunk(func, items, chunk)
-            if metric is not None:
-                # Serial chunks run on the driver thread: body metrics
-                # went straight to the registry; count the chunk here.
-                record = {
-                    "duration_s": time.perf_counter() - t0,
-                    "worker": _worker_label(),
-                }
-                _record_chunk_metrics(metric, record, None, len(chunk))
-            for i, value in zip(chunk, values):
-                results[i] = value
+                if metric is not None:
+                    # Serial chunks run on the driver thread: body metrics
+                    # went straight to the registry; count the chunk here.
+                    record = {
+                        "duration_s": time.perf_counter() - t0,
+                        "worker": _worker_label(),
+                    }
+                    _record_chunk_metrics(metric, record, None, len(chunk))
+                for i, value in zip(chunk, values):
+                    results[i] = value
         return results
 
     pool_cls = ThreadPoolExecutor if backend is Backend.THREAD else ProcessPoolExecutor
@@ -530,9 +607,10 @@ def parallel_for(
     with pool_cls(max_workers=min(workers, len(chunks))) as pool:
         if isolate is not None:
             _drain_isolated(pool, func, items, chunks, results, isolate,
-                            trace=trace, metrics=metric)
+                            trace=trace, metrics=metric, profile=profile)
         else:
-            _drain(pool, func, items, chunks, results, trace=trace, metrics=metric)
+            _drain(pool, func, items, chunks, results, trace=trace,
+                   metrics=metric, profile=profile)
     return results
 
 
@@ -619,7 +697,10 @@ class TaskGroup:
         self.backend = Backend.coerce(backend)
         self.num_workers = resolve_workers(num_workers)
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
-        self._futures: list[tuple[Any, str | None]] = []
+        #: ``(future, span_name, instrumented)`` per submitted task;
+        #: ``instrumented`` marks futures resolving to the shim's
+        #: ``(value, record, shard)`` triple rather than a bare value.
+        self._futures: list[tuple[Any, str | None, bool]] = []
         self._serial_results: list[Any] = []
         self.results: list[Any] = []
         self._tracer = tracer if tracer is not None and tracer.enabled else None
@@ -650,6 +731,21 @@ class TaskGroup:
         if shard:
             registry.merge(shard)
 
+    def _fold_task(
+        self, name: str | None, record: dict[str, Any], shard: dict[str, Any] | None
+    ) -> None:
+        """Ingest one task's span record and metrics/profile shards."""
+        prof_shard = record.pop("profile", None)
+        if prof_shard:
+            from repro.observability.profiling import merge_profile_shard
+
+            merge_profile_shard(prof_shard)
+        if self._tracer is not None:
+            self._tracer.record(
+                name or "task", kind="task", parent=self._parent, **record
+            )
+        self._count_task(record, shard)
+
     def __enter__(self) -> "TaskGroup":
         if self.backend is not Backend.SERIAL and self.num_workers > 1:
             pool_cls = ThreadPoolExecutor if self.backend is Backend.THREAD else ProcessPoolExecutor
@@ -665,31 +761,36 @@ class TaskGroup:
     ) -> None:
         """Submit one task (``#pragma omp task``)."""
         name = span_name or getattr(func, "__name__", "task")
+        profile = _profile_channel(name, self.backend)
         if self._pool is None:
+            from repro.observability.profiling import labeled_thread
+
             t0 = time.perf_counter()
-            if self._tracer is not None:
-                with self._tracer.span(name, kind="task", parent=self._parent):
+            with labeled_thread(profile[1]) if profile is not None else nullcontext():
+                if self._tracer is not None:
+                    with self._tracer.span(name, kind="task", parent=self._parent):
+                        self._serial_results.append(func(*args, **kwargs))
+                else:
                     self._serial_results.append(func(*args, **kwargs))
-            else:
-                self._serial_results.append(func(*args, **kwargs))
             self._count_task(
                 {"duration_s": time.perf_counter() - t0, "worker": _worker_label()},
                 None,
             )
-        elif self._tracer is not None or self._metrics is not None:
+        elif self._tracer is not None or self._metrics is not None or profile is not None:
             epoch = self._tracer.epoch if self._tracer is not None else time.time()
             future = self._pool.submit(
-                _run_task_traced, func, epoch, args, kwargs, self._metrics is not None
+                _run_task_traced, func, epoch, args, kwargs,
+                self._metrics is not None, profile,
             )
-            self._futures.append((future, name))
+            self._futures.append((future, name, True))
             if self._metrics is not None:
-                outstanding = sum(1 for f, _ in self._futures if not f.done())
+                outstanding = sum(1 for f, _, _ in self._futures if not f.done())
                 self._metrics.gauge(
                     "repro_parallel_task_queue_depth",
                     help="High-water mark of tasks outstanding in a TaskGroup.",
                 ).set_max(outstanding)
         else:
-            self._futures.append((self._pool.submit(func, *args, **kwargs), None))
+            self._futures.append((self._pool.submit(func, *args, **kwargs), None, False))
 
     def taskwait(self) -> list[Any]:
         """Barrier: wait for all submitted tasks, collect their results."""
@@ -697,36 +798,28 @@ class TaskGroup:
             batch = self._serial_results
             self._serial_results = []
         else:
-            futures = [f for f, _ in self._futures]
+            futures = [f for f, _, _ in self._futures]
             done, _ = wait(futures)
             failed = next((f for f in futures if f.exception() is not None), None)
             if failed is not None:
                 # Tasks that did finish still carry span records and
-                # worker metrics shards — fold them in before raising
-                # so a partial group is observable.
-                for future, name in self._futures:
+                # worker metrics/profile shards — fold them in before
+                # raising so a partial group is observable.
+                for future, name, instrumented in self._futures:
                     if future.cancelled() or future.exception() is not None:
                         continue
                     value = future.result()
-                    if self._tracer is not None or self._metrics is not None:
+                    if instrumented:
                         _, record, shard = value
-                        if self._tracer is not None:
-                            self._tracer.record(
-                                name or "task", kind="task", parent=self._parent, **record
-                            )
-                        self._count_task(record, shard)
+                        self._fold_task(name, record, shard)
                 self._futures = []
                 raise failed.exception()
             batch = []
-            for future, name in self._futures:
+            for future, name, instrumented in self._futures:
                 value = future.result()
-                if self._tracer is not None or self._metrics is not None:
+                if instrumented:
                     value, record, shard = value
-                    if self._tracer is not None:
-                        self._tracer.record(
-                            name or "task", kind="task", parent=self._parent, **record
-                        )
-                    self._count_task(record, shard)
+                    self._fold_task(name, record, shard)
                 batch.append(value)
             self._futures = []
         self.results.extend(batch)

@@ -1,0 +1,177 @@
+"""Critical path, stage efficiency, and the speedup model — exact math
+on a hand-built trace.
+
+The fixture is small enough to solve by hand:
+
+    run   [0, 10]
+      A   [0, 4]   stage, no units (serial)
+      B   [4, 10]  stage with three chunks:
+            c1 [4, 7]  worker w1
+            c2 [4, 9]  worker w2
+            c3 [7, 10] worker w1
+
+The best non-overlapping chain through B is c1 + c3 (6 s), beating c2
+alone (5 s); the critical path is A then c1 then c3, length 10.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.critpath import (
+    OUTSIDE_STAGES,
+    critical_path,
+    critical_path_length,
+    explain,
+    render_explain,
+    speedup_model,
+    stage_shares,
+    stage_stats,
+)
+from repro.observability.tracer import Span, Trace
+
+
+def span(span_id, parent_id, name, kind, start, duration, worker="main"):
+    return Span(
+        span_id=span_id,
+        parent_id=parent_id,
+        name=name,
+        kind=kind,
+        start_s=start,
+        duration_s=duration,
+        worker=worker,
+    )
+
+
+@pytest.fixture()
+def trace() -> Trace:
+    return Trace(
+        epoch=0.0,
+        spans=[
+            span(1, None, "run", "run", 0.0, 10.0),
+            span(2, 1, "A", "stage", 0.0, 4.0),
+            span(3, 1, "B", "stage", 4.0, 6.0),
+            span(4, 3, "c1", "chunk", 4.0, 3.0, worker="w1"),
+            span(5, 3, "c2", "chunk", 4.0, 5.0, worker="w2"),
+            span(6, 3, "c3", "chunk", 7.0, 3.0, worker="w1"),
+        ],
+    )
+
+
+class TestCriticalPath:
+    def test_segments_partition_root_wall_clock(self, trace):
+        segments = critical_path(trace)
+        assert critical_path_length(segments) == pytest.approx(10.0)
+        cursor = 0.0
+        for seg in segments:
+            assert seg.start_s == pytest.approx(cursor)
+            cursor = seg.end_s
+        assert cursor == pytest.approx(10.0)
+
+    def test_chain_prefers_max_total_duration(self, trace):
+        # c1 + c3 (6 s) beats the single overlapping c2 (5 s).
+        names = [s.name for s in critical_path(trace) if s.kind == "chunk"]
+        assert names == ["c1", "c3"]
+
+    def test_stage_shares(self, trace):
+        shares = stage_shares(critical_path(trace))
+        assert shares == {"A": pytest.approx(4.0), "B": pytest.approx(6.0)}
+
+    def test_orchestration_gap_is_outside_stages(self):
+        trace = Trace(
+            epoch=0.0,
+            spans=[
+                span(1, None, "run", "run", 0.0, 5.0),
+                span(2, 1, "A", "stage", 1.0, 3.0),
+            ],
+        )
+        shares = stage_shares(critical_path(trace))
+        assert shares[OUTSIDE_STAGES] == pytest.approx(2.0)  # [0,1] + [4,5]
+        assert shares["A"] == pytest.approx(3.0)
+
+    def test_empty_trace(self):
+        assert critical_path(Trace(epoch=0.0, spans=[])) == []
+
+
+class TestStageStats:
+    def test_serial_stage_counts_as_its_own_work(self, trace):
+        stats = {s.name: s for s in stage_stats(trace)}
+        a = stats["A"]
+        assert (a.work_s, a.max_unit_s, a.units, a.lanes) == (4.0, 4.0, 0, 1)
+        assert not a.parallel
+        assert a.efficiency == 1.0
+
+    def test_parallel_stage_measures_units_and_lanes(self, trace):
+        b = {s.name: s for s in stage_stats(trace)}["B"]
+        assert b.parallel
+        assert b.work_s == pytest.approx(11.0)
+        assert b.max_unit_s == pytest.approx(5.0)
+        assert b.units == 3
+        assert b.lanes == 2  # w1 and w2
+        assert b.efficiency == pytest.approx(11.0 / (2 * 6.0))
+
+    def test_efficiency_caps_at_one(self):
+        trace = Trace(
+            epoch=0.0,
+            spans=[
+                span(1, None, "B", "stage", 0.0, 1.0),
+                span(2, 1, "c", "chunk", 0.0, 2.0, worker="w1"),
+            ],
+        )
+        assert stage_stats(trace)[0].efficiency == 1.0
+
+
+class TestSpeedupModel:
+    def test_work_span_quantities(self, trace):
+        model = speedup_model(trace, workers=2)
+        assert model.serial_s == pytest.approx(4.0)
+        assert model.t1_s == pytest.approx(15.0)  # 4 + 11
+        assert model.t_inf_s == pytest.approx(9.0)  # 4 + 5
+        assert model.measured_s == pytest.approx(10.0)
+
+    def test_amdahl_at_two_workers(self, trace):
+        model = speedup_model(trace, workers=2)
+        assert model.parallel_fraction == pytest.approx(11.0 / 15.0)
+        # 1 / ((4/15) + (11/15)/2) = 30/19
+        assert model.amdahl_speedup == pytest.approx(30.0 / 19.0)
+
+    def test_brent_bound(self, trace):
+        model = speedup_model(trace, workers=2)
+        assert model.brent_time_s == pytest.approx(4.0 + 11.0 / 2 + 5.0)
+        assert model.brent_speedup == pytest.approx(15.0 / 14.5)
+
+    def test_hard_ceiling(self, trace):
+        assert speedup_model(trace, workers=2).bound_speedup == pytest.approx(
+            min(2.0, 15.0 / 9.0)
+        )
+        # With many workers the span term dominates.
+        assert speedup_model(trace, workers=64).bound_speedup == pytest.approx(
+            15.0 / 9.0
+        )
+
+    def test_to_dict_round_numbers(self, trace):
+        data = speedup_model(trace, workers=2).to_dict()
+        assert data["t1_s"] == 15.0
+        assert data["amdahl_speedup"] == round(30.0 / 19.0, 4)
+
+
+class TestExplain:
+    def test_report_structure(self, trace):
+        report = explain(trace, workers=2)
+        assert report["critical_path_s"] == pytest.approx(10.0)
+        stages = {s["stage"]: s for s in report["stages"]}
+        assert stages["B"]["critical_path_share"] == pytest.approx(0.6)
+        assert stages["B"]["efficiency"] == pytest.approx(11.0 / 12.0, abs=1e-4)
+        assert report["model"]["t_inf_s"] == pytest.approx(9.0)
+
+    def test_render_names_bottleneck_first(self, trace):
+        text = render_explain(explain(trace, workers=2))
+        lines = text.splitlines()
+        assert "critical path" in lines[0]
+        # Stages ranked by critical-path share: B (60%) before A (40%).
+        assert lines[1].startswith("stage B")
+        assert "predicted speedup" in text
+
+    def test_render_includes_measured_speedup(self, trace):
+        text = render_explain(explain(trace, workers=2), measured_speedup=1.23)
+        assert "measured 1.23x" in text

@@ -37,6 +37,7 @@ def bench_doc() -> dict:
         periods=8,
         workers=2,
         sample_interval=0.01,
+        profile_hz=150.0,
     )
 
 
@@ -94,6 +95,24 @@ class TestRecord:
         assert "speedup" in text
         assert "self s" in text
 
+    def test_critical_path_embedded(self, bench_doc):
+        for entry in bench_doc["events"]["EV-PERF"]["implementations"].values():
+            assert entry["critical_path_s"] > 0
+            # The path partitions the run span, so it cannot exceed the
+            # measured wall-clock (rounding slack aside).
+            assert entry["critical_path_s"] <= entry["total_s"] * 1.01 + 1e-6
+            assert entry["critical_path_stages"]
+
+    def test_profile_block_embedded(self, bench_doc):
+        for entry in bench_doc["events"]["EV-PERF"]["implementations"].values():
+            profile = entry["profile"]
+            assert profile["hz"] == 150.0
+            assert profile["samples"] >= 0
+            assert 0.0 <= profile["attributed_fraction"] <= 1.0
+            assert isinstance(profile["top_frames"], list)
+            for row in profile["top_frames"]:
+                assert set(row) == {"frame", "seconds", "samples"}
+
     def test_validate_flags_broken_docs(self, bench_doc):
         broken = copy.deepcopy(bench_doc)
         broken["schema"] = "other/9"
@@ -101,6 +120,23 @@ class TestRecord:
         errors = validate_bench(broken)
         assert any("schema" in e for e in errors)
         assert any("stages" in e for e in errors)
+
+    def test_validate_v2_requires_critical_path(self, bench_doc):
+        broken = copy.deepcopy(bench_doc)
+        entry = broken["events"]["EV-PERF"]["implementations"]["seq-original"]
+        entry["critical_path_s"] = -1.0
+        entry["profile"] = {"samples": "many"}
+        errors = validate_bench(broken)
+        assert any("critical_path_s" in e for e in errors)
+        assert any("profile" in e for e in errors)
+
+    def test_validate_accepts_v1_without_v2_fields(self, bench_doc):
+        old = copy.deepcopy(bench_doc)
+        old["schema"] = "repro-bench/1"
+        for entry in old["events"]["EV-PERF"]["implementations"].values():
+            del entry["critical_path_s"], entry["critical_path_stages"]
+            entry.pop("profile", None)
+        assert validate_bench(old) == []
 
 
 class TestWriteAndDiscover:
@@ -149,6 +185,23 @@ class TestCheck:
         assert regressions == []
         assert all(d.implementation == "seq-original" for d in deltas)
 
+    def test_failure_names_worst_regressed_stage(self, bench_doc, tmp_path, capsys):
+        slow = copy.deepcopy(bench_doc)
+        entry = slow["events"]["EV-PERF"]["implementations"]["full-parallel"]
+        stage = max(entry["stages"], key=entry["stages"].get)
+        entry["stages"][stage] = entry["stages"][stage] * 2 + 0.05
+        if entry["stage_self_s"].get(stage) is not None:
+            entry["stage_self_s"][stage] = entry["stage_self_s"][stage] * 2 + 0.05
+        base = write_bench(bench_doc, tmp_path)
+        against = tmp_path / "slow.json"
+        against.write_text(json.dumps(slow))
+        assert main_perf(
+            ["check", "--baseline", str(base), "--against", str(against)]
+        ) == 1
+        out = capsys.readouterr().out
+        assert f"worst-regressed stage: {stage}" in out
+        assert "self-time" in out
+
     def test_render_deltas(self, bench_doc):
         slow = copy.deepcopy(bench_doc)
         slow["events"]["EV-PERF"]["implementations"]["seq-original"]["total_s"] *= 10
@@ -187,3 +240,25 @@ class TestCli:
         ) == 0
         out = capsys.readouterr().out
         assert "ADVISORY" in out
+
+
+class TestExplain:
+    def test_explain_prints_bottleneck_reports(self, capsys):
+        assert main_perf(
+            [
+                "explain", "--event", "EV-NOV18",
+                "--implementations", "seq-original,full-parallel",
+                "--scale", "0.02", "--periods", "8", "--workers", "2",
+                "--hz", "150",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== seq-original ==" in out
+        assert "== full-parallel ==" in out
+        assert "critical path:" in out
+        assert "of critical path" in out
+        assert "efficiency" in out
+        assert "predicted speedup: Amdahl" in out
+        # Non-baseline implementations report measured speedup too.
+        assert "measured" in out
+        assert "span-attributed" in out

@@ -21,9 +21,10 @@ needs_proc = pytest.mark.skipif(
 )
 
 
-def sample(t, cores=(0.2, 0.9), rss=1000, fds=4, threads=2):
+def sample(t, cores=(0.2, 0.9), rss=1000, fds=4, threads=2, vol=0, invol=0):
     return ResourceSample(
-        t_s=t, per_core=cores, rss_bytes=rss, open_fds=fds, n_threads=threads
+        t_s=t, per_core=cores, rss_bytes=rss, open_fds=fds, n_threads=threads,
+        vol_ctx_switches=vol, invol_ctx_switches=invol,
     )
 
 
@@ -60,10 +61,29 @@ class TestResourceLog:
         assert log.utilization_between(0.5, 2.0)["mean_utilization"] == 1.0
         assert log.utilization_between(5.0, 6.0)["n_samples"] == 0
 
+    def test_summary_ctx_switch_spread(self):
+        # The /proc counters are cumulative; the run's own switches are
+        # the first-to-last spread, not the absolute values.
+        log = ResourceLog(
+            interval_s=0.05,
+            samples=[sample(0.0, vol=100, invol=10), sample(0.1, vol=160, invol=13)],
+        )
+        summary = log.summary()
+        assert summary["vol_ctx_switches"] == 60
+        assert summary["invol_ctx_switches"] == 3
+
     def test_roundtrip(self):
-        log = ResourceLog(interval_s=0.01, samples=[sample(0.5)])
+        log = ResourceLog(interval_s=0.01, samples=[sample(0.5, vol=7, invol=2)])
         clone = ResourceLog.from_dict(log.to_dict())
         assert clone == log
+
+    def test_from_dict_defaults_missing_switch_counts(self):
+        # Logs serialized before the counters existed still load.
+        data = sample(0.5).to_dict()
+        del data["vol_ctx_switches"], data["invol_ctx_switches"]
+        loaded = ResourceSample.from_dict(data)
+        assert loaded.vol_ctx_switches == 0
+        assert loaded.invol_ctx_switches == 0
 
     def test_merge_logs_sorts_by_time(self):
         a = ResourceLog(interval_s=0.1, samples=[sample(2.0)])
@@ -85,6 +105,10 @@ class TestResourceSampler:
         assert s.n_threads >= 1
         assert s.open_fds >= 1
         assert all(0.0 <= u <= 1.0 for u in s.per_core)
+        # Cumulative kernel counters: positive and non-decreasing.
+        assert s.vol_ctx_switches > 0
+        vols = [x.vol_ctx_switches for x in log.samples]
+        assert vols == sorted(vols)
 
     def test_timestamps_follow_tracer_clock(self):
         tracer = Tracer()
@@ -116,6 +140,29 @@ class TestChromeTraceCounters:
         busy = next(e for e in counters if e["name"] == "cores_busy")
         assert busy["ts"] == pytest.approx(0.5e6)
         assert busy["args"] == {"cpu0": 0.2, "cpu1": 0.9}
+
+    def test_ctx_switch_track_plots_interval_increments(self):
+        tracer = Tracer()
+        with tracer.span("run", kind="run"):
+            pass
+        log = ResourceLog(
+            interval_s=0.05,
+            samples=[
+                sample(0.1, vol=100, invol=5),
+                sample(0.2, vol=130, invol=9),
+                sample(0.3, vol=130, invol=9),
+            ],
+        )
+        doc = to_chrome_trace(tracer.trace(), resources=log)
+        switches = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "C" and e["name"] == "ctx_switches"
+        ]
+        # No event for the first sample: increments need a predecessor.
+        assert [e["args"] for e in switches] == [
+            {"voluntary": 30, "involuntary": 4},
+            {"voluntary": 0, "involuntary": 0},
+        ]
 
     def test_no_resources_no_counters(self):
         tracer = Tracer()

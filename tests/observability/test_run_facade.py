@@ -65,6 +65,21 @@ def test_trace_true_attaches_without_writing(facade_workspace: Path) -> None:
 def test_untraced_by_default(facade_workspace: Path) -> None:
     result = repro.run(facade_workspace, "seq-optimized", response_periods=12)
     assert result.trace is None
+    assert result.profile is None
+
+
+def test_profile_path_writes_speedscope(facade_workspace: Path, tmp_path: Path) -> None:
+    out = tmp_path / "run.speedscope.json"
+    result = repro.run(
+        facade_workspace, "seq-optimized", profile=out, response_periods=12
+    )
+    # Profiling implies tracing: samples attribute through open spans.
+    assert result.trace is not None
+    assert result.profile is not None
+    doc = json.loads(out.read_text())
+    assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+    if result.profile.total_samples:  # tiny runs may record few samples
+        assert result.profile.attributed_fraction() >= 0.95
 
 
 def test_implementation_class_and_instance(facade_workspace: Path) -> None:
