@@ -23,13 +23,21 @@ Quick start::
 
 :func:`repro.run` is the one-call facade: it accepts a workspace
 directory, a synthetic :class:`EventSpec`, or a prepared
-:class:`RunContext`; picks the implementation by name; applies one
-backend uniformly; and (with ``trace=``) records a span trace of the
-whole run, exportable as Chrome Trace Event JSON.
+:class:`RunContext`; picks the scheduling policy by name (``policy=``,
+a :class:`SchedulingPolicy`, or a user-built :class:`PipelineBuilder`
+graph); applies one backend uniformly; and (with ``trace=``) records a
+span trace of the whole run, exportable as Chrome Trace Event JSON.
 """
 
 from repro._version import __version__
 from repro.api import run
+from repro.engine import (
+    PipelineBuilder,
+    SchedulingPolicy,
+    TaskGraph,
+    policy_by_name,
+    policy_names,
+)
 from repro.core import (
     ALL_IMPLEMENTATIONS,
     FullyParallel,
@@ -64,6 +72,11 @@ __all__ = [
     "IMPLEMENTATIONS",
     "ALL_IMPLEMENTATIONS",
     "implementation_by_name",
+    "PipelineBuilder",
+    "SchedulingPolicy",
+    "TaskGraph",
+    "policy_by_name",
+    "policy_names",
     "EventSpec",
     "PAPER_EVENTS",
     "generate_event_dataset",

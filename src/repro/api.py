@@ -2,7 +2,7 @@
 
 :func:`run` is the library's front door: point it at a workspace
 directory (or hand it a synthetic :class:`~repro.synth.events.EventSpec`
-to generate first), pick an implementation and a backend, and get a
+to generate first), pick a scheduling policy and a backend, and get a
 :class:`~repro.core.runner.PipelineResult` back — optionally with the
 full span trace attached and exported as Chrome Trace Event JSON.
 
@@ -10,17 +10,25 @@ full span trace attached and exported as Chrome Trace Event JSON.
 
     result = repro.run("my-workspace")                       # existing V1 files
     result = repro.run(event, workspace="out", trace=True)   # synthetic event
-    result = repro.run("ws", implementation="wavefront-parallel",
+    result = repro.run("ws", policy="wavefront-parallel",
                        backend="process", workers=8,
                        trace="run.trace.json")
+
+    builder = repro.PipelineBuilder(name="qc-only")          # custom graph
+    builder.add_processes([0, 1, 2, 3])
+    result = repro.run("ws", policy=builder)
+
+The ``implementation=`` positional argument of earlier releases still
+works but is deprecated in favour of ``policy=``.
 """
 
 from __future__ import annotations
 
 import tempfile
+import warnings
 from pathlib import Path
 
-from repro.core import RunContext, Workspace, implementation_by_name
+from repro.core import RunContext, Workspace
 from repro.core.context import ParallelSettings
 from repro.core.runner import PipelineImplementation, PipelineResult
 from repro.observability.tracer import Tracer
@@ -28,21 +36,48 @@ from repro.parallel.backend import Backend
 from repro.synth.events import EventSpec
 
 
-def _resolve_implementation(
-    implementation: str | PipelineImplementation | type[PipelineImplementation],
-) -> PipelineImplementation:
-    """Accept a short name, an implementation class, or an instance."""
-    if isinstance(implementation, PipelineImplementation):
-        return implementation
-    if isinstance(implementation, type) and issubclass(implementation, PipelineImplementation):
-        return implementation()
-    return implementation_by_name(str(implementation))()
+def _resolve_pipeline(implementation, policy) -> PipelineImplementation:
+    """Resolve the deprecated ``implementation=`` / new ``policy=`` pair."""
+    from repro.engine.policy import resolve_policy
+
+    if implementation is not None and policy is not None:
+        raise ValueError(
+            "run(): pass either policy= or the deprecated implementation=, "
+            "not both"
+        )
+    if implementation is not None:
+        if isinstance(implementation, str):
+            warnings.warn(
+                f"run(..., implementation={implementation!r}) is deprecated; "
+                f"use run(..., policy={implementation!r})",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            return resolve_policy(implementation).pipeline()
+        if isinstance(implementation, PipelineImplementation):
+            return implementation
+        if isinstance(implementation, type) and issubclass(
+            implementation, PipelineImplementation
+        ):
+            return implementation()
+        raise ValueError(
+            "run(): implementation must be a name, a PipelineImplementation "
+            f"class or an instance; got {type(implementation).__name__}"
+        )
+    if policy is None:
+        policy = "full-parallel"
+    if isinstance(policy, PipelineImplementation):
+        return policy
+    if isinstance(policy, type) and issubclass(policy, PipelineImplementation):
+        return policy()
+    return resolve_policy(policy).pipeline()
 
 
 def run(
     source: str | Path | Workspace | RunContext | EventSpec,
-    implementation: str | PipelineImplementation | type[PipelineImplementation] = "full-parallel",
+    implementation=None,
     *,
+    policy=None,
     backend: Backend | str | None = None,
     workers: int | None = None,
     trace: bool | str | Path | None = None,
@@ -51,7 +86,7 @@ def run(
     response_periods: int | None = None,
     settings: ParallelSettings | None = None,
 ) -> PipelineResult:
-    """Run one pipeline implementation end-to-end, in one call.
+    """Run the pipeline end-to-end under one scheduling policy.
 
     ``source`` selects the input:
 
@@ -62,6 +97,21 @@ def run(
     - a fully-configured :class:`RunContext`, used as-is (``backend``,
       ``workers``, ``response_periods`` and ``settings`` must then be
       left unset).
+
+    ``policy`` selects the schedule (default ``"full-parallel"``):
+
+    - a registered policy name (``repro.engine.policy_names()`` lists
+      them: the paper's four schemes plus ``full-parallel-fused``,
+      ``dag-parallel``, ``cluster-parallel``, ...);
+    - a :class:`~repro.engine.SchedulingPolicy` instance;
+    - a user-built :class:`~repro.engine.PipelineBuilder` (or its
+      :class:`~repro.engine.TaskGraph`), executed by its derived
+      dependency layering.
+
+    ``implementation`` (second positional argument) is the deprecated
+    pre-engine spelling: names resolve through the policy registry and
+    emit :class:`DeprecationWarning`; implementation classes and
+    instances still run as-is.
 
     ``backend`` applies one backend to loops, tasks and tools alike
     (``ParallelSettings.uniform``); pass ``settings`` instead for
@@ -74,10 +124,10 @@ def run(
     ``result.profile``; a path additionally writes it as speedscope
     JSON.
 
-    Returns the implementation's :class:`PipelineResult` (with
-    ``result.trace`` / ``result.profile`` set when requested).
+    Returns the policy's :class:`PipelineResult` (with ``result.trace``
+    / ``result.profile`` set when requested).
     """
-    impl = _resolve_implementation(implementation)
+    impl = _resolve_pipeline(implementation, policy)
 
     if isinstance(source, RunContext):
         if backend is not None or workers is not None or settings is not None \

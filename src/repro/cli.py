@@ -16,8 +16,9 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core import ALL_IMPLEMENTATIONS, RunContext, implementation_by_name
+from repro.core import RunContext
 from repro.core.context import ParallelSettings
+from repro.engine import pipeline_factory, policy_names
 from repro.parallel.backend import Backend
 from repro.spectra.response import ResponseSpectrumConfig, default_periods
 
@@ -29,11 +30,14 @@ def _build_process_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("workspace", help="workspace directory (input/ holds the .v1 files)")
     parser.add_argument(
+        "--policy",
         "--implementation",
         "-i",
+        dest="policy",
         default="full-parallel",
-        choices=[impl.name for impl in ALL_IMPLEMENTATIONS],
-        help="pipeline implementation to run",
+        choices=policy_names(),
+        help="scheduling policy to run (--implementation is the deprecated "
+        "alias; choices come from the engine's policy registry)",
     )
     parser.add_argument(
         "--generate-event",
@@ -139,7 +143,7 @@ def main_process(argv: list[str] | None = None) -> int:
         from repro.resilience import FaultPlan
 
         ctx.resilience = FaultPlan.load(args.inject_faults)
-    impl = implementation_by_name(args.implementation)()
+    impl = pipeline_factory(args.policy)()
     resources = None
     if args.trace:
         from repro.observability.resources import ResourceSampler
@@ -166,7 +170,7 @@ def main_process(argv: list[str] | None = None) -> int:
     if args.profile and result.profile is not None:
         from repro.observability.profiling import write_speedscope
 
-        write_speedscope(args.profile, result.profile, name=args.implementation)
+        write_speedscope(args.profile, result.profile, name=args.policy)
         print(
             f"profile written to {args.profile} "
             f"({result.profile.total_samples} samples, "
@@ -353,10 +357,14 @@ def _build_bulletin_parser() -> argparse.ArgumentParser:
     parser.add_argument("--root", default="bulletin-run", help="workspace root directory")
     parser.add_argument("--scale", type=float, default=1.0, help="dataset size scale")
     parser.add_argument(
+        "--policy",
         "--implementation",
         "-i",
+        dest="policy",
         default="wavefront-parallel",
-        help="pipeline implementation to use",
+        choices=policy_names(),
+        help="scheduling policy to use (--implementation is the deprecated "
+        "alias)",
     )
     parser.add_argument("--periods", type=int, default=100, help="response-spectrum periods")
     parser.add_argument("--workers", type=int, default=None, help="parallel workers")
@@ -394,7 +402,7 @@ def main_bulletin(argv: list[str] | None = None) -> int:
 
         metrics = MetricsRegistry()
     runner = BatchRunner(
-        implementation=implementation_by_name(args.implementation)(),
+        implementation=pipeline_factory(args.policy)(),
         root=Path(args.root),
         scale=args.scale,
         response_config=ResponseSpectrumConfig(periods=default_periods(args.periods)),
@@ -445,11 +453,14 @@ def _build_chaos_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--workers", type=int, default=2, help="parallel worker count")
     parser.add_argument(
+        "--policies",
         "--implementations",
+        dest="implementations",
         nargs="+",
         default=None,
         metavar="NAME",
-        help="implementations to soak (default: the paper's four)",
+        help="scheduling policies to soak (default: the paper's four; "
+        "--implementations is the deprecated alias)",
     )
     return parser
 

@@ -63,12 +63,22 @@ ALL_IMPLEMENTATIONS = IMPLEMENTATIONS + (
 
 
 def implementation_by_name(name: str) -> type[PipelineImplementation]:
-    """Look up an implementation class by its short name."""
+    """Look up an implementation class by its short name.
+
+    Raises :class:`ValueError` naming every known implementation (and
+    the closest match) instead of a bare ``KeyError``.
+    """
     for impl in ALL_IMPLEMENTATIONS:
         if impl.name == name:
             return impl
+    import difflib
+
     known = [impl.name for impl in ALL_IMPLEMENTATIONS]
-    raise ValueError(f"unknown implementation {name!r}; known: {known}")
+    message = f"unknown implementation {name!r}; known: {known}"
+    close = difflib.get_close_matches(str(name), known, n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    raise ValueError(message)
 
 
 __all__ = [

@@ -1,4 +1,4 @@
-"""Cluster (MPI-style) pipeline implementation.
+"""Cluster (MPI-style) pipeline implementation — engine-backed shim.
 
 Distributes the wavefront's per-station pipelines across SPMD ranks
 over a shared filesystem — the architecture of the paper's related
@@ -10,27 +10,20 @@ the corner specs are gathered back for the deterministic epilogue.
 Outputs are byte-identical to every other implementation (the same
 station unit, :func:`~repro.core.wavefront.process_station_wavefront`,
 does the work; only the placement differs).
+
+.. deprecated::
+    :class:`ClusterParallel` is a thin shim delegating to
+    :class:`repro.engine.ClusterPolicy`; prefer
+    ``repro.run(..., policy="cluster-parallel")``.
 """
 
 from __future__ import annotations
 
-import time
-
-from repro.core.artifacts import FILTER_CORRECTED, MAXVALS, MAXVALS2
 from repro.core.context import RunContext
-from repro.core.processes.p00_flags import run_p00
-from repro.core.processes.p01_gather import run_p01
-from repro.core.processes.p02_params import run_p02
 from repro.core.processes.p03_separate import stations_from_list
-from repro.core.processes.p05_metadata import run_p05
-from repro.core.processes.p08_fourier_meta import run_p08
-from repro.core.processes.p11_flags2 import run_p11
-from repro.core.processes.p17_response_meta import run_p17
-from repro.core.runner import PipelineImplementation, PipelineResult, ProcessTiming
-from repro.core.wavefront import _merge_suffixed, process_station_wavefront
-from repro.formats.params import FilterParams, write_filter_params
-from repro.observability.tracer import maybe_span
-from repro.parallel.cluster import Communicator, run_cluster
+from repro.core.runner import PipelineImplementation, PipelineResult
+from repro.core.wavefront import process_station_wavefront
+from repro.parallel.cluster import Communicator
 
 
 def _cluster_rank_body(comm: Communicator, ctx: RunContext) -> list:
@@ -66,64 +59,10 @@ class ClusterParallel(PipelineImplementation):
         self.n_ranks = n_ranks
 
     def execute(self, ctx: RunContext, result: PipelineResult) -> None:
-        tracer = ctx.tracer
-        # Coordinator prologue (stages I, II, VII), sequential: these
-        # are milliseconds and must complete before ranks start.
-        with maybe_span(
-            tracer, "prologue", kind="stage", stage="prologue",
-            strategy="seq", implementation=self.name,
-        ) as prologue_span:
-            start = time.perf_counter()
-            run_p00(ctx)
-            run_p01(ctx)
-            run_p02(ctx)
-            run_p05(ctx)
-            run_p08(ctx)
-            run_p17(ctx)
-            run_p11(ctx)
-            elapsed = time.perf_counter() - start
-        result.stage_durations["prologue"] = (
-            prologue_span.duration_s if prologue_span is not None else elapsed
-        )
+        from repro.engine.executor import Engine
+        from repro.engine.policy import ClusterPolicy
 
-        with maybe_span(
-            tracer, "ranks", kind="stage", stage="ranks",
-            strategy="cluster", implementation=self.name,
-        ) as ranks_span:
-            start = time.perf_counter()
-            stations = stations_from_list(ctx.workspace)
-            ranks = self.n_ranks if self.n_ranks is not None else ctx.parallel.workers
-            ranks = max(1, min(ranks, len(stations)))
-            per_rank = run_cluster(_cluster_rank_body, ranks, ctx, tracer=tracer)
-            all_specs = per_rank[0]
-            elapsed = time.perf_counter() - start
-        result.stage_durations["ranks"] = (
-            ranks_span.duration_s if ranks_span is not None else elapsed
+        policy = ClusterPolicy(
+            self.n_ranks, name=self.name, description=self.description
         )
-
-        with maybe_span(
-            tracer, "epilogue", kind="stage", stage="epilogue",
-            strategy="seq", implementation=self.name,
-        ) as epilogue_span:
-            start = time.perf_counter()
-            params = FilterParams(default=ctx.default_filter)
-            for station, comp, spec in all_specs:
-                params.set_override(station, comp, spec)
-            write_filter_params(ctx.workspace.work(FILTER_CORRECTED), params)
-            _merge_suffixed(ctx.workspace, "max1", MAXVALS)
-            _merge_suffixed(ctx.workspace, "max2", MAXVALS2)
-            tmp = ctx.workspace.tmp_dir
-            if tmp.exists() and not any(tmp.iterdir()):
-                tmp.rmdir()
-            elapsed = time.perf_counter() - start
-        result.stage_durations["epilogue"] = (
-            epilogue_span.duration_s if epilogue_span is not None else elapsed
-        )
-        result.processes.append(
-            ProcessTiming(
-                pid=-1,
-                name=f"{ranks}-rank station pipelines",
-                stage="ranks",
-                duration_s=result.stage_durations["ranks"],
-            )
-        )
+        Engine(policy).execute(ctx, result)

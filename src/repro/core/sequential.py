@@ -1,4 +1,4 @@
-"""The two sequential implementations.
+"""The two sequential implementations (engine-backed shims).
 
 - :class:`SequentialOriginal` — all 20 processes in their numeric
   order, faithfully including the three redundant ones (paper §III).
@@ -6,19 +6,19 @@
   and P14 removed; its final outputs are byte-identical to the
   original's, which the optimization analysis (paper §IV) proves and
   the test suite re-checks.
+
+.. deprecated::
+    These classes are thin shims over the execution engine: each run
+    delegates to :class:`repro.engine.SequentialPolicy`.  Prefer
+    ``repro.run(..., policy="seq-optimized")`` or the policy objects in
+    :mod:`repro.engine` directly.
 """
 
 from __future__ import annotations
 
-import logging
-import time
-
 from repro.core.context import RunContext
-from repro.core.registry import OPTIMIZED_ORDER, ORIGINAL_ORDER, PROCESSES
-from repro.core.runner import PipelineImplementation, PipelineResult, ProcessTiming
-from repro.observability.tracer import maybe_span
-
-logger = logging.getLogger("repro.core")
+from repro.core.registry import OPTIMIZED_ORDER, ORIGINAL_ORDER
+from repro.core.runner import PipelineImplementation, PipelineResult
 
 
 class _SequentialBase(PipelineImplementation):
@@ -27,32 +27,13 @@ class _SequentialBase(PipelineImplementation):
     order: tuple[int, ...] = ()
 
     def execute(self, ctx: RunContext, result: PipelineResult) -> None:
-        tracer = ctx.tracer
-        for pid in self.order:
-            spec = PROCESSES[pid]
-            # Each process is its own stage here, so the trace keeps the
-            # same run -> stage -> process shape as the staged plans.
-            with maybe_span(
-                tracer, spec.label, kind="stage", stage=spec.label,
-                strategy="seq", implementation=self.name,
-            ) as stage_span:
-                with maybe_span(
-                    tracer, spec.name, kind="process", pid=pid, stage=spec.label,
-                ):
-                    start = time.perf_counter()
-                    spec.run(ctx)
-                    elapsed = time.perf_counter() - start
-            logger.debug("%s (%s) finished in %.4f s", spec.label, spec.name, elapsed)
-            result.processes.append(
-                ProcessTiming(pid=pid, name=spec.name, stage=spec.label, duration_s=elapsed)
-            )
-            if ctx.metrics is not None:
-                from repro.observability.metrics import record_process
+        from repro.engine.executor import Engine
+        from repro.engine.policy import SequentialPolicy
 
-                record_process(pid, elapsed)
-            result.stage_durations[spec.label] = (
-                stage_span.duration_s if stage_span is not None else elapsed
-            )
+        policy = SequentialPolicy(
+            self.order, name=self.name, description=self.description
+        )
+        Engine(policy).execute(ctx, result)
 
 
 class SequentialOriginal(_SequentialBase):

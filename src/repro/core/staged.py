@@ -1,74 +1,34 @@
-"""Shared machinery of the two parallel implementations.
+"""The staged (Fig. 9) implementations' base class — engine-backed shim.
 
-Both run the optimized 17 processes through the 11-stage plan of
-Fig. 9 with per-stage barriers; they differ only in which stages use a
-parallel strategy.  This module implements every strategy once:
+The per-stage strategy machinery that used to live here (``tasks``,
+``loop``, ``temp_folders``, ``seq`` execution plus the staging-
+instance descriptions) moved to :mod:`repro.engine.executor`, where it
+runs every scheduling policy.  This module keeps the legacy surface:
 
-- ``tasks``        — stage members as OpenMP-style tasks + taskwait;
-- ``loop``         — the stage's data loop via :func:`parallel_for`;
-- ``temp_folders`` — concurrent legacy-tool instances staged into
-  temporary folders (stages IV, V, VIII);
-- ``seq``          — plain sequential execution.
+- :class:`StagedImplementationBase` delegates each run to a
+  :class:`repro.engine.StagedPolicy` built from its ``strategies``
+  mapping, producing byte-identical artifacts and an identical trace
+  shape;
+- the staging helpers (``correction_instance``, ``fourier_instance``,
+  the picklable loop bodies) are re-exported for existing importers.
 
-Every parallel path collects per-item results in deterministic order
-and performs merges (the maxvals files) after the barrier, so outputs
-are byte-identical to the sequential implementations.
+.. deprecated::
+    Prefer ``repro.run(..., policy="full-parallel")`` or the policy
+    objects in :mod:`repro.engine` directly.
 """
 
 from __future__ import annotations
 
-import logging
-import time
-from contextlib import ExitStack
-from functools import partial
-
-logger = logging.getLogger("repro.core")
-
-from repro.core.artifacts import (
-    FILTER_CORRECTED,
-    FILTER_PARAMS,
-    MAXVALS,
-    MAXVALS2,
-)
-from repro.core.auditing import unit_scope
 from repro.core.context import RunContext
-from repro.core.processes.common import merge_max_files
-from repro.core.processes.p03_separate import separate_station, stations_from_list
-from repro.core.processes.p16_response import response_for_trace, trace_pairs
-from repro.core.processes.p19_gem import interleaved_files, set_data_apart
-from repro.core.registry import PROCESSES
-from repro.core.runner import PipelineImplementation, PipelineResult, ProcessTiming
-from repro.core.stages import (
-    LOOP,
-    SEQ,
-    STAGES,
-    TASKS,
-    TEMP_FOLDERS,
-    StageSpec,
+from repro.core.runner import PipelineImplementation, PipelineResult
+from repro.engine.executor import (  # noqa: F401  (re-exported legacy surface)
+    _gem_unit,
+    _resilience,
+    _response_unit,
+    _timed,
+    correction_instance,
+    fourier_instance,
 )
-from repro.core.tempfolders import STAGE_PROCESS, StagedInstance, run_staged_instance
-from repro.errors import PipelineError
-from repro.observability.tracer import maybe_span
-from repro.formats.common import COMPONENTS
-from repro.formats.v1 import component_v1_name
-from repro.formats.v2 import component_v2_name
-from repro.formats.fourier import component_f_name
-from repro.parallel.omp import TaskGroup, parallel_for, shared_executor
-
-
-def _resilience(ctx: RunContext):
-    """The resilience runtime active for this run's workspace, if any."""
-    from repro.resilience.runtime import active_runtime
-
-    return active_runtime(ctx.workspace.root)
-
-
-def _timed(pid: int, ctx: RunContext, **kwargs: object) -> tuple[int, float]:
-    """Run one registry process, returning (pid, elapsed)."""
-    spec = PROCESSES[pid]
-    start = time.perf_counter()
-    spec.run(ctx, **kwargs)  # type: ignore[call-arg]
-    return pid, time.perf_counter() - start
 
 
 class StagedImplementationBase(PipelineImplementation):
@@ -76,259 +36,12 @@ class StagedImplementationBase(PipelineImplementation):
 
     #: Stage name -> strategy; anything missing defaults to ``seq``.
     strategies: dict[str, str] = {}
-    #: Backend -> shared executor, populated for the duration of a run.
-    _pools: dict = {}
 
     def execute(self, ctx: RunContext, result: PipelineResult) -> None:
-        # One pool per backend, shared by every loop stage of the run:
-        # pool creation (and, for the process backend, worker forking)
-        # is not paid per stage.
-        with ExitStack() as stack:
-            self._pools = {
-                backend: stack.enter_context(
-                    shared_executor(backend, ctx.parallel.workers)
-                )
-                for backend in {ctx.parallel.loop_backend, ctx.parallel.tool_backend}
-            }
-            for stage in STAGES:
-                strategy = self.strategies.get(stage.name, SEQ)
-                with maybe_span(
-                    ctx.tracer, stage.name, kind="stage", stage=stage.name,
-                    strategy=strategy, implementation=self.name,
-                ) as stage_span:
-                    start = time.perf_counter()
-                    self._run_stage(ctx, result, stage, strategy)
-                    elapsed = time.perf_counter() - start
-                # When tracing, the stage clock *is* the stage span, so
-                # the trace and the result cannot disagree.
-                result.stage_durations[stage.name] = (
-                    stage_span.duration_s if stage_span is not None else elapsed
-                )
-                logger.debug(
-                    "stage %s (%s) finished in %.4f s",
-                    stage.name,
-                    strategy,
-                    result.stage_durations[stage.name],
-                )
-            self._pools = {}
-        # The temp-folder parent is scratch space; leave the workspace
-        # with the same inventory a sequential run produces.
-        tmp = ctx.workspace.tmp_dir
-        if tmp.exists() and not any(tmp.iterdir()):
-            tmp.rmdir()
+        from repro.engine.executor import Engine
+        from repro.engine.policy import StagedPolicy
 
-    # -- strategy dispatch ------------------------------------------------
-
-    def _run_stage(
-        self, ctx: RunContext, result: PipelineResult, stage: StageSpec, strategy: str
-    ) -> None:
-        if strategy == SEQ:
-            self._stage_seq(ctx, result, stage)
-        elif strategy == TASKS:
-            self._stage_tasks(ctx, result, stage)
-        elif strategy == LOOP:
-            self._stage_loop(ctx, result, stage)
-        elif strategy == TEMP_FOLDERS:
-            self._stage_temp_folders(ctx, result, stage)
-        else:
-            raise PipelineError(f"unknown stage strategy {strategy!r}")
-
-    def _record(self, result: PipelineResult, stage: StageSpec, pid: int, duration: float,
-                ctx: RunContext | None = None) -> None:
-        result.processes.append(
-            ProcessTiming(
-                pid=pid, name=PROCESSES[pid].name, stage=stage.name, duration_s=duration
-            )
+        policy = StagedPolicy(
+            name=self.name, description=self.description, strategies=self.strategies
         )
-        if ctx is not None and ctx.metrics is not None:
-            from repro.observability.metrics import record_process
-
-            record_process(pid, duration)
-
-    # -- seq ---------------------------------------------------------------
-
-    def _stage_seq(self, ctx: RunContext, result: PipelineResult, stage: StageSpec) -> None:
-        for pid in stage.processes:
-            with maybe_span(
-                ctx.tracer, PROCESSES[pid].name, kind="process",
-                pid=pid, stage=stage.name,
-            ):
-                _, elapsed = _timed(pid, ctx)
-            self._record(result, stage, pid, elapsed, ctx=ctx)
-
-    # -- tasks (stages I, II, XI) -------------------------------------------
-
-    def _stage_tasks(self, ctx: RunContext, result: PipelineResult, stage: StageSpec) -> None:
-        # The paper binds 2-4 processors for the lightweight task
-        # stages; we cap at the number of member processes.
-        workers = min(ctx.parallel.workers, len(stage.processes))
-        with TaskGroup(
-            backend=ctx.parallel.task_backend, num_workers=workers, tracer=ctx.tracer,
-            metrics=ctx.metrics,
-        ) as tg:
-            for pid in stage.processes:
-                tg.task(_timed, pid, ctx, span_name=PROCESSES[pid].name)
-        for pid, elapsed in tg.results:
-            self._record(result, stage, pid, elapsed, ctx=ctx)
-
-    # -- loops ---------------------------------------------------------------
-
-    def _stage_loop(self, ctx: RunContext, result: PipelineResult, stage: StageSpec) -> None:
-        (pid,) = stage.processes
-        start = time.perf_counter()
-        # The driver-side reads (work lists, metadata) belong to the
-        # stage's process too; worker threads start scope-free and take
-        # the loop body's per-unit attribution instead.
-        with maybe_span(
-            ctx.tracer, PROCESSES[pid].name, kind="process", pid=pid, stage=stage.name,
-        ), unit_scope(f"P{pid}"):
-            if pid == 3:
-                stations = stations_from_list(ctx.workspace)
-                runtime = _resilience(ctx)
-                isolate = runtime.isolation("P3") if runtime is not None else None
-                parallel_for(
-                    partial(separate_station, str(ctx.workspace.root)),
-                    stations,
-                    backend=ctx.parallel.loop_backend,
-                    num_workers=ctx.parallel.workers,
-                    executor=self._pools.get(ctx.parallel.loop_backend),
-                    tracer=ctx.tracer,
-                    span="separate_station",
-                    metrics=ctx.metrics,
-                    isolate=isolate,
-                )
-                if isolate is not None and isolate.reports:
-                    runtime.quarantine_reports(isolate.reports, tracer=ctx.tracer)
-            elif pid == 10:
-                PROCESSES[10].run(ctx, parallel_inner=True)  # type: ignore[call-arg]
-            elif pid == 16:
-                pairs = trace_pairs(ctx)
-                body = partial(_response_unit, str(ctx.workspace.root), ctx.response_config)
-                parallel_for(
-                    body,
-                    pairs,
-                    backend=ctx.parallel.loop_backend,
-                    num_workers=ctx.parallel.workers,
-                    executor=self._pools.get(ctx.parallel.loop_backend),
-                    tracer=ctx.tracer,
-                    span="response_trace",
-                    metrics=ctx.metrics,
-                )
-            elif pid == 19:
-                files = interleaved_files(ctx)
-                body = partial(_gem_unit, str(ctx.workspace.root))
-                parallel_for(
-                    body,
-                    files,
-                    backend=ctx.parallel.loop_backend,
-                    num_workers=ctx.parallel.workers,
-                    executor=self._pools.get(ctx.parallel.loop_backend),
-                    tracer=ctx.tracer,
-                    span="gem_export",
-                    metrics=ctx.metrics,
-                )
-            else:
-                raise PipelineError(f"no loop strategy defined for P{pid}")
-        self._record(result, stage, pid, time.perf_counter() - start, ctx=ctx)
-
-    # -- temp folders (stages IV, V, VIII) ------------------------------------
-
-    def _stage_temp_folders(
-        self, ctx: RunContext, result: PipelineResult, stage: StageSpec
-    ) -> None:
-        (pid,) = stage.processes
-        start = time.perf_counter()
-        # Deliberately unscoped: the work-list read is orchestration (it
-        # sizes the loop), not part of P4/P7/P13's declared access sets.
-        stations = stations_from_list(ctx.workspace)
-        if pid in (4, 13):
-            params_name = FILTER_PARAMS if pid == 4 else FILTER_CORRECTED
-            maxvals_name = MAXVALS if pid == 4 else MAXVALS2
-            instances = [
-                correction_instance(stage.name, i, station, params_name)
-                for i, station in enumerate(stations)
-            ]
-        elif pid == 7:
-            instances = [
-                fourier_instance(stage.name, i, station, ctx)
-                for i, station in enumerate(stations)
-            ]
-            maxvals_name = None
-        else:
-            raise PipelineError(f"no temp-folder strategy defined for P{pid}")
-        with maybe_span(
-            ctx.tracer, PROCESSES[pid].name, kind="process", pid=pid, stage=stage.name,
-        ), unit_scope(f"P{pid}"):
-            values = parallel_for(
-                partial(run_staged_instance, str(ctx.workspace.root)),
-                instances,
-                backend=ctx.parallel.tool_backend,
-                num_workers=ctx.parallel.workers,
-                executor=self._pools.get(ctx.parallel.tool_backend),
-                tracer=ctx.tracer,
-                span="staged_instance",
-                metrics=ctx.metrics,
-            )
-            runtime = _resilience(ctx)
-            if runtime is not None:
-                reports = [r for value in values if value for r in value]
-                if reports:
-                    # Quarantine (and purge) before the merge so the
-                    # maxvals files only aggregate surviving stations.
-                    runtime.quarantine_reports(reports, tracer=ctx.tracer)
-            if maxvals_name is not None:
-                merge_max_files(ctx.workspace.work_dir, maxvals_name)
-        self._record(result, stage, pid, time.perf_counter() - start, ctx=ctx)
-
-
-def _response_unit(workspace_root: str, config: object, pair: tuple[str, str]) -> str:
-    """Picklable body for the stage IX loop."""
-    v2_name, r_name = pair
-    return response_for_trace(workspace_root, v2_name, r_name, config)  # type: ignore[arg-type]
-
-
-def _gem_unit(workspace_root: str, item: tuple[str, bool]) -> list[str]:
-    """Picklable body for the stage X loop."""
-    file_name, is_response = item
-    return set_data_apart(workspace_root, file_name, is_response)
-
-
-def correction_instance(
-    stage: str, index: int, station: str, params_name: str
-) -> StagedInstance:
-    """Staging description for one correction-tool instance (P4/P13)."""
-    inputs = [params_name] + [component_v1_name(station, c) for c in COMPONENTS]
-    outputs = [component_v2_name(station, c) for c in COMPONENTS] + [
-        f"{station}{c}.max" for c in COMPONENTS
-    ]
-    return StagedInstance(
-        stage=stage,
-        index=index,
-        tool="correction",
-        inputs=tuple(inputs),
-        outputs=tuple(outputs),
-        config=(
-            ("params", params_name),
-            ("process", STAGE_PROCESS.get(stage.upper(), "P4")),
-        ),
-        unit=station,
-    )
-
-
-def fourier_instance(stage: str, index: int, station: str, ctx: RunContext) -> StagedInstance:
-    """Staging description for one Fourier-tool instance (P7)."""
-    inputs = [component_v2_name(station, c) for c in COMPONENTS]
-    outputs = [component_f_name(station, c) for c in COMPONENTS]
-    return StagedInstance(
-        stage=stage,
-        index=index,
-        tool="fourier",
-        inputs=tuple(inputs),
-        outputs=tuple(outputs),
-        config=(
-            ("taper", str(ctx.taper_fraction)),
-            ("maxperiod", str(ctx.fourier_max_period)),
-            ("process", STAGE_PROCESS.get(stage.upper(), "P7")),
-        ),
-        unit=station,
-    )
+        Engine(policy).execute(ctx, result)

@@ -1,0 +1,466 @@
+"""Scheduling policies: the paper's schemes as plans over one engine.
+
+A :class:`SchedulingPolicy` owns exactly one decision — *which tasks
+run between which barriers, with which per-task strategy* — expressed
+as a :class:`~repro.engine.graph.TaskGraph` plus an ordered list of
+:class:`~repro.engine.graph.Region` barrier groups.  The engine
+executes any valid plan, so the paper's four schemes reduce to four
+small policy objects:
+
+==================  ==================================================
+``seq-original``    every process its own barrier, numeric order
+``seq-optimized``   the 17-process order, redundancies removed
+``partial-parallel``  Fig. 9 stages, 5 of 11 parallel
+``full-parallel``   Fig. 9 stages, 10 of 11 parallel
+``cluster-parallel``  prologue / SPMD ranks / epilogue
+==================  ==================================================
+
+Beyond the paper, ``full-parallel-fused`` executes the ``repro-lint``
+fusion advisories (adjacent stages with no crossing dependency edge
+merge into one barrier group), and ``dag-parallel`` drops the Fig. 9
+layering entirely, running the layering derived from the registry
+declarations — as many barriers as the I/O requires, none extra.
+
+Every plan is validated against the derived dependency graph before
+execution: a policy cannot ship a schedule the declarations forbid.
+"""
+
+from __future__ import annotations
+
+import difflib
+from functools import partial
+from typing import Callable, Iterable, Sequence
+
+from repro.core.registry import OPTIMIZED_ORDER, ORIGINAL_ORDER
+from repro.core.stages import (
+    FULL_PARALLEL_STAGES,
+    PARTIAL_PARALLEL_STAGES,
+    STAGES,
+    TASKS,
+)
+from repro.engine.graph import (
+    CUSTOM,
+    LOOP,
+    SEQ,
+    TASK,
+    TEMP_FOLDERS,
+    PipelineBuilder,
+    Region,
+    TaskGraph,
+)
+from repro.errors import PipelineError
+
+#: Stage-level strategy -> per-task strategy of its members.
+_MEMBER_STRATEGY = {
+    "seq": SEQ,
+    "tasks": TASK,
+    "loop": LOOP,
+    "temp_folders": TEMP_FOLDERS,
+}
+
+
+class SchedulingPolicy:
+    """How a pipeline's task graph is laid out between barriers.
+
+    Subclasses implement :meth:`plan`; :meth:`pipeline` adapts the
+    policy to the implementation interface so it can be run, traced,
+    profiled and benchmarked like any legacy implementation.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def plan(self, ctx) -> tuple[TaskGraph, list[Region]]:
+        """The (graph, barrier regions) pair the engine executes."""
+        raise NotImplementedError
+
+    def pipeline(self):
+        """An executable :class:`~repro.core.runner.PipelineImplementation`."""
+        from repro.engine.executor import EnginePipeline
+
+        return EnginePipeline(self)
+
+    def run(self, ctx):
+        """Convenience: execute this policy end-to-end."""
+        return self.pipeline().run(ctx)
+
+
+class SequentialPolicy(SchedulingPolicy):
+    """A fixed linear order: every process is its own barrier region.
+
+    The plan is still validated against the derived dependency graph,
+    so an order that violates the declarations is rejected before
+    anything runs.
+    """
+
+    def __init__(
+        self, order: Sequence[int], *, name: str, description: str = ""
+    ) -> None:
+        self.order = tuple(order)
+        self.name = name
+        self.description = description
+
+    def plan(self, ctx) -> tuple[TaskGraph, list[Region]]:
+        builder = PipelineBuilder(name=self.name)
+        tasks = builder.add_processes(self.order, strategy=SEQ)
+        graph = builder.build()
+        regions = [
+            Region(label=task.name, tasks=(task,), strategy=SEQ) for task in tasks
+        ]
+        return graph, regions
+
+
+class StagedPolicy(SchedulingPolicy):
+    """The Fig. 9 eleven-stage plan with per-stage strategies.
+
+    ``strategies`` maps stage name to its strategy (missing stages run
+    ``seq``) — the same shape the legacy staged implementations used.
+    With ``fuse=True``, adjacent stages joined by no dependency edge
+    merge into single barrier groups: the executed form of the
+    ``repro-lint`` schedule advisories (II+III, VI+VII, X+XI on the
+    optimized pipeline).
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        description: str = "",
+        strategies: dict[str, str] | None = None,
+        fuse: bool = False,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.strategies = dict(strategies or {})
+        self.fuse = fuse
+
+    def plan(self, ctx) -> tuple[TaskGraph, list[Region]]:
+        builder = PipelineBuilder(name=self.name)
+        regions: list[Region] = []
+        for stage in STAGES:
+            strategy = self.strategies.get(stage.name, SEQ)
+            member = _MEMBER_STRATEGY.get(strategy)
+            if member is None:
+                raise PipelineError(
+                    f"unknown stage strategy {strategy!r} for stage {stage.name}"
+                )
+            members = tuple(
+                builder.add_process(pid, strategy=member) for pid in stage.processes
+            )
+            regions.append(Region(label=stage.name, tasks=members, strategy=strategy))
+        graph = builder.build()
+        if self.fuse:
+            regions = graph.fuse_regions(regions)
+        return graph, regions
+
+
+class DerivedPolicy(SchedulingPolicy):
+    """The schedule the declarations imply — no hand-written layering.
+
+    Regions are the dependency graph's topological generations
+    (``G1``..``Gn``): as many barriers as the registry's read/write
+    declarations require, none that they don't.  Per-process strategies
+    are inherited from the fully-parallel scheme so loops and
+    temp-folder stages keep their inner parallelism; mixed generations
+    execute as fused dispatches.
+    """
+
+    def __init__(
+        self,
+        order: Sequence[int] = OPTIMIZED_ORDER,
+        *,
+        name: str = "dag-parallel",
+        description: str = "DAG-derived: barriers straight from the declarations",
+    ) -> None:
+        self.order = tuple(order)
+        self.name = name
+        self.description = description
+
+    def plan(self, ctx) -> tuple[TaskGraph, list[Region]]:
+        strategy_of = {
+            pid: _MEMBER_STRATEGY[stage.full_strategy]
+            for stage in STAGES
+            for pid in stage.processes
+        }
+        builder = PipelineBuilder(name=self.name)
+        for pid in self.order:
+            builder.add_process(pid, strategy=strategy_of.get(pid, SEQ))
+        graph = builder.build()
+        return graph, graph.derive_regions()
+
+
+class ClusterPolicy(SchedulingPolicy):
+    """Prologue / SPMD ranks / epilogue as three custom tasks.
+
+    The rank fan-out is one custom task wrapping
+    :func:`repro.parallel.cluster.run_cluster`; the deterministic
+    epilogue merges the gathered corner specs and maxvals shards.
+    """
+
+    name = "cluster-parallel"
+    description = "Cluster: MPI-style ranks over a shared workspace"
+
+    def __init__(self, n_ranks: int | None = None, *, name: str | None = None,
+                 description: str | None = None) -> None:
+        self.n_ranks = n_ranks
+        if name is not None:
+            self.name = name
+        if description is not None:
+            self.description = description
+
+    def plan(self, ctx) -> tuple[TaskGraph, list[Region]]:
+        state: dict = {}
+        builder = PipelineBuilder(name=self.name)
+        builder.add_task("prologue", self._prologue, span_strategy="seq")
+        builder.add_task(
+            "ranks", partial(self._ranks, state), after=["prologue"],
+            span_strategy="cluster",
+        )
+        builder.add_task(
+            "epilogue", partial(self._epilogue, state), after=["ranks"],
+            span_strategy="seq",
+        )
+        graph = builder.build()
+        regions = [
+            Region(label=name, tasks=(graph.task(name),), strategy=CUSTOM)
+            for name in ("prologue", "ranks", "epilogue")
+        ]
+        return graph, regions
+
+    @staticmethod
+    def _prologue(ctx, result) -> None:
+        # Coordinator prologue (stages I, II, VII), sequential: these
+        # are milliseconds and must complete before ranks start.
+        from repro.core.processes.p00_flags import run_p00
+        from repro.core.processes.p01_gather import run_p01
+        from repro.core.processes.p02_params import run_p02
+        from repro.core.processes.p05_metadata import run_p05
+        from repro.core.processes.p08_fourier_meta import run_p08
+        from repro.core.processes.p11_flags2 import run_p11
+        from repro.core.processes.p17_response_meta import run_p17
+
+        run_p00(ctx)
+        run_p01(ctx)
+        run_p02(ctx)
+        run_p05(ctx)
+        run_p08(ctx)
+        run_p17(ctx)
+        run_p11(ctx)
+
+    def _ranks(self, state: dict, ctx, result) -> None:
+        from repro.core.cluster_impl import _cluster_rank_body
+        from repro.core.processes.p03_separate import stations_from_list
+        from repro.parallel.cluster import run_cluster
+
+        stations = stations_from_list(ctx.workspace)
+        ranks = self.n_ranks if self.n_ranks is not None else ctx.parallel.workers
+        ranks = max(1, min(ranks, len(stations)))
+        per_rank = run_cluster(_cluster_rank_body, ranks, ctx, tracer=ctx.tracer)
+        state["ranks"] = ranks
+        state["specs"] = per_rank[0]
+
+    @staticmethod
+    def _epilogue(state: dict, ctx, result) -> None:
+        from repro.core.artifacts import FILTER_CORRECTED, MAXVALS, MAXVALS2
+        from repro.core.runner import ProcessTiming
+        from repro.core.wavefront import _merge_suffixed
+        from repro.formats.params import FilterParams, write_filter_params
+
+        params = FilterParams(default=ctx.default_filter)
+        for station, comp, spec in state["specs"]:
+            params.set_override(station, comp, spec)
+        write_filter_params(ctx.workspace.work(FILTER_CORRECTED), params)
+        _merge_suffixed(ctx.workspace, "max1", MAXVALS)
+        _merge_suffixed(ctx.workspace, "max2", MAXVALS2)
+        tmp = ctx.workspace.tmp_dir
+        if tmp.exists() and not any(tmp.iterdir()):
+            tmp.rmdir()
+        # The ranks stage is the run's one unit of process work; its
+        # barrier duration was recorded when the ranks region closed.
+        result.processes.append(
+            ProcessTiming(
+                pid=-1,
+                name=f"{state['ranks']}-rank station pipelines",
+                stage="ranks",
+                duration_s=result.stage_durations["ranks"],
+            )
+        )
+
+
+class GraphPolicy(SchedulingPolicy):
+    """A user-built graph (or builder), scheduled by its derived layers."""
+
+    def __init__(self, graph_or_builder, *, name: str | None = None) -> None:
+        if isinstance(graph_or_builder, PipelineBuilder):
+            self._graph = graph_or_builder.build()
+            self.name = name or graph_or_builder.name
+        elif isinstance(graph_or_builder, TaskGraph):
+            self._graph = graph_or_builder
+            self.name = name or "custom"
+        else:
+            raise PipelineError(
+                "GraphPolicy expects a PipelineBuilder or TaskGraph, "
+                f"got {type(graph_or_builder).__name__}"
+            )
+        self.description = f"User-built graph ({len(self._graph)} tasks)"
+
+    def plan(self, ctx) -> tuple[TaskGraph, list[Region]]:
+        return self._graph, self._graph.derive_regions()
+
+
+class LegacyPolicy(SchedulingPolicy):
+    """Adapter for implementations not yet expressed as task graphs.
+
+    The wavefront and incremental runners schedule work dynamically
+    (per-station pipelines, change detection) rather than as a static
+    barrier plan; this policy hands execution straight to the legacy
+    class so they still resolve through the one policy registry.
+    """
+
+    def __init__(self, impl_factory: Callable, name: str, description: str) -> None:
+        self._impl_factory = impl_factory
+        self.name = name
+        self.description = description
+
+    def plan(self, ctx) -> tuple[TaskGraph, list[Region]]:
+        raise PipelineError(
+            f"policy {self.name!r} schedules dynamically and does not expose "
+            "a static task graph"
+        )
+
+    def pipeline(self):
+        return self._impl_factory()
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def _wavefront():
+    from repro.core.wavefront import WavefrontParallel
+
+    return WavefrontParallel()
+
+
+def _incremental():
+    from repro.core.incremental import IncrementalRunner
+
+    return IncrementalRunner()
+
+
+def _partial_strategies() -> dict[str, str]:
+    return {
+        stage.name: stage.partial_strategy
+        for stage in STAGES
+        if stage.name in PARTIAL_PARALLEL_STAGES
+        and stage.partial_strategy in (TASKS, LOOP)
+    }
+
+
+def _full_strategies() -> dict[str, str]:
+    return {
+        stage.name: stage.full_strategy
+        for stage in STAGES
+        if stage.name in FULL_PARALLEL_STAGES
+    }
+
+
+#: Policy name -> zero-argument factory.  Extend with
+#: :func:`register_policy`.
+POLICIES: dict[str, Callable[[], SchedulingPolicy]] = {
+    "seq-original": lambda: SequentialPolicy(
+        ORIGINAL_ORDER,
+        name="seq-original",
+        description="Sequential Original: 20 processes in numeric order",
+    ),
+    "seq-optimized": lambda: SequentialPolicy(
+        OPTIMIZED_ORDER,
+        name="seq-optimized",
+        description="Sequential Optimized: 17 processes, redundancies removed",
+    ),
+    "partial-parallel": lambda: StagedPolicy(
+        name="partial-parallel",
+        description="Partially Parallelized: stages I, II, VI, X, XI parallel",
+        strategies=_partial_strategies(),
+    ),
+    "full-parallel": lambda: StagedPolicy(
+        name="full-parallel",
+        description="Fully Parallelized: all stages except VII parallel",
+        strategies=_full_strategies(),
+    ),
+    "full-parallel-fused": lambda: StagedPolicy(
+        name="full-parallel-fused",
+        description="Fully Parallelized + fusion: advisory stages merged "
+        "into single barrier groups",
+        strategies=_full_strategies(),
+        fuse=True,
+    ),
+    "dag-parallel": lambda: DerivedPolicy(),
+    "cluster-parallel": lambda: ClusterPolicy(),
+    "wavefront-parallel": lambda: LegacyPolicy(
+        _wavefront,
+        "wavefront-parallel",
+        "Wavefront: per-station pipelines, no stage barriers (§VIII)",
+    ),
+    "incremental": lambda: LegacyPolicy(
+        _incremental,
+        "incremental",
+        "Incremental: skip processes whose inputs/outputs are unchanged",
+    ),
+}
+
+
+def register_policy(name: str, factory: Callable[[], SchedulingPolicy]) -> None:
+    """Add (or replace) a named policy in the registry."""
+    POLICIES[str(name)] = factory
+
+
+def policy_names() -> tuple[str, ...]:
+    """All registered policy names, in registration order."""
+    return tuple(POLICIES)
+
+
+def _unknown_name_error(kind: str, name: str, known: Iterable[str]) -> ValueError:
+    known = list(known)
+    message = f"unknown {kind} {name!r}; known: {known}"
+    close = difflib.get_close_matches(name, known, n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    return ValueError(message)
+
+
+def policy_by_name(name: str) -> SchedulingPolicy:
+    """Look up a scheduling policy by name.
+
+    Raises :class:`ValueError` naming every registered policy (and the
+    closest match) instead of a bare ``KeyError``.
+    """
+    factory = POLICIES.get(str(name))
+    if factory is None:
+        raise _unknown_name_error("policy", str(name), POLICIES)
+    return factory()
+
+
+def pipeline_factory(name: str) -> Callable:
+    """A zero-argument factory of executable pipelines for ``name``.
+
+    Validates the name eagerly (helpful ``ValueError`` on a miss) and
+    returns a callable producing a fresh
+    :class:`~repro.core.runner.PipelineImplementation` per call — the
+    shape the bench/perf harnesses construct their runs from.
+    """
+    policy_by_name(name)
+    return lambda: policy_by_name(name).pipeline()
+
+
+def resolve_policy(policy) -> SchedulingPolicy:
+    """Coerce a name / policy / builder / graph into a policy instance."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    if isinstance(policy, (PipelineBuilder, TaskGraph)):
+        return GraphPolicy(policy)
+    if isinstance(policy, str):
+        return policy_by_name(policy)
+    raise ValueError(
+        "policy must be a name, a SchedulingPolicy, a PipelineBuilder or a "
+        f"TaskGraph; got {type(policy).__name__}"
+    )

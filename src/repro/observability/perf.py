@@ -197,7 +197,7 @@ def record_bench(
     profiler and each cell embeds its top-frame summary.
     """
     from repro.bench.workloads import scaled_workload
-    from repro.core import implementation_by_name
+    from repro.engine import pipeline_factory
     from repro.synth.events import PAPER_EVENTS
 
     events = list(events) if events is not None else list(PAPER_EVENTS)
@@ -229,7 +229,7 @@ def record_bench(
             "implementations": {},
         }
         for name in implementations:
-            impl_cls = implementation_by_name(name)
+            impl_cls = pipeline_factory(name)
             reps = [
                 _measure_one(
                     impl_cls, event, workload, periods=periods, backend=backend,
@@ -566,7 +566,7 @@ def explain_event(
     batch.  Returns ``(name, report, measured speedup)`` triples.
     """
     from repro.bench.workloads import scaled_workload
-    from repro.core import implementation_by_name
+    from repro.engine import pipeline_factory
     from repro.observability.critpath import explain as build_explain
     from repro.parallel.backend import resolve_workers
 
@@ -574,7 +574,7 @@ def explain_event(
     measured: list[tuple[str, dict[str, Any], float]] = []
     for name in implementations:
         result, _registry, _log = _run_once(
-            implementation_by_name(name), event, workload, periods=periods,
+            pipeline_factory(name), event, workload, periods=periods,
             backend=backend, workers=workers, sample_interval=0.05,
             profile_hz=profile_hz,
         )
@@ -604,8 +604,10 @@ def _add_record_options(parser: argparse.ArgumentParser) -> None:
         help="comma-separated catalog event ids, or 'all' (default)",
     )
     parser.add_argument(
-        "--implementations", default=",".join(DEFAULT_IMPLEMENTATIONS),
-        help="comma-separated implementation names",
+        "--policies", "--implementations", dest="implementations",
+        default=",".join(DEFAULT_IMPLEMENTATIONS),
+        help="comma-separated scheduling policy names "
+        "(--implementations is the deprecated alias)",
     )
     parser.add_argument("--scale", type=float, default=0.02, help="workload scale")
     parser.add_argument(
@@ -688,8 +690,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("--event", default="EV-NOV18", help="catalog event id")
     exp.add_argument(
-        "--implementations", default=",".join(DEFAULT_IMPLEMENTATIONS),
-        help="comma-separated implementation names",
+        "--policies", "--implementations", dest="implementations",
+        default=",".join(DEFAULT_IMPLEMENTATIONS),
+        help="comma-separated scheduling policy names "
+        "(--implementations is the deprecated alias)",
     )
     exp.add_argument("--scale", type=float, default=0.02, help="workload scale")
     exp.add_argument("--periods", type=int, default=30, help="response-spectrum periods")

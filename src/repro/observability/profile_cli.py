@@ -52,10 +52,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--event", default="EV-NOV18", help="catalog event to synthesize and run"
     )
     parser.add_argument(
+        "--policy",
         "--implementation",
         "-i",
+        dest="policy",
         default="full-parallel",
-        help="pipeline implementation to profile",
+        help="scheduling policy to profile (--implementation is the "
+        "deprecated alias; see repro.engine.policy_names())",
     )
     parser.add_argument(
         "--backend",
@@ -121,12 +124,12 @@ def _bare_run_seconds(
 
 def _overhead_check(args: argparse.Namespace) -> int:
     from repro.bench.workloads import scaled_workload
-    from repro.core import implementation_by_name
+    from repro.engine import pipeline_factory
     from repro.synth.events import paper_event
 
     event = paper_event(args.event)
     workload = scaled_workload(event, args.scale)
-    impl_cls = implementation_by_name(args.implementation)
+    impl_cls = pipeline_factory(args.policy)
     run = lambda hz: _bare_run_seconds(  # noqa: E731 - tiny local closure
         impl_cls, event, workload, periods=args.periods,
         backend=args.backend, workers=args.workers, profile_hz=hz,
@@ -142,7 +145,7 @@ def _overhead_check(args: argparse.Namespace) -> int:
     delta = prof_s - base_s
     rel = delta / base_s if base_s > 0 else 0.0
     print(
-        f"{args.implementation} on {args.event} ({args.backend}, "
+        f"{args.policy} on {args.event} ({args.backend}, "
         f"{args.hz:g} Hz, min of {len(bare)}):"
     )
     print(f"  bare     {base_s:.4f} s")
@@ -166,7 +169,7 @@ def main_profile(argv: list[str] | None = None) -> int:
         return _overhead_check(args)
 
     from repro.bench.workloads import scaled_workload
-    from repro.core import implementation_by_name
+    from repro.engine import pipeline_factory
     from repro.observability.critpath import explain, render_explain
     from repro.observability.export import write_chrome_trace
     from repro.observability.perf import _run_once
@@ -177,7 +180,7 @@ def main_profile(argv: list[str] | None = None) -> int:
     event = paper_event(args.event)
     workload = scaled_workload(event, args.scale)
     result, _metrics, log = _run_once(
-        implementation_by_name(args.implementation), event, workload,
+        pipeline_factory(args.policy), event, workload,
         periods=args.periods, backend=args.backend, workers=args.workers,
         sample_interval=0.05, profile_hz=args.hz,
     )
@@ -189,7 +192,7 @@ def main_profile(argv: list[str] | None = None) -> int:
 
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    name = args.implementation
+    name = args.policy
     title = f"{args.event} {name} ({args.backend})"
     speedscope = write_speedscope(
         out_dir / f"{name}.speedscope.json", profile, name=title

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.core import IMPLEMENTATIONS, implementation_by_name
+from repro.core import IMPLEMENTATIONS
 from repro.core.context import ParallelSettings, RunContext
 from repro.core.verify import workspace_digests
 from repro.observability.metrics import MetricsRegistry
@@ -150,7 +150,9 @@ def _run_leg(
         resilience=plan,
     )
     _generate_inputs(event, scale, ctx.workspace.input_dir)
-    result = implementation_by_name(impl_name)().run(ctx)
+    from repro.engine import pipeline_factory
+
+    result = pipeline_factory(impl_name)().run(ctx)
     reports = sorted(result.quarantine, key=lambda r: r.record)
     run = ChaosRun(
         implementation=impl_name,

@@ -1,0 +1,211 @@
+"""PipelineBuilder / TaskGraph wiring unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dependencies import build_process_graph
+from repro.core.registry import OPTIMIZED_ORDER
+from repro.core.stages import STAGES
+from repro.engine import (
+    CUSTOM,
+    LOOP,
+    SEQ,
+    TASK,
+    PipelineBuilder,
+    Region,
+    Task,
+    TaskGraph,
+)
+from repro.errors import DependencyError, StageOrderError
+
+
+def _noop(ctx, result) -> None:
+    pass
+
+
+class TestBuilderWiring:
+    def test_process_edges_come_from_registry(self):
+        builder = PipelineBuilder()
+        builder.add_processes(OPTIMIZED_ORDER)
+        graph = builder.build()
+        derived = build_process_graph(list(OPTIMIZED_ORDER))
+        expected = {(f"P{a}", f"P{b}") for a, b in derived.edges}
+        assert set(graph.edges) == expected
+
+    def test_unknown_pid_rejected(self):
+        builder = PipelineBuilder()
+        with pytest.raises(DependencyError, match="unknown process id 99"):
+            builder.add_process(99)
+
+    def test_custom_strategy_rejected_for_processes(self):
+        builder = PipelineBuilder()
+        with pytest.raises(DependencyError, match="invalid process strategy"):
+            builder.add_process(0, strategy=CUSTOM)
+
+    def test_duplicate_task_name_rejected(self):
+        builder = PipelineBuilder()
+        builder.add_process(0)
+        with pytest.raises(DependencyError, match="duplicate task name"):
+            builder.add_process(0)
+
+    def test_custom_task_edges_are_explicit_only(self):
+        builder = PipelineBuilder()
+        builder.add_processes([0, 1])
+        check = builder.add_task("qc", _noop, after=["P1"])
+        graph = builder.build()
+        assert graph.has_edge("P1", "qc")
+        assert not graph.has_edge("P0", "qc")
+        assert graph.task("qc") is check
+
+    def test_after_accepts_task_str_and_int(self):
+        builder = PipelineBuilder()
+        p0 = builder.add_process(0)
+        builder.add_process(1)
+        t = builder.add_task("t", _noop)
+        builder.after(p0, t)
+        builder.after(1, "t")
+        graph = builder.build()
+        assert graph.has_edge("P0", "t") and graph.has_edge("P1", "t")
+
+    def test_wiring_unknown_task_rejected(self):
+        builder = PipelineBuilder()
+        builder.add_process(0)
+        with pytest.raises(DependencyError, match="unknown task 'ghost'"):
+            builder.after("ghost", "P0")
+
+    def test_self_dependency_rejected(self):
+        builder = PipelineBuilder()
+        builder.add_process(0)
+        with pytest.raises(DependencyError, match="cannot depend on itself"):
+            builder.after("P0", 0)
+
+    def test_cycle_detected_at_build(self):
+        builder = PipelineBuilder()
+        builder.add_task("a", _noop)
+        builder.add_task("b", _noop, after=["a"])
+        builder.after("b", "a")
+        with pytest.raises(DependencyError, match="cycle"):
+            builder.build()
+
+
+class TestGraphLayering:
+    def test_layers_match_dependency_generations(self):
+        from repro.core.dependencies import parallelizable_sets
+
+        builder = PipelineBuilder()
+        builder.add_processes(OPTIMIZED_ORDER)
+        graph = builder.build()
+        layered = [[t.pid for t in layer] for layer in graph.layers()]
+        assert layered == parallelizable_sets(OPTIMIZED_ORDER)
+
+    def test_derive_regions_labels_and_coverage(self):
+        builder = PipelineBuilder()
+        builder.add_processes(OPTIMIZED_ORDER)
+        graph = builder.build()
+        regions = graph.derive_regions()
+        assert [r.label for r in regions] == [
+            f"G{i + 1}" for i in range(len(regions))
+        ]
+        scheduled = sorted(pid for r in regions for pid in r.process_ids)
+        assert scheduled == sorted(OPTIMIZED_ORDER)
+        graph.validate_regions(regions)
+
+    def test_region_strategy_inference(self):
+        seq = Task("a", strategy=SEQ)
+        task = Task("b", strategy=TASK)
+        loop = Task("c", strategy=LOOP)
+        from repro.engine.graph import _region_strategy
+
+        assert _region_strategy([seq]) == SEQ
+        assert _region_strategy([task, task]) == "tasks"
+        assert _region_strategy([seq, task]) == "tasks"
+        assert _region_strategy([loop]) == LOOP
+        assert _region_strategy([loop, task]) == "fused"
+
+
+class TestValidateRegions:
+    def _graph(self) -> TaskGraph:
+        builder = PipelineBuilder()
+        builder.add_task("a", _noop)
+        builder.add_task("b", _noop, after=["a"])
+        return builder.build()
+
+    def test_missing_task_rejected(self):
+        graph = self._graph()
+        plan = [Region("only-a", (graph.task("a"),), SEQ)]
+        with pytest.raises(StageOrderError, match="does not schedule"):
+            graph.validate_regions(plan)
+
+    def test_duplicate_task_rejected(self):
+        graph = self._graph()
+        a = graph.task("a")
+        plan = [
+            Region("one", (a,), SEQ),
+            Region("two", (a, graph.task("b")), SEQ),
+        ]
+        with pytest.raises(StageOrderError, match="more than one region"):
+            graph.validate_regions(plan)
+
+    def test_backward_edge_rejected(self):
+        graph = self._graph()
+        plan = [
+            Region("late", (graph.task("b"),), SEQ),
+            Region("early", (graph.task("a"),), SEQ),
+        ]
+        with pytest.raises(StageOrderError, match="before its dependency"):
+            graph.validate_regions(plan)
+
+    def test_dependent_region_members_rejected(self):
+        graph = self._graph()
+        plan = [Region("both", (graph.task("a"), graph.task("b")), SEQ)]
+        with pytest.raises(StageOrderError, match="must be independent"):
+            graph.validate_regions(plan)
+
+    def test_unknown_task_rejected(self):
+        graph = self._graph()
+        plan = [
+            Region("one", (graph.task("a"),), SEQ),
+            Region("two", (graph.task("b"), Task("ghost")), SEQ),
+        ]
+        with pytest.raises(StageOrderError, match="unknown task 'ghost'"):
+            graph.validate_regions(plan)
+
+
+class TestFusion:
+    def _stage_regions(self) -> tuple[TaskGraph, list[Region]]:
+        builder = PipelineBuilder()
+        regions = []
+        for stage in STAGES:
+            members = tuple(builder.add_process(pid) for pid in stage.processes)
+            regions.append(Region(stage.name, members, SEQ))
+        return builder.build(), regions
+
+    def test_fusible_matches_lint_advisories(self):
+        # The repro-lint schedule check flags adjacent Fig. 9 stages
+        # with no crossing dependency edge; fusible() is the same test.
+        graph, regions = self._stage_regions()
+        process_graph = build_process_graph(list(OPTIMIZED_ORDER))
+        for earlier, later in zip(regions, regions[1:]):
+            crossing = any(
+                process_graph.has_edge(a, b)
+                for a in earlier.process_ids
+                for b in later.process_ids
+            )
+            assert graph.fusible(earlier, later) == (not crossing)
+
+    def test_greedy_fusion_of_fig9_stages(self):
+        graph, regions = self._stage_regions()
+        fused = graph.fuse_regions(regions)
+        assert [r.label for r in fused] == [
+            "I", "II+III", "IV", "V", "VI+VII", "VIII", "IX", "X+XI",
+        ]
+        # A fused plan is still a valid barrier plan.
+        graph.validate_regions(fused)
+
+    def test_fusion_preserves_membership(self):
+        graph, regions = self._stage_regions()
+        fused = graph.fuse_regions(regions)
+        before = sorted(pid for r in regions for pid in r.process_ids)
+        after = sorted(pid for r in fused for pid in r.process_ids)
+        assert before == after

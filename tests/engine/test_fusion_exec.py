@@ -1,0 +1,77 @@
+"""Fused execution: the lint advisories actually run as single barriers."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.core import RunContext
+from repro.engine import pipeline_factory
+
+from tests.conftest import hash_tree, make_context
+
+FUSED_LABELS = ["I", "II+III", "IV", "V", "VI+VII", "VIII", "IX", "X+XI"]
+
+
+def _run(policy: str, root: Path, tiny_dataset_dir: Path, **kwargs) -> RunContext:
+    ctx = make_context(root, **kwargs)
+    for src in tiny_dataset_dir.glob("*.v1"):
+        shutil.copy2(src, ctx.workspace.input_dir / src.name)
+    pipeline_factory(policy)().run(ctx)
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def fused_run(
+    tmp_path_factory: pytest.TempPathFactory, tiny_dataset_dir: Path
+) -> tuple[RunContext, object]:
+    root = tmp_path_factory.mktemp("fused") / "ws"
+    ctx = make_context(root)
+    for src in tiny_dataset_dir.glob("*.v1"):
+        shutil.copy2(src, ctx.workspace.input_dir / src.name)
+    from repro.observability.tracer import Tracer
+
+    ctx.tracer = Tracer()
+    result = pipeline_factory("full-parallel-fused")().run(ctx)
+    return ctx, result
+
+
+def test_fused_run_matches_sequential_artifacts(
+    fused_run, tmp_path: Path, tiny_dataset_dir: Path
+) -> None:
+    fused_ctx, _ = fused_run
+    seq_ctx = _run("seq-optimized", tmp_path / "seq", tiny_dataset_dir)
+    assert hash_tree(fused_ctx.workspace.work_dir) == hash_tree(
+        seq_ctx.workspace.work_dir
+    )
+
+
+def test_fused_stage_durations_use_fused_labels(fused_run) -> None:
+    _, result = fused_run
+    assert list(result.stage_durations) == FUSED_LABELS
+
+
+def test_fused_stage_spans_cover_merged_members(fused_run) -> None:
+    _, result = fused_run
+    trace = result.trace
+    assert trace is not None
+    stage_spans = {s.name: s for s in trace.spans if s.kind == "stage"}
+    assert set(stage_spans) == set(FUSED_LABELS)
+    fused = stage_spans["II+III"]
+    assert fused.attributes.get("strategy") == "fused"
+    # Process spans of both merged stages nest under the one barrier.
+    process_stages = {
+        s.attributes.get("stage") for s in trace.spans if s.kind == "process"
+    }
+    assert "II+III" in process_stages
+    assert "II" not in process_stages and "III" not in process_stages
+
+
+def test_fused_process_timings_cover_optimized_order(fused_run) -> None:
+    from repro.core.registry import OPTIMIZED_ORDER
+
+    _, result = fused_run
+    timed = sorted(t.pid for t in result.processes)
+    assert timed == sorted(OPTIMIZED_ORDER)

@@ -22,7 +22,7 @@ def facade_workspace(tmp_path_factory: pytest.TempPathFactory) -> Path:
     root = tmp_path_factory.mktemp("facade") / "ws"
     result = repro.run(
         SINGLE_EVENT,
-        "seq-optimized",
+        policy="seq-optimized",
         workspace=root,
         backend="serial",
         response_periods=12,
@@ -42,7 +42,7 @@ def test_directory_source_with_trace(facade_workspace: Path, tmp_path: Path) -> 
     trace_path = tmp_path / "run.trace.json"
     result = repro.run(
         facade_workspace,
-        "seq-optimized",
+        policy="seq-optimized",
         backend="thread",
         workers=2,
         trace=trace_path,
@@ -56,14 +56,14 @@ def test_directory_source_with_trace(facade_workspace: Path, tmp_path: Path) -> 
 
 def test_trace_true_attaches_without_writing(facade_workspace: Path) -> None:
     result = repro.run(
-        facade_workspace, "seq-optimized", trace=True, response_periods=12
+        facade_workspace, policy="seq-optimized", trace=True, response_periods=12
     )
     assert result.trace is not None
     assert result.trace.stage_durations() == result.stage_durations
 
 
 def test_untraced_by_default(facade_workspace: Path) -> None:
-    result = repro.run(facade_workspace, "seq-optimized", response_periods=12)
+    result = repro.run(facade_workspace, policy="seq-optimized", response_periods=12)
     assert result.trace is None
     assert result.profile is None
 
@@ -71,7 +71,7 @@ def test_untraced_by_default(facade_workspace: Path) -> None:
 def test_profile_path_writes_speedscope(facade_workspace: Path, tmp_path: Path) -> None:
     out = tmp_path / "run.speedscope.json"
     result = repro.run(
-        facade_workspace, "seq-optimized", profile=out, response_periods=12
+        facade_workspace, policy="seq-optimized", profile=out, response_periods=12
     )
     # Profiling implies tracing: samples attribute through open spans.
     assert result.trace is not None
@@ -90,7 +90,8 @@ def test_implementation_class_and_instance(facade_workspace: Path) -> None:
 
 def test_backend_accepts_enum(facade_workspace: Path) -> None:
     result = repro.run(
-        facade_workspace, "seq-optimized", backend=Backend.SERIAL, response_periods=12
+        facade_workspace, policy="seq-optimized", backend=Backend.SERIAL,
+        response_periods=12,
     )
     assert result.trace is None
     assert result.stage_durations
@@ -102,7 +103,7 @@ def test_run_context_source_used_as_is(
     ctx = make_context(tmp_path / "ws")
     for src in facade_workspace.glob("input/*.v1"):
         shutil.copy2(src, ctx.workspace.input_dir / src.name)
-    result = repro.run(ctx, "seq-optimized", trace=True)
+    result = repro.run(ctx, policy="seq-optimized", trace=True)
     assert ctx.tracer is not None
     assert result.trace is not None
 
@@ -113,9 +114,22 @@ def test_run_context_source_rejects_settings(tmp_path: Path) -> None:
         repro.run(ctx, backend="thread")
 
 
-def test_unknown_implementation_propagates() -> None:
+def test_unknown_policy_propagates() -> None:
     with pytest.raises(ValueError, match="known"):
-        repro.run("anywhere", "bogus-impl")
+        repro.run("anywhere", policy="bogus-policy")
+
+
+def test_implementation_string_deprecated(facade_workspace: Path) -> None:
+    # The pre-engine positional spelling still runs, but warns with the
+    # policy= replacement.
+    with pytest.warns(DeprecationWarning, match="policy='seq-optimized'"):
+        result = repro.run(facade_workspace, "seq-optimized", response_periods=12)
+    assert result.implementation == "seq-optimized"
+
+
+def test_implementation_and_policy_conflict(facade_workspace: Path) -> None:
+    with pytest.raises(ValueError, match="not both"):
+        repro.run(facade_workspace, "seq-optimized", policy="seq-optimized")
 
 
 def test_facade_is_exported() -> None:
