@@ -12,11 +12,24 @@ those declarations *checkable* from three independent directions:
   stage's per-unit write sets are pairwise disjoint;
 - :mod:`repro.analysis.audit` — cross-check of recorded runtime access
   logs (see :mod:`repro.core.auditing`) against all of the above;
-- :mod:`repro.analysis.lint` — the ``repro-lint`` CLI combining them.
+- :mod:`repro.analysis.effects` — static effect inference for arbitrary
+  task callables (the custom tasks a pipeline builder wires);
+- :mod:`repro.analysis.graphlint` — the graph-level verifier: effect
+  conformance, per-region race proofs, ordering/redundancy analysis and
+  the happens-before runtime cross-check for any engine pipeline;
+- :mod:`repro.analysis.lint` — the ``repro-lint`` CLI combining them
+  (``repro-lint graph`` drives the graph verifier).
 """
 
 from repro.analysis.model import ERROR, INFO, WARNING, Finding, Report
 from repro.analysis.audit import audit_findings, classify_path, observed_access
+from repro.analysis.effects import EffectSet, infer_effects
+from repro.analysis.graphlint import (
+    happens_before_findings,
+    verify_builder,
+    verify_graph,
+    verify_policy,
+)
 from repro.analysis.races import race_findings
 from repro.analysis.schedule_check import derive_redundant, schedule_findings
 from repro.analysis.static_conformance import analyze_processes, conformance_findings
@@ -26,6 +39,7 @@ __all__ = [
     "ERROR",
     "INFO",
     "WARNING",
+    "EffectSet",
     "Finding",
     "Report",
     "analyze_processes",
@@ -33,9 +47,14 @@ __all__ = [
     "classify_path",
     "conformance_findings",
     "derive_redundant",
+    "happens_before_findings",
+    "infer_effects",
     "main_lint",
     "observed_access",
     "race_findings",
     "run_lint",
     "schedule_findings",
+    "verify_builder",
+    "verify_graph",
+    "verify_policy",
 ]

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.model import ERROR, INFO, WARNING, Finding
-from repro.core.auditing import AuditEvent, iter_events
+from repro.core.auditing import AuditEvent, iter_events, load_plan
 from repro.core.registry import PROCESSES
 from repro.core.stages import STAGES
 
@@ -133,8 +133,31 @@ def observed_access(
     return dict(out)
 
 
-def _conflict_pairs(events: list[AuditEvent]) -> list[tuple[AuditEvent, AuditEvent]]:
-    """Concurrent-access conflicts among one path's events."""
+def _plan_epochs(root: Path | str | None) -> dict[str, int]:
+    """Task -> barrier-epoch map from the run's recorded plan, if any."""
+    if root is None:
+        return {}
+    plan = load_plan(root)
+    if plan is None:
+        return {}
+    return {
+        str(name): index
+        for index, region in enumerate(plan.get("regions", []))
+        for name in region.get("tasks", [])
+    }
+
+
+def _conflict_pairs(
+    events: list[AuditEvent], epochs: dict[str, int] | None = None
+) -> list[tuple[AuditEvent, AuditEvent]]:
+    """Concurrent-access conflicts among one path's events.
+
+    When the run recorded its barrier plan, two tasks of that plan are
+    concurrent iff they share an epoch (region index); processes the
+    plan does not name — and every run without a plan — fall back to
+    the Fig. 9 stage rule.
+    """
+    epochs = epochs or {}
     conflicts = []
     for i, a in enumerate(events):
         for b in events[i + 1:]:
@@ -146,6 +169,11 @@ def _conflict_pairs(events: list[AuditEvent]) -> list[tuple[AuditEvent, AuditEve
                 # Two units of the same process; "-" is the barrier-
                 # ordered driver scope.
                 if a.unit != b.unit and a.unit != "-" and b.unit != "-":
+                    conflicts.append((a, b))
+            elif a.process in epochs and b.process in epochs:
+                # The executed plan's region index is the vector clock:
+                # different epochs are separated by a barrier.
+                if epochs[a.process] == epochs[b.process]:
                     conflicts.append((a, b))
             else:
                 # Two member processes of the same TASKS stage run
@@ -162,10 +190,11 @@ def conflict_findings(root: Path | str) -> list[Finding]:
     by_path: dict[str, list[AuditEvent]] = defaultdict(list)
     for event in iter_events(root):
         by_path[event.path].append(event)
+    epochs = _plan_epochs(root)
     findings = []
     for path, events in sorted(by_path.items()):
         seen = set()
-        for a, b in _conflict_pairs(events):
+        for a, b in _conflict_pairs(events, epochs):
             key = (a.process, a.unit, b.process, b.unit, a.op, b.op)
             if key in seen:
                 continue

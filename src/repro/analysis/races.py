@@ -28,6 +28,7 @@ the unit index, so they are distinct by construction.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.analysis.model import ERROR, Finding
@@ -119,7 +120,7 @@ def atoms_may_collide(a: Atom, b: Atom, same_unit_keys_distinct: bool) -> bool:
 # -- per-stage unit models (mirrors staged.py / the paper's Fig. 9) ----
 
 
-def _station_unit(stage: StageSpec, pid: int) -> list[UnitAccess]:
+def _station_unit(stage_name: str, pid: int) -> list[UnitAccess]:
     if pid == 3:
         return [UnitAccess(
             "separate_station", "station",
@@ -135,21 +136,21 @@ def _station_unit(stage: StageSpec, pid: int) -> list[UnitAccess]:
             + [tpl(f"{c}.max") for c in COMPONENTS]
             # The private temp folder embeds the unit's ordinal, so it
             # is a template keyed by the same unit.
-            + [tpl("", key_class="station", prefix=f"work/tmp/{stage.name.lower()}_")],
+            + [tpl("", key_class="station", prefix=f"work/tmp/{stage_name.lower()}_")],
         )]
     if pid == 7:
         return [UnitAccess(
             "fourier_instance", "station",
             reads=[tpl(f"{c}.v2") for c in COMPONENTS],
             writes=[tpl(f"{c}.f") for c in COMPONENTS]
-            + [tpl("", key_class="station", prefix=f"work/tmp/{stage.name.lower()}_")],
+            + [tpl("", key_class="station", prefix=f"work/tmp/{stage_name.lower()}_")],
         )]
     raise ValueError(f"no station-unit model for P{pid}")
 
 
-def _loop_units(stage: StageSpec, pid: int) -> list[UnitAccess]:
+def _loop_units(stage_name: str, pid: int) -> list[UnitAccess]:
     if pid == 3:
-        return _station_unit(stage, pid)
+        return _station_unit(stage_name, pid)
     if pid == 10:
         # Inner loop over one station's components; results are
         # returned in memory, the driver writes filter_corrected.par
@@ -183,46 +184,73 @@ def _loop_units(stage: StageSpec, pid: int) -> list[UnitAccess]:
     raise ValueError(f"no loop-unit model for P{pid}")
 
 
+#: Artifact identity -> the file-name atoms it expands to.  Shared by
+#: the stage-plan race proof below and the graph-level verifier
+#: (:mod:`repro.analysis.graphlint`), which lifts the same absorption
+#: argument from Fig. 9 stage plans to arbitrary task graphs.
+IDENTITY_ATOMS: dict[str, list[Atom]] = {
+    "flags": [lit("work/flags.dat")],
+    "flags2": [lit("work/flags2.dat")],
+    "v1_list": [lit("work/v1files.lst")],
+    "filter_params": [lit("work/filter.par")],
+    "filter_corrected": [lit("work/filter_corrected.par")],
+    "maxvals": [lit("work/maxvals.dat")],
+    "maxvals2": [lit("work/maxvals2.dat")],
+    "acc_meta": [lit("work/accgraph.meta")],
+    "fourier_meta": [lit("work/fourier.meta")],
+    "response_meta": [lit("work/response.meta")],
+    "fouriergraph_meta": [lit("work/fouriergraph.meta")],
+    "responsegraph_meta": [lit("work/responsegraph.meta")],
+    "raw_v1": [tpl(".v1", prefix="input/")],
+    "comp_v1": [tpl(f"{c}.v1") for c in COMPONENTS],
+    "comp_v2": [tpl(f"{c}.v2") for c in COMPONENTS],
+    "comp_f": [tpl(f"{c}.f") for c in COMPONENTS],
+    "comp_r": [tpl(f"{c}.r") for c in COMPONENTS],
+    "plot_acc": [tpl(".ps")],
+    "plot_fourier": [tpl("f.ps")],
+    "plot_response": [tpl("r.ps")],
+    "gem": [
+        tpl(f"{c}{source}{q}.gem")
+        for c in COMPONENTS
+        for source in ("2", "R")
+        for q in ("A", "V", "D")
+    ],
+}
+
+#: key_class prefixes marking a UnitAccess that is one single instance
+#: (a whole member process / task), not a class of keyed loop units.
+SINGLETON_PREFIXES = ("process-", "task-")
+
+
 def _task_units(stage: StageSpec) -> list[UnitAccess]:
     """TASKS stages: one unit per member process; access sets are the
     registry declarations expanded to name patterns."""
-    identity_atoms = {
-        "flags": [lit("work/flags.dat")],
-        "flags2": [lit("work/flags2.dat")],
-        "v1_list": [lit("work/v1files.lst")],
-        "filter_params": [lit("work/filter.par")],
-        "filter_corrected": [lit("work/filter_corrected.par")],
-        "maxvals": [lit("work/maxvals.dat")],
-        "maxvals2": [lit("work/maxvals2.dat")],
-        "acc_meta": [lit("work/accgraph.meta")],
-        "fourier_meta": [lit("work/fourier.meta")],
-        "response_meta": [lit("work/response.meta")],
-        "fouriergraph_meta": [lit("work/fouriergraph.meta")],
-        "responsegraph_meta": [lit("work/responsegraph.meta")],
-        "raw_v1": [tpl(".v1", prefix="input/")],
-        "comp_v1": [tpl(f"{c}.v1") for c in COMPONENTS],
-        "comp_v2": [tpl(f"{c}.v2") for c in COMPONENTS],
-        "comp_f": [tpl(f"{c}.f") for c in COMPONENTS],
-        "comp_r": [tpl(f"{c}.r") for c in COMPONENTS],
-        "plot_acc": [tpl(".ps")],
-        "plot_fourier": [tpl("f.ps")],
-        "plot_response": [tpl("r.ps")],
-        "gem": [
-            tpl(f"{c}{source}{q}.gem")
-            for c in COMPONENTS
-            for source in ("2", "R")
-            for q in ("A", "V", "D")
-        ],
-    }
     units = []
     for pid in stage.processes:
         spec = PROCESSES[pid]
         units.append(UnitAccess(
             spec.label, f"process-{pid}",
-            reads=[atom for ref in spec.reads for atom in identity_atoms[ref.identity]],
-            writes=[atom for ref in spec.writes for atom in identity_atoms[ref.identity]],
+            reads=[atom for ref in spec.reads for atom in IDENTITY_ATOMS[ref.identity]],
+            writes=[atom for ref in spec.writes for atom in IDENTITY_ATOMS[ref.identity]],
         ))
     return units
+
+
+def process_unit_models(pid: int, strategy: str, stage_name: str) -> list[UnitAccess]:
+    """Concurrency-unit models of one process under one strategy.
+
+    ``loop`` and ``temp_folders`` return the keyed per-unit templates
+    (stations, traces, work-list files); ``seq``/``task`` strategies
+    run as one indivisible unit and return no inner model.  Raises
+    :class:`ValueError` for a pid the strategy has no model for — a
+    builder wiring, say, P12 as a loop is asking for an execution the
+    engine cannot perform either.
+    """
+    if strategy == LOOP:
+        return _loop_units(stage_name, pid)
+    if strategy == TEMP_FOLDERS:
+        return _station_unit(stage_name, pid)
+    return []
 
 
 def stage_units(stage: StageSpec) -> list[UnitAccess]:
@@ -234,39 +262,54 @@ def stage_units(stage: StageSpec) -> list[UnitAccess]:
         return _task_units(stage)
     (pid,) = stage.processes
     if strategy == LOOP:
-        return _loop_units(stage, pid)
+        return _loop_units(stage.name, pid)
     if strategy == TEMP_FOLDERS:
-        return _station_unit(stage, pid)
+        return _station_unit(stage.name, pid)
     raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def unit_collisions(
+    units: Sequence[UnitAccess],
+) -> list[tuple[UnitAccess, UnitAccess, Atom, Atom, str]]:
+    """Every potential conflict among concurrently-running units.
+
+    Returns ``(unit_a, unit_b, atom_a, atom_b, kind)`` tuples with
+    ``kind`` in ``write/write``, ``write/read``, ``read/write``.  An
+    empty list is the race-freedom proof: no two concurrent units can
+    name the same file with at least one write between them.
+    """
+    collisions: list[tuple[UnitAccess, UnitAccess, Atom, Atom, str]] = []
+    for i, a in enumerate(units):
+        for b in units[i:]:
+            same_class = a.key_class == b.key_class
+            distinct_instances = a is not b
+            # A unit class with many instances also races against
+            # *itself* across instances (same templates, distinct
+            # keys) — covered by same_class with keys distinct.
+            if a is b and a.key_class.startswith(SINGLETON_PREFIXES):
+                continue  # a single-instance unit cannot self-race
+            pairs = (
+                [(x, y, "write/write") for x in a.writes for y in b.writes]
+                + [(x, y, "write/read") for x in a.writes for y in b.reads]
+            )
+            if distinct_instances:
+                pairs += [(x, y, "read/write") for x in a.reads for y in b.writes]
+            for x, y, kind in pairs:
+                if a is b and x is y and kind != "write/write":
+                    continue
+                if atoms_may_collide(x, y, same_unit_keys_distinct=same_class):
+                    collisions.append((a, b, x, y, kind))
+    return collisions
 
 
 def race_findings() -> list[Finding]:
     """Prove every stage's units pairwise write-disjoint (or report)."""
     findings: list[Finding] = []
     for stage in STAGES:
-        units = stage_units(stage)
-        for i, a in enumerate(units):
-            for b in units[i:]:
-                same_class = a.key_class == b.key_class
-                distinct_instances = a is not b
-                # A unit class with many instances also races against
-                # *itself* across instances (same templates, distinct
-                # keys) — covered by same_class with keys distinct.
-                if a is b and a.key_class.startswith("process-"):
-                    continue  # a TASKS unit is a single instance
-                pairs = (
-                    [(x, y, "write/write") for x in a.writes for y in b.writes]
-                    + [(x, y, "write/read") for x in a.writes for y in b.reads]
-                )
-                if distinct_instances:
-                    pairs += [(x, y, "read/write") for x in a.reads for y in b.writes]
-                for x, y, kind in pairs:
-                    if a is b and x is y and kind != "write/write":
-                        continue
-                    if atoms_may_collide(x, y, same_unit_keys_distinct=same_class):
-                        findings.append(Finding(
-                            "races", ERROR,
-                            f"stage {stage.name}: units {a.name!r} and {b.name!r} "
-                            f"may {kind}-collide on {x.render()} vs {y.render()}",
-                        ))
+        for a, b, x, y, kind in unit_collisions(stage_units(stage)):
+            findings.append(Finding(
+                "races", ERROR,
+                f"stage {stage.name}: units {a.name!r} and {b.name!r} "
+                f"may {kind}-collide on {x.render()} vs {y.render()}",
+            ))
     return findings

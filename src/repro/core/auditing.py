@@ -213,6 +213,36 @@ def record(root: Path | str, rel_path: str, op: str, nbytes: int | None = None) 
         pass
 
 
+#: File (inside the marker directory) holding the executed barrier plan.
+PLAN_FILE = "plan.json"
+
+
+def record_plan(root: Path | str, plan: dict) -> None:
+    """Store the barrier plan a run is about to execute (no-op unless
+    ``root`` is audited).
+
+    ``plan`` is ``{"policy": name, "regions": [{"label": ..., "tasks":
+    [names]}]}``; the region index is the vector-clock epoch the
+    happens-before cross-check (:mod:`repro.analysis.graphlint`) orders
+    recorded accesses by.
+    """
+    if str(root) not in _ACTIVE:
+        return
+    path = Path(root) / AUDIT_DIR / PLAN_FILE
+    try:
+        path.write_text(json.dumps(plan, indent=2), encoding="utf-8")
+    except OSError:  # pragma: no cover - a dead log never fails the run
+        pass
+
+
+def load_plan(root: Path | str) -> dict | None:
+    """The recorded barrier plan of a run, or ``None`` if none exists."""
+    path = Path(root) / AUDIT_DIR / PLAN_FILE
+    if not path.is_file():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
 @dataclass(frozen=True)
 class AuditEvent:
     """One recorded file access."""

@@ -149,15 +149,19 @@ class Engine:
     unchanged.
     """
 
-    def __init__(self, policy) -> None:
+    def __init__(self, policy, *, verify: bool = False) -> None:
         self.policy = policy
         self.name = policy.name
+        self.verify = verify
 
     # -- plan execution ----------------------------------------------------
 
     def execute(self, ctx: RunContext, result: PipelineResult) -> None:
         graph, regions = self.policy.plan(ctx)
         graph.validate_regions(regions)
+        if self.verify:
+            self._verify_plan(graph, regions)
+        self._record_plan(ctx, regions)
         needs_pools = any(
             task.strategy in (LOOP, TEMP_FOLDERS)
             for region in regions
@@ -182,6 +186,34 @@ class Engine:
         tmp = ctx.workspace.tmp_dir
         if tmp.exists() and not any(tmp.iterdir()):
             tmp.rmdir()
+
+    def _verify_plan(self, graph: TaskGraph, regions: list[Region]) -> None:
+        """Run the graph verifier; errors refuse execution."""
+        from repro.analysis.graphlint import verify_graph
+        from repro.analysis.model import ERROR
+        from repro.errors import VerificationError
+
+        errors = [f for f in verify_graph(graph, regions) if f.severity == ERROR]
+        if errors:
+            details = "\n".join(f"  - {f.render()}" for f in errors)
+            raise VerificationError(
+                f"policy {self.name!r} failed graph verification "
+                f"({len(errors)} error(s)):\n{details}"
+            )
+
+    def _record_plan(self, ctx: RunContext, regions: list[Region]) -> None:
+        """Persist the executed plan for the happens-before cross-check."""
+        from repro.core.auditing import is_active, record_plan
+
+        if not is_active(ctx.workspace.root):
+            return
+        record_plan(ctx.workspace.root, {
+            "policy": self.name,
+            "regions": [
+                {"label": region.label, "tasks": [t.name for t in region.tasks]}
+                for region in regions
+            ],
+        })
 
     def _run_region(
         self, ctx: RunContext, result: PipelineResult, region: Region, pools: dict
@@ -438,17 +470,19 @@ class EnginePipeline(PipelineImplementation):
     implementation classes.
     """
 
-    def __init__(self, policy) -> None:
+    def __init__(self, policy, *, verify: bool = False) -> None:
         self.policy = policy
         self.name = policy.name
         self.description = policy.description
+        self.verify = verify
 
     def execute(self, ctx: RunContext, result: PipelineResult) -> None:
-        Engine(self.policy).execute(ctx, result)
+        Engine(self.policy, verify=self.verify).execute(ctx, result)
 
 
 def run_graph(
-    graph_or_builder, ctx: RunContext, *, name: str | None = None
+    graph_or_builder, ctx: RunContext, *, name: str | None = None,
+    verify: bool = False,
 ) -> PipelineResult:
     """Execute a user-built graph (or builder) end-to-end.
 
@@ -457,7 +491,13 @@ def run_graph(
         builder = PipelineBuilder(name="qc-only")
         builder.add_processes([0, 1, 2, 3], strategy="seq")
         result = run_graph(builder, ctx)
+
+    With ``verify=True`` the plan is run through the graph verifier
+    first; error findings raise
+    :class:`~repro.errors.VerificationError` instead of executing.
     """
     from repro.engine.policy import GraphPolicy
 
-    return EnginePipeline(GraphPolicy(graph_or_builder, name=name)).run(ctx)
+    return EnginePipeline(
+        GraphPolicy(graph_or_builder, name=name), verify=verify
+    ).run(ctx)

@@ -17,6 +17,7 @@ derivation ``repro-lint``'s schedule check trusts.
 
 from __future__ import annotations
 
+import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -24,7 +25,7 @@ import networkx as nx
 
 from repro.core.dependencies import build_process_graph
 from repro.core.registry import PROCESSES
-from repro.errors import DependencyError, StageOrderError
+from repro.errors import DependencyError, StageOrderError, VerificationError
 
 #: Per-task strategies.  ``seq`` and ``task`` members are plain calls
 #: (run inline, or as one task of a concurrent group); ``loop`` and
@@ -60,6 +61,15 @@ class Task:
     #: Strategy label shown on the task's stage span (custom tasks
     #: only; process tasks show their execution strategy).
     span_strategy: str | None = None
+    #: Declared artifact-identity effects (custom tasks only; process
+    #: tasks take theirs from the registry).  The graph verifier diffs
+    #: these against what it infers from the callable's source.
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    #: An opaque task's body is not statically analyzable (it shells
+    #: out, fans out to ranks, ...); the verifier trusts the declared
+    #: effects and says so instead of guessing.
+    opaque: bool = False
 
     @property
     def is_process(self) -> bool:
@@ -238,19 +248,38 @@ class TaskGraph:
         A merge is taken only when the combined region stays internally
         edge-free against *every* already-absorbed member, so chains
         stop exactly where a real dependency begins.  Labels join with
-        ``+`` (``II+III``), keeping fused stage spans self-describing.
+        ``+`` (``II+III``), keeping fused stage spans self-describing;
+        the joined components are ordered by the layer the plan
+        schedules them in, then by name, so lint reports and fused span
+        names are byte-stable across runs regardless of how the caller
+        assembled the region list.
         """
+        layer_of = {region.label: index for index, region in enumerate(regions)}
+
+        def joined_label(group: Sequence[Region]) -> str:
+            ordered = sorted(
+                group, key=lambda r: (layer_of.get(r.label, len(layer_of)), r.label)
+            )
+            return "+".join(r.label for r in ordered)
+
         fused: list[Region] = []
+        groups: list[list[Region]] = []
         for region in regions:
             if fused and self.fusible(fused[-1], region):
-                head = fused.pop()
-                members = head.tasks + region.tasks
-                label = f"{head.label}+{region.label}"
+                fused.pop()
+                group = groups.pop() + [region]
+                members = tuple(t for r in group for t in r.tasks)
                 fused.append(
-                    Region(label=label, tasks=members, strategy=_region_strategy(members))
+                    Region(
+                        label=joined_label(group),
+                        tasks=members,
+                        strategy=_region_strategy(members),
+                    )
                 )
+                groups.append(group)
             else:
                 fused.append(region)
+                groups.append([region])
         return fused
 
 
@@ -275,12 +304,26 @@ class PipelineBuilder:
     def __init__(self, name: str = "pipeline") -> None:
         self.name = name
         self._tasks: dict[str, Task] = {}
+        self._sites: dict[str, str] = {}
         self._explicit_edges: set[tuple[str, str]] = set()
 
+    @staticmethod
+    def _registration_site() -> str:
+        """The caller's ``file:line``, skipping frames of this module."""
+        for frame in reversed(traceback.extract_stack()[:-1]):
+            if not frame.filename.endswith(("engine/graph.py", "engine\\graph.py")):
+                return f"{frame.filename}:{frame.lineno}"
+        return "<unknown>"
+
     def _add(self, task: Task) -> Task:
+        site = self._registration_site()
         if task.name in self._tasks:
-            raise DependencyError(f"duplicate task name {task.name!r}")
+            raise DependencyError(
+                f"duplicate task name {task.name!r}: first registered at "
+                f"{self._sites[task.name]}, registered again at {site}"
+            )
         self._tasks[task.name] = task
+        self._sites[task.name] = site
         return task
 
     def _resolve_name(self, ref: "Task | str | int") -> str:
@@ -343,6 +386,9 @@ class PipelineBuilder:
         *,
         after: Sequence["Task | str | int"] = (),
         span_strategy: str | None = None,
+        reads: Sequence[str] = (),
+        writes: Sequence[str] = (),
+        opaque: bool = False,
     ) -> Task:
         """Add a custom task: ``run(ctx, result)`` called at execution.
 
@@ -350,9 +396,26 @@ class PipelineBuilder:
         :meth:`after`); the registry knows nothing about them.
         ``span_strategy`` labels the task's stage span (default
         ``custom``).
+
+        ``reads``/``writes`` declare the task's artifact-identity
+        effects (``"comp_v2"``, ``"filter_params"``, ...) so the graph
+        verifier (:mod:`repro.analysis.graphlint`) can prove the plan
+        race-free and diff the declarations against the effects it
+        infers from the callable's source.  ``opaque=True`` marks a
+        body the verifier cannot analyze (rank fan-out, subprocesses);
+        its declared effects are then taken on trust and reported as
+        such rather than guessed at.
         """
         task = self._add(
-            Task(name=str(name), strategy=CUSTOM, run=run, span_strategy=span_strategy)
+            Task(
+                name=str(name),
+                strategy=CUSTOM,
+                run=run,
+                span_strategy=span_strategy,
+                reads=tuple(reads),
+                writes=tuple(writes),
+                opaque=bool(opaque),
+            )
         )
         for upstream in after:
             self.after(upstream, task)
@@ -368,15 +431,51 @@ class PipelineBuilder:
             raise DependencyError(f"task {a!r} cannot depend on itself")
         self._explicit_edges.add((a, b))
 
-    # -- building ----------------------------------------------------------
+    # -- introspection -----------------------------------------------------
 
-    def build(self) -> TaskGraph:
-        """Derive all edges and return the immutable graph."""
-        tasks = list(self._tasks.values())
+    def pending_tasks(self) -> tuple[Task, ...]:
+        """Tasks added so far, in registration order (pre-build view)."""
+        return tuple(self._tasks.values())
+
+    def pending_edges(self) -> set[tuple[str, str]]:
+        """All edges :meth:`build` would wire: explicit plus derived.
+
+        Exposed so the graph verifier can diagnose a cyclic or
+        inconsistent builder without :meth:`build` raising first.
+        """
         edges: set[tuple[str, str]] = set(self._explicit_edges)
-        pids = [t.pid for t in tasks if t.pid is not None]
+        pids = [t.pid for t in self._tasks.values() if t.pid is not None]
         if pids:
             process_graph = build_process_graph(pids)
             for a, b in process_graph.edges:
                 edges.add((f"P{a}", f"P{b}"))
-        return TaskGraph(tasks, edges)
+        return edges
+
+    def registration_site(self, name: str) -> str | None:
+        """Where (``file:line``) the named task was added, if known."""
+        return self._sites.get(name)
+
+    # -- building ----------------------------------------------------------
+
+    def build(self, *, verify: bool = False) -> TaskGraph:
+        """Derive all edges and return the immutable graph.
+
+        With ``verify=True`` the built graph (under its derived barrier
+        layering) is additionally run through the graph verifier
+        (:func:`repro.analysis.graphlint.verify_graph`); error findings
+        raise :class:`~repro.errors.VerificationError` listing every
+        counterexample instead of letting an unsound pipeline execute.
+        """
+        graph = TaskGraph(list(self._tasks.values()), self.pending_edges())
+        if verify:
+            from repro.analysis.graphlint import verify_graph
+            from repro.analysis.model import ERROR
+
+            errors = [f for f in verify_graph(graph) if f.severity == ERROR]
+            if errors:
+                details = "\n".join(f"  - {f.message}" for f in errors)
+                raise VerificationError(
+                    f"pipeline {self.name!r} failed graph verification "
+                    f"({len(errors)} error(s)):\n{details}"
+                )
+        return graph

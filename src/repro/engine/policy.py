@@ -211,14 +211,30 @@ class ClusterPolicy(SchedulingPolicy):
     def plan(self, ctx) -> tuple[TaskGraph, list[Region]]:
         state: dict = {}
         builder = PipelineBuilder(name=self.name)
-        builder.add_task("prologue", self._prologue, span_strategy="seq")
+        # Effects are declared so the graph verifier can prove the
+        # three-region plan: prologue and epilogue bodies are
+        # cross-checked by inference, the rank fan-out is opaque (its
+        # work happens in forked rank processes).
+        builder.add_task(
+            "prologue", self._prologue, span_strategy="seq",
+            reads=("raw_v1", "v1_list"),
+            writes=(
+                "flags", "v1_list", "filter_params", "acc_meta",
+                "fourier_meta", "response_meta", "fouriergraph_meta",
+                "responsegraph_meta", "flags2",
+            ),
+        )
         builder.add_task(
             "ranks", partial(self._ranks, state), after=["prologue"],
             span_strategy="cluster",
+            reads=("v1_list", "raw_v1", "filter_params", "comp_v1", "comp_v2", "comp_f"),
+            writes=("comp_v1", "comp_v2", "comp_f"),
+            opaque=True,
         )
         builder.add_task(
             "epilogue", partial(self._epilogue, state), after=["ranks"],
             span_strategy="seq",
+            writes=("filter_corrected", "maxvals", "maxvals2"),
         )
         graph = builder.build()
         regions = [

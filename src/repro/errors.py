@@ -54,6 +54,17 @@ class StageOrderError(DependencyError):
     """A stage plan would execute a process before one of its inputs exists."""
 
 
+class VerificationError(DependencyError):
+    """The graph verifier proved a pipeline plan unsafe to execute.
+
+    Raised by ``PipelineBuilder.build(verify=True)`` and
+    ``Engine(..., verify=True)`` when :mod:`repro.analysis.graphlint`
+    finds error-severity problems (races, mis-declared effects,
+    unordered producer/consumer pairs).  The message lists every
+    counterexample the verifier produced.
+    """
+
+
 class TransientToolError(PipelineError):
     """A legacy-tool invocation failed in a way worth retrying.
 
