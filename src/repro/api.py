@@ -82,6 +82,8 @@ def run(
     workers: int | None = None,
     trace: bool | str | Path | None = None,
     profile: bool | str | Path | None = None,
+    events: bool = False,
+    ledger: str | Path | None = None,
     workspace: str | Path | None = None,
     response_periods: int | None = None,
     settings: ParallelSettings | None = None,
@@ -123,6 +125,13 @@ def run(
     :class:`~repro.observability.profiling.Profile` as
     ``result.profile``; a path additionally writes it as speedscope
     JSON.
+
+    ``events=True`` streams live lifecycle/telemetry events to the
+    workspace's ``.events/`` log while the run executes — tail it with
+    ``repro-top`` (see :mod:`repro.observability.events`).  ``ledger``
+    appends the finished run to the SQLite run ledger at that path
+    (see :mod:`repro.observability.ledger`); independent of it, setting
+    the ``REPRO_LEDGER`` environment variable auto-appends every run.
 
     Returns the policy's :class:`PipelineResult` (with ``result.trace``
     / ``result.profile`` set when requested).
@@ -174,8 +183,15 @@ def run(
         from repro.observability.profiling import SamplingProfiler
 
         ctx.profiler = SamplingProfiler()
+    if events:
+        ctx.events = True
 
     result = impl.run(ctx)
+
+    if ledger is not None:
+        from repro.observability.ledger import RunLedger, run_entry
+
+        RunLedger(ledger).append(run_entry(ctx, result))
 
     if trace and not isinstance(trace, bool):
         from repro.observability.export import write_chrome_trace

@@ -95,6 +95,24 @@ def _build_process_parser() -> argparse.ArgumentParser:
         "faults, retry transient failures, quarantine poisoned records, and "
         "report the degraded result instead of aborting",
     )
+    parser.add_argument(
+        "--events",
+        action="store_true",
+        help="stream live lifecycle/telemetry events to the workspace's "
+        ".events/ log while the run executes (tail with repro-top)",
+    )
+    parser.add_argument(
+        "--ledger",
+        metavar="DB",
+        help="append the finished run to this SQLite run ledger "
+        "(inspect with repro-ledger; $REPRO_LEDGER auto-appends too)",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE.HTML",
+        help="write a self-contained HTML run report (Gantt, stage times, "
+        "critical path, metrics); implies --trace recording",
+    )
     return parser
 
 
@@ -111,11 +129,12 @@ def main_process(argv: list[str] | None = None) -> int:
             response_config=ResponseSpectrumConfig(periods=default_periods(args.periods)),
             parallel=ParallelSettings.uniform(args.backend, num_workers=args.workers),
         )
-    if args.trace or args.profile:
+    if args.trace or args.profile or args.report:
         from repro.observability.tracer import Tracer
 
         # The profiler attributes samples through the tracer's open
-        # spans, so --profile turns tracing on even without --trace.
+        # spans, so --profile turns tracing on even without --trace;
+        # the HTML report needs the trace for its Gantt and critpath.
         ctx.tracer = Tracer()
     if args.profile:
         from repro.observability.profiling import SamplingProfiler
@@ -143,6 +162,8 @@ def main_process(argv: list[str] | None = None) -> int:
         from repro.resilience import FaultPlan
 
         ctx.resilience = FaultPlan.load(args.inject_faults)
+    if args.events:
+        ctx.events = True
     impl = pipeline_factory(args.policy)()
     resources = None
     if args.trace:
@@ -181,6 +202,23 @@ def main_process(argv: list[str] | None = None) -> int:
 
         text_path, json_path = write_metrics(args.metrics, ctx.metrics, trace=result.trace)
         print(f"metrics written to {text_path} and {json_path}")
+    if args.ledger:
+        from repro.observability.ledger import RunLedger, run_entry
+
+        row_id = RunLedger(args.ledger).append(
+            run_entry(ctx, result, event_id=args.generate_event)
+        )
+        print(f"ledger: appended run {row_id} to {args.ledger}")
+    if args.report:
+        from repro.observability.report_html import write_html_report
+        from repro.parallel.backend import resolve_workers
+
+        out = write_html_report(
+            args.report, result, metrics=ctx.metrics,
+            workers=resolve_workers(args.workers),
+            title=f"{Path(args.workspace).name} — {args.policy} ({args.backend})",
+        )
+        print(f"report written to {out}")
     if args.audit:
         from repro.analysis.audit import audit_findings
         from repro.analysis.model import ERROR, Report
@@ -381,6 +419,12 @@ def _build_bulletin_parser() -> argparse.ArgumentParser:
         help="collect metrics across all events and write them to FILE as "
         "Prometheus text plus a .json sibling",
     )
+    parser.add_argument(
+        "--events",
+        action="store_true",
+        help="stream live telemetry per event workspace (tail the current "
+        "event's <root>/<event>/.events log with repro-top)",
+    )
     return parser
 
 
@@ -409,6 +453,7 @@ def main_bulletin(argv: list[str] | None = None) -> int:
         parallel=ParallelSettings(num_workers=args.workers),
         tracer=tracer,
         metrics=metrics,
+        events=args.events,
     )
     bulletin = runner.run(events, title=args.title)
     print(bulletin.render())

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.auditing import AuditedPath, maybe_activate
+from repro.observability.events import maybe_activate as events_activate
 from repro.errors import PipelineError
 from repro.formats.common import COMPONENTS
 from repro.formats.gem import GEM_QUANTITIES, GEM_SOURCES, gem_name
@@ -53,6 +54,9 @@ class Workspace:
         # rebuilding Workspace(root) re-detect the marker, so auditing
         # survives the process backend without any argument plumbing.
         object.__setattr__(self, "_audited", maybe_activate(self.root))
+        # The live event bus re-activates the same way off its own
+        # .events/ marker (see repro.observability.events).
+        events_activate(self.root)
 
     def _wrap(self, path: Path) -> Path:
         return AuditedPath(path) if self._audited else path

@@ -213,6 +213,12 @@ class BatchRunner:
     #: of aborting the whole batch.  Events without a plan keep the
     #: all-or-nothing behaviour.
     resilience_plans: "dict | None" = None
+    #: Stream live telemetry events per event workspace (see
+    #: :mod:`repro.observability.events`): each event's run writes its
+    #: own ``<root>/<event>/.events/`` log, closed with a batch-layer
+    #: ``batch_event_finished`` summary, so ``repro-top`` can follow
+    #: whichever event is currently processing.
+    events: bool = False
 
     def run(self, events: list[EventSpec], *, title: str = "Seismic activity bulletin") -> Bulletin:
         """Generate, process and summarize every event."""
@@ -233,6 +239,7 @@ class BatchRunner:
                 Path(self.root) / event.event_id,
                 tracer=self.tracer,
                 metrics=self.metrics,  # type: ignore[arg-type]
+                events=self.events,
                 **(
                     {"response_config": self.response_config}
                     if self.response_config is not None
@@ -259,6 +266,7 @@ class BatchRunner:
                 # Only fault-injected events may fail soft: a clean
                 # event dying is still a batch-fatal pipeline bug.
                 bulletin.events.append(self._failed_event(event, exc))
+                self._emit_batch_event(ctx, event, "failed", 0)
                 continue
             if self.verify:
                 excluded = {report.record for report in result.quarantine}
@@ -269,7 +277,23 @@ class BatchRunner:
                         f"event {event.event_id}: artifact inventory check failed\n"
                         + report.render()
                     )
-            bulletin.events.append(summarize_event_run(ctx, event, result))
+            summary = summarize_event_run(ctx, event, result)
+            bulletin.events.append(summary)
+            self._emit_batch_event(ctx, event, summary.status, len(summary.quarantined))
+
+    def _emit_batch_event(
+        self, ctx: RunContext, event: EventSpec, status: str, quarantined: int
+    ) -> None:
+        """Close the event's log with a batch-layer summary (no-op when
+        the run was not event-logged)."""
+        if not self.events:
+            return
+        from repro.observability.events import emit
+
+        emit(
+            ctx.workspace.root, "batch_event_finished",
+            event_id=event.event_id, status=status, quarantined=quarantined,
+        )
 
     @staticmethod
     def _failed_event(event: EventSpec, exc: PipelineError) -> EventSummary:

@@ -101,6 +101,13 @@ class RunContext:
     #: registry with :func:`repro.analysis.audit.audit_findings`.
     #: Excluded from equality — auditing never changes artifacts.
     audit: bool = field(default=False, compare=False)
+    #: Stream live lifecycle/telemetry events to ``<root>/.events/``
+    #: (see :mod:`repro.observability.events`): run/stage/unit/task
+    #: boundaries, resilience retries and quarantines, and periodic
+    #: resource heartbeats, tailed by ``repro-top`` and stitched into
+    #: the HTML run report.  Excluded from equality — telemetry never
+    #: changes artifacts.
+    events: bool = field(default=False, compare=False)
     #: Optional run-metrics registry (see
     #: :mod:`repro.observability.metrics`); the runtime and stage
     #: executors count chunks, tasks, I/O bytes and data points into

@@ -168,40 +168,83 @@ class PipelineImplementation(ABC):
             # every driver thread, and the parallel runtime's worker
             # shims detect the installation and ship shards home.
             profiling = profiling_session(ctx.profiler, tracer=tracer)
-        with profiling, maybe_span(
-            tracer,
-            self.name,
-            kind="run",
-            implementation=self.name,
-            workspace=str(ctx.workspace.root),
-            stations=len(stations),
-            workers=ctx.parallel.workers,
-            loop_backend=ctx.parallel.loop_backend.value,
-            task_backend=ctx.parallel.task_backend.value,
-            tool_backend=ctx.parallel.tool_backend.value,
-        ) as run_span:
-            start = time.perf_counter()
-            try:
-                with maybe_span(tracer, self.name, kind="implementation",
-                                implementation=self.name):
-                    if ctx.metrics is not None:
-                        from repro.observability.metrics import collecting
+        run_events = None
+        heartbeat = None
+        completed = False
+        if ctx.events:
+            from repro.observability import events as run_events
 
-                        with collecting(ctx.metrics):
+            # The event log is live from here: the marker directory is
+            # what pool workers (and a concurrently attached repro-top)
+            # discover on disk, and install_run is what lets the
+            # parallel runtime build worker emission channels.
+            run_events.enable_events(ctx.workspace.root)
+            run_events.emit(
+                ctx.workspace.root, "run_started",
+                schema=run_events.SCHEMA,
+                implementation=self.name,
+                workspace=str(ctx.workspace.root),
+                stations=len(stations),
+                workers=ctx.parallel.workers,
+                loop_backend=ctx.parallel.loop_backend.value,
+                task_backend=ctx.parallel.task_backend.value,
+                tool_backend=ctx.parallel.tool_backend.value,
+            )
+            run_events.install_run(ctx.workspace.root)
+            heartbeat = run_events.Heartbeat(ctx.workspace.root)
+            heartbeat.start()
+        try:
+            with profiling, maybe_span(
+                tracer,
+                self.name,
+                kind="run",
+                implementation=self.name,
+                workspace=str(ctx.workspace.root),
+                stations=len(stations),
+                workers=ctx.parallel.workers,
+                loop_backend=ctx.parallel.loop_backend.value,
+                task_backend=ctx.parallel.task_backend.value,
+                tool_backend=ctx.parallel.tool_backend.value,
+            ) as run_span:
+                start = time.perf_counter()
+                try:
+                    with maybe_span(tracer, self.name, kind="implementation",
+                                    implementation=self.name):
+                        if ctx.metrics is not None:
+                            from repro.observability.metrics import collecting
+
+                            with collecting(ctx.metrics):
+                                self.execute(ctx, result)
+                        else:
                             self.execute(ctx, result)
-                    else:
-                        self.execute(ctx, result)
-            except Exception:
-                logger.exception("%s: run failed after %.3f s", self.name,
-                                 time.perf_counter() - start)
-                raise
-            finally:
-                if runtime is not None:
-                    from repro.resilience.runtime import disable_resilience
+                    completed = True
+                except Exception:
+                    logger.exception("%s: run failed after %.3f s", self.name,
+                                     time.perf_counter() - start)
+                    raise
+                finally:
+                    if runtime is not None:
+                        from repro.resilience.runtime import disable_resilience
 
-                    result.quarantine = runtime.quarantine.reports()
-                    disable_resilience(ctx.workspace.root)
-            result.total_s = time.perf_counter() - start
+                        result.quarantine = runtime.quarantine.reports()
+                        disable_resilience(ctx.workspace.root)
+                result.total_s = time.perf_counter() - start
+        finally:
+            if run_events is not None:
+                if heartbeat is not None:
+                    heartbeat.stop()
+                status = "failed"
+                if completed:
+                    status = "degraded" if result.quarantine else "ok"
+                run_events.emit(
+                    ctx.workspace.root, "run_finished",
+                    total_s=result.total_s, status=status,
+                    quarantined=len(result.quarantine),
+                )
+                run_events.uninstall_run(ctx.workspace.root)
+                # The log stays on disk: repro-top may still be tailing
+                # it, and the HTML report/ledger read it post-hoc.
+                run_events.release_events(ctx.workspace.root)
         if run_span is not None and tracer is not None:
             result.trace = tracer.subtree(run_span)
         if ctx.profiler is not None:
@@ -221,6 +264,11 @@ class PipelineImplementation(ABC):
 
                 disable_auditing(ctx.workspace.root)
                 ctx.workspace = Workspace(ctx.workspace.root)
+        from repro.observability.ledger import maybe_append_run
+
+        # No-op unless a ledger is configured (REPRO_LEDGER); appending
+        # must never fail a run.
+        maybe_append_run(ctx, result)
         logger.info("%s: finished in %.3f s", self.name, result.total_s)
         return result
 

@@ -62,6 +62,9 @@ from repro.formats.common import COMPONENTS
 from repro.formats.fourier import component_f_name
 from repro.formats.v1 import component_v1_name
 from repro.formats.v2 import component_v2_name
+from repro.observability.events import emit as emit_event
+from repro.observability.events import is_active as events_active
+from repro.observability.events import stage_scope
 from repro.observability.tracer import maybe_span
 from repro.parallel.omp import TaskGroup, parallel_for, shared_executor
 
@@ -162,6 +165,7 @@ class Engine:
         if self.verify:
             self._verify_plan(graph, regions)
         self._record_plan(ctx, regions)
+        self._emit_plan(ctx, regions)
         needs_pools = any(
             task.strategy in (LOOP, TEMP_FOLDERS)
             for region in regions
@@ -215,6 +219,20 @@ class Engine:
             ],
         })
 
+    def _emit_plan(self, ctx: RunContext, regions: list[Region]) -> None:
+        """Publish the barrier plan to the event bus, so a live monitor
+        knows every stage (and its task count) before any has run."""
+        if not events_active(ctx.workspace.root):
+            return
+        emit_event(ctx.workspace.root, "plan", policy=self.name, regions=[
+            {
+                "label": region.label,
+                "strategy": region.strategy,
+                "tasks": [t.name for t in region.tasks],
+            }
+            for region in regions
+        ])
+
     def _run_region(
         self, ctx: RunContext, result: PipelineResult, region: Region, pools: dict
     ) -> None:
@@ -222,10 +240,16 @@ class Engine:
         span_strategy = strategy
         if strategy == CUSTOM and len(region.tasks) == 1:
             span_strategy = region.tasks[0].span_strategy or CUSTOM
+        live = events_active(ctx.workspace.root)
+        if live:
+            emit_event(
+                ctx.workspace.root, "stage_started", stage=region.label,
+                strategy=span_strategy, implementation=self.name,
+            )
         with maybe_span(
             ctx.tracer, region.label, kind="stage", stage=region.label,
             strategy=span_strategy, implementation=self.name,
-        ) as stage_span:
+        ) as stage_span, stage_scope(region.label):
             start = time.perf_counter()
             self._dispatch(ctx, result, region, pools)
             elapsed = time.perf_counter() - start
@@ -234,6 +258,11 @@ class Engine:
         result.stage_durations[region.label] = (
             stage_span.duration_s if stage_span is not None else elapsed
         )
+        if live:
+            emit_event(
+                ctx.workspace.root, "stage_finished", stage=region.label,
+                duration_s=result.stage_durations[region.label],
+            )
         logger.debug(
             "region %s (%s) finished in %.4f s",
             region.label, strategy, result.stage_durations[region.label],
@@ -272,6 +301,11 @@ class Engine:
         core_logger.debug(
             "%s (%s) finished in %.4f s", spec.label, spec.name, duration
         )
+        if ctx is not None and events_active(ctx.workspace.root):
+            emit_event(
+                ctx.workspace.root, "process_finished", process=spec.label,
+                name=spec.name, stage=region.label, duration_s=duration,
+            )
         if ctx is not None and ctx.metrics is not None:
             from repro.observability.metrics import record_process
 

@@ -20,6 +20,13 @@ via speedscope / collapsed-stack exports), and
 :mod:`repro.observability.critpath` turns a finished trace into a
 measured critical path, per-stage parallel efficiencies, and an
 Amdahl / work-span speedup model (``repro-perf explain``).
+
+The live side: :mod:`repro.observability.events` streams structured
+run events from an executing pipeline (tail with ``repro-top``),
+:mod:`repro.observability.ledger` keeps a persistent SQLite history of
+finished runs (``repro-ledger``), and
+:mod:`repro.observability.report_html` renders one self-contained HTML
+report per run (``repro-report``).
 """
 
 from repro.observability.tracer import Span, Trace, Tracer, maybe_span, worker_label
@@ -59,6 +66,14 @@ from repro.observability.critpath import (
     speedup_model,
     stage_stats,
 )
+from repro.observability.events import (
+    read_events,
+    validate_events,
+    write_events,
+)
+from repro.observability.ledger import RunLedger, run_entry
+from repro.observability.report_html import render_html_report, write_html_report
+from repro.observability.top import RunView, render_top
 
 __all__ = [
     "Span",
@@ -92,4 +107,13 @@ __all__ = [
     "render_explain",
     "speedup_model",
     "stage_stats",
+    "read_events",
+    "validate_events",
+    "write_events",
+    "RunLedger",
+    "run_entry",
+    "RunView",
+    "render_top",
+    "render_html_report",
+    "write_html_report",
 ]

@@ -334,6 +334,41 @@ def latest_bench(directory: Path | str = ".") -> Path | None:
     return candidates[-1] if candidates else None
 
 
+def resolve_bench_source(path: Path | str) -> tuple[dict[str, Any], str]:
+    """Load a bench document from a file *or* a directory.
+
+    A directory selects the newest schema-compatible ``BENCH_*.json``
+    in it: candidates are tried newest-first and the first one that
+    loads and passes :func:`validate_bench` wins, so a directory of
+    CI artifacts with the odd truncated or foreign-schema file still
+    resolves.  Raises :class:`ValueError` with every candidate's
+    problem when none validates (or the directory holds none at all).
+    Returns ``(document, label)``.
+    """
+    path = Path(path)
+    if not path.is_dir():
+        return json.loads(path.read_text()), str(path)
+    candidates = sorted(path.glob("BENCH_*.json"), reverse=True)
+    if not candidates:
+        raise ValueError(f"no BENCH_*.json under {path}")
+    problems: list[str] = []
+    for candidate in candidates:
+        try:
+            doc = json.loads(candidate.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            problems.append(f"{candidate.name}: unreadable ({exc})")
+            continue
+        errors = validate_bench(doc)
+        if errors:
+            problems.append(f"{candidate.name}: {errors[0]}")
+            continue
+        return doc, str(candidate)
+    raise ValueError(
+        f"no schema-compatible BENCH_*.json under {path}; candidates:\n  "
+        + "\n  ".join(problems)
+    )
+
+
 def render_bench(doc: dict[str, Any]) -> str:
     """Human-readable report of one bench document.
 
@@ -672,7 +707,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chk.add_argument(
         "--against", default=None,
-        help="compare this already-recorded BENCH_*.json instead of running fresh",
+        help="compare an already-recorded BENCH_*.json instead of running "
+        "fresh; a directory selects its newest schema-compatible bench file",
     )
     chk.add_argument(
         "--advisory", action="store_true",
@@ -723,6 +759,19 @@ def main_perf(argv: list[str] | None = None) -> int:
             print(render_bench(doc))
             print()
         print(f"bench written to {path}")
+        import os
+
+        if os.environ.get("REPRO_LEDGER"):
+            from repro.observability.ledger import RunLedger, entries_from_bench
+
+            ledger = RunLedger(os.environ["REPRO_LEDGER"])
+            entries = entries_from_bench(doc)
+            for entry in entries:
+                ledger.append(entry)
+            print(
+                f"ledger: appended {len(entries)} cell(s) "
+                f"to {os.environ['REPRO_LEDGER']}"
+            )
         return 0
 
     if args.command == "explain":
@@ -754,8 +803,11 @@ def main_perf(argv: list[str] | None = None) -> int:
         return 2
     baseline = json.loads(baseline_path.read_text())
     if args.against:
-        current = json.loads(Path(args.against).read_text())
-        current_label = args.against
+        try:
+            current, current_label = resolve_bench_source(args.against)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     else:
         current = _record_from_args(args)
         errors = validate_bench(current)

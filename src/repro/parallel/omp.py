@@ -66,6 +66,21 @@ def _profile_channel(name: str, backend: Backend) -> tuple | None:
     return (profiler.hz, labels)
 
 
+def _events_channel(name: str) -> tuple | None:
+    """``(root, stage, span)`` when a live event log is being written.
+
+    Computed once on the driver (the enclosing stage label comes from
+    the engine's stage scope) and handed to every worker shim, which
+    emits ``unit_finished``/``task_finished`` events straight into its
+    own shard — live even on the process backend, where results only
+    come home at the barrier.  ``None`` (one pid-guarded global read)
+    when no event-logged run is executing.
+    """
+    from repro.observability.events import channel
+
+    return channel(name)
+
+
 @contextmanager
 def shared_executor(
     backend: Backend | str, num_workers: int | None = None
@@ -99,6 +114,7 @@ def _run_chunk(func: Callable[[Any], Any], items: Sequence[Any], indices: range)
 def _run_chunk_traced(
     func: Callable[[Any], Any], items: Sequence[Any], indices: range, epoch: float,
     collect_shard: bool = False, profile: tuple | None = None,
+    events: tuple | None = None,
 ) -> tuple[list[Any], dict[str, Any], dict[str, Any] | None]:
     """:func:`_run_chunk` plus a self-measured span record.
 
@@ -141,12 +157,18 @@ def _run_chunk_traced(
     }
     if prof_shard:
         record["profile"] = prof_shard
+    if events is not None:
+        from repro.observability.events import emit_channel
+
+        emit_channel(events, "unit_finished", count=len(values),
+                     duration_s=record["duration_s"], worker=record["worker"])
     return values, record, shard
 
 
 def _run_task_traced(
     func: Callable[..., Any], epoch: float, args: tuple, kwargs: dict,
     collect_shard: bool = False, profile: tuple | None = None,
+    events: tuple | None = None,
 ) -> tuple[Any, dict[str, Any], dict[str, Any] | None]:
     """Run one task in a worker, returning its self-measured span record."""
     shard = None
@@ -178,6 +200,11 @@ def _run_task_traced(
     }
     if prof_shard:
         record["profile"] = prof_shard
+    if events is not None:
+        from repro.observability.events import emit_channel
+
+        emit_channel(events, "task_finished",
+                     duration_s=record["duration_s"], worker=record["worker"])
     return value, record, shard
 
 
@@ -236,7 +263,8 @@ def _fold_chunk(
 
 def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[range],
            results: list[Any], trace: tuple | None = None,
-           metrics: tuple | None = None, profile: tuple | None = None) -> None:
+           metrics: tuple | None = None, profile: tuple | None = None,
+           events: tuple | None = None) -> None:
     """Submit all chunks, wait, propagate the first failure.
 
     ``trace`` is ``(tracer, span_name, parent_span, epoch)`` when chunk
@@ -253,7 +281,10 @@ def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[ra
     records and metrics shards of every chunk that did complete are
     folded in first, so observability stays accurate for partial runs.
     """
-    instrumented = trace is not None or metrics is not None or profile is not None
+    instrumented = (
+        trace is not None or metrics is not None or profile is not None
+        or events is not None
+    )
     if not instrumented:
         futures = {pool.submit(_run_chunk, func, items, chunk): chunk for chunk in chunks}
     else:
@@ -261,7 +292,7 @@ def _drain(pool: Executor, func: Callable, items: Sequence[Any], chunks: list[ra
         futures = {
             pool.submit(
                 _run_chunk_traced, func, items, chunk, epoch, metrics is not None,
-                profile,
+                profile, events,
             ): chunk
             for chunk in chunks
         }
@@ -348,6 +379,7 @@ def _run_chunk_isolated(
     func: Callable[[Any], Any], items: Sequence[Any], indices: range, attempt: int,
     retryable: tuple, scope: Callable[[int], Any] | None, epoch: float,
     collect_shard: bool = False, profile: tuple | None = None,
+    events: tuple | None = None,
 ) -> tuple[list[Any], int | None, BaseException | None, dict[str, Any], dict[str, Any] | None]:
     """Run one chunk, stopping at the first *retryable* failure.
 
@@ -400,6 +432,15 @@ def _run_chunk_isolated(
     }
     if prof_shard:
         record["profile"] = prof_shard
+    if events is not None:
+        from repro.observability.events import emit_channel
+
+        # The failing item counts as executed: the monitor's progress
+        # matches the work actually attempted, and the retry events the
+        # resilience runtime emits account for the resubmission.
+        emit_channel(events, "unit_finished",
+                     count=len(values) + (0 if failed is None else 1),
+                     duration_s=record["duration_s"], worker=record["worker"])
     return values, failed, error, record, shard
 
 
@@ -407,7 +448,7 @@ def _drain_isolated(
     pool: Executor, func: Callable, items: Sequence[Any], chunks: list[range],
     results: list[Any], isolation: Isolation,
     trace: tuple | None = None, metrics: tuple | None = None,
-    profile: tuple | None = None,
+    profile: tuple | None = None, events: tuple | None = None,
 ) -> None:
     """:func:`_drain` with per-item failure isolation and resubmission.
 
@@ -427,6 +468,7 @@ def _drain_isolated(
         future = pool.submit(
             _run_chunk_isolated, func, items, indices, attempt,
             isolation.retryable, isolation.attempt_scope, epoch, collect, profile,
+            events,
         )
         pending[future] = (indices, attempt)
 
@@ -551,15 +593,25 @@ def parallel_for(
     if metrics is not None:
         metric = (metrics, name, backend.value, Schedule.coerce(schedule).value)
     profile = _profile_channel(name, backend)
+    events = _events_channel(name)
+    if events is not None:
+        from repro.observability.events import emit_channel
+
+        # The driver announces the loop's size up front, so a live
+        # monitor can draw a bounded progress bar before any chunk
+        # lands.
+        emit_channel(events, "units_total", total=n, chunks=len(chunks),
+                     backend=backend.value)
 
     if executor is not None:
         results: list[Any] = [None] * n
         if isolate is not None:
             _drain_isolated(executor, func, items, chunks, results, isolate,
-                            trace=trace, metrics=metric, profile=profile)
+                            trace=trace, metrics=metric, profile=profile,
+                            events=events)
         else:
             _drain(executor, func, items, chunks, results, trace=trace,
-                   metrics=metric, profile=profile)
+                   metrics=metric, profile=profile, events=events)
         return results
 
     if backend is Backend.SERIAL or workers == 1 or n == 1:
@@ -598,6 +650,10 @@ def parallel_for(
                         "worker": _worker_label(),
                     }
                     _record_chunk_metrics(metric, record, None, len(chunk))
+                if events is not None:
+                    emit_channel(events, "unit_finished", count=len(chunk),
+                                 duration_s=time.perf_counter() - t0,
+                                 worker=_worker_label())
                 for i, value in zip(chunk, values):
                     results[i] = value
         return results
@@ -607,10 +663,11 @@ def parallel_for(
     with pool_cls(max_workers=min(workers, len(chunks))) as pool:
         if isolate is not None:
             _drain_isolated(pool, func, items, chunks, results, isolate,
-                            trace=trace, metrics=metric, profile=profile)
+                            trace=trace, metrics=metric, profile=profile,
+                            events=events)
         else:
             _drain(pool, func, items, chunks, results, trace=trace,
-                   metrics=metric, profile=profile)
+                   metrics=metric, profile=profile, events=events)
     return results
 
 
@@ -762,6 +819,7 @@ class TaskGroup:
         """Submit one task (``#pragma omp task``)."""
         name = span_name or getattr(func, "__name__", "task")
         profile = _profile_channel(name, self.backend)
+        events = _events_channel(name)
         if self._pool is None:
             from repro.observability.profiling import labeled_thread
 
@@ -776,11 +834,18 @@ class TaskGroup:
                 {"duration_s": time.perf_counter() - t0, "worker": _worker_label()},
                 None,
             )
-        elif self._tracer is not None or self._metrics is not None or profile is not None:
+            if events is not None:
+                from repro.observability.events import emit_channel
+
+                emit_channel(events, "task_finished",
+                             duration_s=time.perf_counter() - t0,
+                             worker=_worker_label())
+        elif (self._tracer is not None or self._metrics is not None
+              or profile is not None or events is not None):
             epoch = self._tracer.epoch if self._tracer is not None else time.time()
             future = self._pool.submit(
                 _run_task_traced, func, epoch, args, kwargs,
-                self._metrics is not None, profile,
+                self._metrics is not None, profile, events,
             )
             self._futures.append((future, name, True))
             if self._metrics is not None:

@@ -110,16 +110,26 @@ class ResilienceRuntime:
 
     # -- fault application (worker/tool side) ---------------------------
 
+    def _emit(self, type_: str, **payload: object) -> None:
+        """Publish one resilience event to the live bus (no-op when the
+        workspace has no event log).  Works from pool workers too: each
+        writes its own shard, so retries are visible as they happen."""
+        from repro.observability.events import emit
+
+        emit(self.root, type_, **payload)
+
     def apply_file_faults(self, path: Path) -> None:
         """Corrupt ``path`` if the plan targets it (idempotent)."""
         if self.plan.corrupt_file(path):
             _record_fault("file", Path(path).name)
+            self._emit("fault", kind="file", target=Path(path).name)
 
     def apply_config_faults(self, folder: Path, process: str) -> None:
         """Drop/garble the staged tool.cfg if the plan targets it."""
         kind = self.plan.corrupt_config(folder, process)
         if kind is not None:
             _record_fault(kind, process)
+            self._emit("fault", kind=kind, target=process, process=process)
 
     # -- per-record retry (inside the tool emulations) ------------------
 
@@ -155,6 +165,7 @@ class ResilienceRuntime:
                 return False
             except TransientToolError as exc:
                 _record_fault("transient", process)
+                self._emit("fault", kind="transient", process=process, record=trace)
                 if self.policy.gives_up(attempt, time.monotonic() - start):
                     self.pend(
                         FailureReport.from_exception(station, process, exc,
@@ -162,6 +173,7 @@ class ResilienceRuntime:
                     )
                     return False
                 _record_retry(process)
+                self._emit("retry", process=process, record=trace, attempt=attempt)
                 time.sleep(self.policy.delay_s(self.plan.seed, f"{process}:{trace}", attempt))
 
     # -- per-unit retry (driver side, sequential loops) -----------------
@@ -200,10 +212,12 @@ class ResilienceRuntime:
                                                     attempts=attempt, kind=FORMAT)
             except WorkerCrashError as exc:
                 _record_fault("crash", process)
+                self._emit("fault", kind="crash", process=process, record=record)
                 if self.policy.gives_up(attempt, time.monotonic() - start):
                     return FailureReport.from_exception(record, process, exc,
                                                         attempts=attempt, kind=CRASH)
                 _record_retry(process)
+                self._emit("retry", process=process, record=record, attempt=attempt)
                 time.sleep(self.policy.delay_s(self.plan.seed, f"{process}:{record}", attempt))
 
     def isolation(self, process: str, describe: Callable[[Any], str] = str):
@@ -218,9 +232,11 @@ class ResilienceRuntime:
 
         def on_caught(record: str, attempt: int) -> None:
             _record_fault("crash", process)
+            self._emit("fault", kind="crash", process=process, record=record)
 
         def on_retry(record: str, attempt: int) -> None:
             _record_retry(process)
+            self._emit("retry", process=process, record=record, attempt=attempt)
 
         def delay(record: str, attempt: int) -> float:
             return self.policy.delay_s(plan_seed, f"{process}:{record}", attempt)
@@ -257,6 +273,10 @@ class ResilienceRuntime:
             fresh.append(report)
             _purge_station(self.root, report.record)
             _record_quarantine(report.process, report.kind)
+            self._emit(
+                "quarantine", record=report.record, process=report.process,
+                fault_kind=report.kind, attempts=report.attempts,
+            )
             if tracer is not None and tracer.enabled:
                 tracer.event(
                     "quarantine",

@@ -108,6 +108,24 @@ class TestPrometheus:
         text = to_prometheus_text(tracer.trace())
         assert 'stage="we\\"ird"' in text
 
+    def test_registry_types_survive_combined_export(self, sample_trace) -> None:
+        # Regression guard: the trace-derived series are gauges, but a
+        # registry appended to the same exposition must keep counter
+        # and histogram families intact (never degrade to gauge).
+        from repro.observability.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("io_total").inc(5)
+        reg.histogram("chunk_seconds", buckets=(1.0,)).observe(0.5)
+        text = to_prometheus_text(sample_trace, metrics=reg)
+        assert "# TYPE repro_run_duration_seconds gauge" in text
+        assert "# TYPE io_total counter" in text
+        assert "# TYPE io_total gauge" not in text
+        assert "# TYPE chunk_seconds histogram" in text
+        assert 'chunk_seconds_bucket{le="+Inf"} 1' in text
+        assert "chunk_seconds_sum 0.500000" in text
+        assert "chunk_seconds_count 1" in text
+
 
 class TestPlacements:
     def test_auto_granularity_picks_leaf_level(self, sample_trace) -> None:

@@ -150,6 +150,55 @@ class TestPrometheusText:
         assert MetricsRegistry().to_prometheus_text() == ""
 
 
+class TestPrometheusTypeRegression:
+    """Regression guard: every instrument must export under its own
+    ``# TYPE`` family — a counter or histogram silently degrading to
+    gauge exposition would poison rate()/quantile queries downstream.
+    """
+
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total").inc(3)
+        reg.gauge("depth").set(7)
+        h = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        return reg
+
+    def test_counter_is_never_a_gauge(self):
+        text = self._registry().to_prometheus_text()
+        assert "# TYPE req_total counter" in text
+        assert "# TYPE req_total gauge" not in text
+
+    def test_histogram_exports_the_full_family(self):
+        text = self._registry().to_prometheus_text()
+        assert "# TYPE lat_seconds histogram" in text
+        assert "# TYPE lat_seconds gauge" not in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "lat_seconds_sum 0.550000" in text
+        assert "lat_seconds_count 2" in text
+
+    def test_one_type_line_per_family(self):
+        text = self._registry().to_prometheus_text()
+        for family in ("req_total", "depth", "lat_seconds"):
+            type_lines = [
+                line for line in text.splitlines()
+                if line.startswith(f"# TYPE {family} ")
+            ]
+            assert len(type_lines) == 1, family
+
+    def test_merged_shards_keep_their_types(self):
+        a = self._registry()
+        b = self._registry()
+        a.merge(b.to_dict())
+        text = a.to_prometheus_text()
+        assert "# TYPE req_total counter" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert "lat_seconds_count 4" in text  # bucketwise addition
+
+
 class TestPlumbing:
     def test_collecting_installs_and_restores(self):
         reg = MetricsRegistry()

@@ -242,6 +242,69 @@ class TestCli:
         assert "ADVISORY" in out
 
 
+class TestAgainstDirectory:
+    """``--against`` accepting a directory of BENCH artifacts."""
+
+    def test_picks_newest_valid_candidate(self, bench_doc, tmp_path: Path):
+        from repro.observability.perf import resolve_bench_source
+
+        old = copy.deepcopy(bench_doc)
+        old["created_utc"] = "2020-01-01T00:00:00Z"
+        write_bench(old, tmp_path)
+        newest = write_bench(bench_doc, tmp_path)
+        doc, label = resolve_bench_source(tmp_path)
+        assert label == str(newest)
+        assert doc == bench_doc
+
+    def test_skips_invalid_newer_files(self, bench_doc, tmp_path: Path):
+        from repro.observability.perf import resolve_bench_source
+
+        valid = write_bench(bench_doc, tmp_path)
+        (tmp_path / "BENCH_99990101T000000Z.json").write_text('{"schema": "nope"}')
+        (tmp_path / "BENCH_99990202T000000Z.json").write_text("not json at all")
+        doc, label = resolve_bench_source(tmp_path)
+        assert label == str(valid)
+        assert validate_bench(doc) == []
+
+    def test_empty_directory_is_an_error(self, tmp_path: Path):
+        from repro.observability.perf import resolve_bench_source
+
+        with pytest.raises(ValueError, match="no BENCH_"):
+            resolve_bench_source(tmp_path)
+
+    def test_error_lists_every_rejected_candidate(self, tmp_path: Path):
+        from repro.observability.perf import resolve_bench_source
+
+        (tmp_path / "BENCH_20200101T000000Z.json").write_text('{"schema": "x"}')
+        (tmp_path / "BENCH_20200102T000000Z.json").write_text("garbage")
+        with pytest.raises(ValueError) as err:
+            resolve_bench_source(tmp_path)
+        message = str(err.value)
+        assert "BENCH_20200101T000000Z.json" in message
+        assert "BENCH_20200102T000000Z.json" in message
+        assert "unreadable" in message
+
+    def test_cli_check_against_directory(self, bench_doc, tmp_path: Path, capsys):
+        base = write_bench(bench_doc, tmp_path)
+        artifacts = tmp_path / "artifacts"
+        artifacts.mkdir()
+        write_bench(bench_doc, artifacts)
+        assert main_perf(
+            ["check", "--baseline", str(base), "--against", str(artifacts)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "current:  " in out and "artifacts" in out
+
+    def test_cli_reports_unresolvable_directory(self, bench_doc, tmp_path: Path, capsys):
+        base = write_bench(bench_doc, tmp_path)
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main_perf(
+            ["check", "--baseline", str(base), "--against", str(empty)]
+        ) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+
 class TestExplain:
     def test_explain_prints_bottleneck_reports(self, capsys):
         assert main_perf(
